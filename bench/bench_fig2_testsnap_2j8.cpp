@@ -1,0 +1,38 @@
+// TestSNAP Fig. 2 — optimization progression relative to baseline, 2J = 8.
+//
+// The paper's figure shows grind-time speedup over the baseline GPU kernel
+// as optimizations V1..V7 accumulate. This harness runs the CPU analogues
+// (see src/snap/testsnap.hpp for the mapping) on the paper's 2000-atom,
+// 26-neighbor problem and prints the same series.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "snap/testsnap.hpp"
+
+int main() {
+  using namespace ember;
+  std::printf(
+      "== TestSNAP Fig. 2: progress relative to baseline, 2J = 8 ==\n"
+      "2000 atoms, 26 neighbors; bars are speedup over V0 (higher is "
+      "better).\n\n");
+
+  snap::SnapParams p;
+  p.twojmax = 8;
+  p.rcut = 4.7;
+  snap::TestSnap ts(p, 2000, 26, 2021);
+
+  const double t0 = ts.grind_time(snap::TestSnapVariant::V0_Baseline, 2);
+  TextTable table({"Variant", "Grind time (ms/atom)", "Speedup vs V0"});
+  for (const auto v : snap::kAllTestSnapVariants) {
+    const double t = ts.grind_time(v, 2);
+    table.add_row(snap::to_string(v), 1e3 * t, t0 / t);
+  }
+  table.print();
+  std::printf(
+      "\nShape check vs the paper: the adjoint refactorization (V3) is the\n"
+      "single largest algorithmic step; the symmetric half-range (V5)\n"
+      "roughly halves the remaining kernel cost; staged-kernel splitting\n"
+      "alone (V1) is not a win by itself (\"there is a sweet spot\").\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// TestSNAP Fig. 3 — optimization progression relative to baseline, 2J = 14.
+//
+// Same protocol as Fig. 2 at the 204-component problem size, where the
+// O(J^5) Z storage and O(J^7) coupling sweep dominate — the regime whose
+// memory footprint forced the adjoint refactorization in the paper
+// ("there is no trivial solution to the out-of-memory error for 2J14").
+// Atom count is reduced to keep single-core wall time sane; the grind
+// time metric is per-atom so the comparison is unaffected.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "snap/indexing.hpp"
+#include "snap/testsnap.hpp"
+
+int main() {
+  using namespace ember;
+  snap::SnapParams p;
+  p.twojmax = 14;
+  p.rcut = 4.7;
+
+  const snap::SnapIndex idx(p.twojmax);
+  std::printf(
+      "== TestSNAP Fig. 3: progress relative to baseline, 2J = 14 ==\n"
+      "%d bispectrum components; Z storage per atom = %d complex values\n"
+      "(vs %d for Y under the adjoint refactorization).\n"
+      "150 atoms, 26 neighbors (grind time is per atom).\n\n",
+      idx.num_b(), idx.z_total(), idx.u_total());
+
+  snap::TestSnap ts(p, 150, 26, 2021);
+  const double t0 = ts.grind_time(snap::TestSnapVariant::V0_Baseline, 2);
+  TextTable table({"Variant", "Grind time (ms/atom)", "Speedup vs V0"});
+  for (const auto v : snap::kAllTestSnapVariants) {
+    const double t = ts.grind_time(v, 2);
+    table.add_row(snap::to_string(v), 1e3 * t, t0 / t);
+  }
+  table.print();
+  std::printf(
+      "\nShape check vs the paper: gains concentrate in the adjoint (V3)\n"
+      "and symmetry (V5) steps; the large coupling sweep makes the\n"
+      "per-neighbor optimizations relatively less visible than at 2J = 8.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Deck benchmark tables — ParSplice "An Easy Case" / "Hard Cases".
+//
+// Easy case (low temperature, rare events): nearly all generated segments
+// splice, speedup ~ worker count. Hard cases (rising temperature):
+// utilization and speedup collapse toward plain MD, with revisits
+// (banked segments) carrying most of the remaining gain at mid
+// temperatures.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "parsplice/parsplice.hpp"
+
+int main() {
+  using namespace ember;
+  using namespace ember::parsplice;
+
+  std::printf("== ParSplice benchmark: easy case (worker sweep) ==\n\n");
+  {
+    Landscape land(4, 1.0, 0.04, 21);
+    TextTable table({"Workers", "Traj length", "Generated time",
+                     "#Transitions", "#States", "Utilization %", "Speedup"});
+    for (const int workers : {2, 4, 8, 16}) {
+      ParSpliceConfig cfg;
+      cfg.temperature = 0.09;
+      cfg.nworkers = workers;
+      cfg.wall_budget = 150.0;
+      const auto r = run_parsplice(land, cfg);
+      table.add_row(workers, r.spliced_time, r.generated_time, r.transitions,
+                    r.states_visited, 100.0 * r.utilization(), r.speedup());
+    }
+    table.print();
+  }
+
+  std::printf("\n== ParSplice benchmark: hard cases (temperature sweep) ==\n\n");
+  {
+    Landscape land(4, 1.0, 0.04, 23);
+    TextTable table({"T/barrier", "Traj length", "Generated time",
+                     "#Transitions", "#States", "Utilization %", "Speedup",
+                     "MD transitions"});
+    for (const double t : {0.09, 0.14, 0.20, 0.30, 0.45}) {
+      ParSpliceConfig cfg;
+      cfg.temperature = t;
+      cfg.nworkers = 8;
+      cfg.wall_budget = 150.0;
+      const auto r = run_parsplice(land, cfg);
+      const auto md = run_md_reference(land, cfg);
+      table.add_row(t, r.spliced_time, r.generated_time, r.transitions,
+                    r.states_visited, 100.0 * r.utilization(), r.speedup(),
+                    md.transitions);
+    }
+    table.print();
+  }
+  std::printf(
+      "\nShape check vs the deck tables: high utilization and near-linear\n"
+      "speedup when events are rare; graceful degradation toward the MD\n"
+      "rate as transitions become fast and unpredictable.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// SC paper Fig. 3 — strong scaling: (a) time-to-solution [s/step] and
+// (b) MD performance [Matom-steps/node-s] for six amorphous-carbon sample
+// sizes, from the minimum node count that fits each sample up to the full
+// 4,650-node machine.
+//
+// Series come from the calibrated Summit machine model (src/perf); the
+// anchors the model was calibrated against are printed alongside.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "perf/scaling.hpp"
+
+int main() {
+  using namespace ember;
+  std::printf(
+      "== SC Fig. 3: strong scaling on Summit (model) ==\n"
+      "Samples: 1.26M, 10.1M, 102.5M, 1.02G, 4.25G, 19.68G atoms.\n\n");
+
+  perf::ScalingModel model(perf::MachineModel::summit());
+  const std::vector<double> sizes = {1.259712e6,     1.0077696e7,
+                                     1.02503232e8,   1.024192512e9,
+                                     4.251528e9,     1.9683e10};
+  const std::vector<int> node_grid = {1,   2,    4,    8,    16,  32,  64,
+                                      128, 256,  512,  972,  2048, 4650};
+
+  TextTable table({"Atoms", "Nodes", "s/step", "Matom-steps/node-s",
+                   "SNAP %", "Comm %"});
+  for (const double n : sizes) {
+    const int min_nodes = model.min_nodes(n);
+    for (const int nodes : node_grid) {
+      if (nodes < min_nodes || nodes > 4650) continue;
+      const auto run = model.predict(n, nodes);
+      table.add_row(n, nodes, run.step_time(),
+                    run.matom_steps_per_node_s(),
+                    100.0 * run.compute_fraction(),
+                    100.0 * run.comm_fraction());
+    }
+  }
+  table.print();
+
+  std::printf("\nParallel efficiencies (paper anchors in parentheses):\n");
+  std::printf("  20 G atoms, 972 -> 4650 nodes: %5.1f%%  (97%%)\n",
+              100.0 * model.parallel_efficiency(19.683e9, 972, 4650));
+  std::printf("  1 G atoms,   64 -> 4650 nodes: %5.1f%%  (82%%)\n",
+              100.0 * model.parallel_efficiency(1.024192512e9, 64, 4650));
+  std::printf("  10 M atoms,   1 ->  512 nodes: %5.1f%%  (41%%)\n",
+              100.0 * model.parallel_efficiency(1.0077696e7, 1, 512));
+  return 0;
+}

@@ -1,0 +1,61 @@
+// SC paper Fig. 6 — the 1,024,192,512-atom amorphous-carbon benchmark
+// across four top-10 machines: TACC Frontera (CPU), OLCF Summit, NERSC
+// Perlmutter, NVIDIA Selene.
+//
+// Anchors: Summit ~52x Frontera per node; Selene ~1.9x Summit per node;
+// Selene 20 G atoms on 512 nodes = 12.72 Matom-steps/node-s (~11 PFLOPS,
+// 14% of a peak that counts FP64 tensor cores SNAP cannot use);
+// Perlmutter 20 G on 1024 nodes = 6.42 Matom-steps/node-s.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "perf/scaling.hpp"
+
+int main() {
+  using namespace ember;
+  std::printf("== SC Fig. 6: cross-machine comparison, 1.02 G atoms ==\n\n");
+
+  const std::vector<perf::MachineModel> machines = {
+      perf::MachineModel::frontera(), perf::MachineModel::summit(),
+      perf::MachineModel::perlmutter(), perf::MachineModel::selene()};
+  const double natoms = 1.024192512e9;
+
+  TextTable table({"Machine", "Nodes", "Matom-steps/node-s", "s/step"});
+  for (const auto& mm : machines) {
+    perf::ScalingModel model(mm);
+    for (const int nodes : {16, 64, 128, 256, 512, 1024, 4096}) {
+      if (nodes < model.min_nodes(natoms) && mm.node.gpus_per_node > 1) {
+        continue;  // does not fit in GPU memory
+      }
+      const auto run = model.predict(natoms, nodes);
+      table.add_row(mm.node.name, nodes, run.matom_steps_per_node_s(),
+                    run.step_time());
+    }
+  }
+  table.print();
+
+  perf::ScalingModel summit(perf::MachineModel::summit());
+  perf::ScalingModel frontera(perf::MachineModel::frontera());
+  perf::ScalingModel selene(perf::MachineModel::selene());
+  perf::ScalingModel perlmutter(perf::MachineModel::perlmutter());
+
+  std::printf("\nAnchors (paper values in parentheses):\n");
+  std::printf("  Summit / Frontera per node @256: %5.1fx  (~52x)\n",
+              summit.predict(natoms, 256).matom_steps_per_node_s() /
+                  frontera.predict(natoms, 256).matom_steps_per_node_s());
+  std::printf("  Selene / Summit per node @128:   %5.2fx  (~1.9x)\n",
+              selene.predict(natoms, 128).matom_steps_per_node_s() /
+                  summit.predict(natoms, 128).matom_steps_per_node_s());
+  const auto sel20 = selene.predict(20e9, 512);
+  std::printf("  Selene 20 G @512 nodes: %5.2f Matom-steps/node-s (12.72), "
+              "%.1f PFLOPS (11.14), %.0f%% of peak (14%%)\n",
+              sel20.matom_steps_per_node_s(), selene.pflops(sel20),
+              100.0 * selene.fraction_of_peak(sel20));
+  const auto perl20 = perlmutter.predict(20e9, 1024);
+  std::printf("  Perlmutter 20 G @1024 nodes: %5.2f Matom-steps/node-s "
+              "(6.42), %.1f PFLOPS (11.24)\n",
+              perl20.matom_steps_per_node_s(), perlmutter.pflops(perl20));
+  return 0;
+}

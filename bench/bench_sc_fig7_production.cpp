@@ -1,0 +1,86 @@
+// SC paper Fig. 7 — sustained performance of the 24-hour production run:
+// 1.02 G atoms on 4,650 nodes, thermostat segments 5000/5300/5500/5500/
+// 5500 K, checkpoint-I/O dips, and a small performance rise as the BC8
+// phase emerges.
+//
+// Part (a): the model-scaled 24 h trace (series downsampled for print).
+// Part (b): a real miniature production run — the actual MD engine with a
+// Langevin temperature schedule and periodic binary checkpoints, whose
+// measured per-block rates show the same I/O dips.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "md/io.hpp"
+#include "md/lattice.hpp"
+#include "md/simulation.hpp"
+#include "perf/production.hpp"
+#include "ref/pair_tersoff.hpp"
+
+int main() {
+  using namespace ember;
+  std::printf("== SC Fig. 7: 24 h production run (model trace) ==\n\n");
+  perf::ScalingModel model(perf::MachineModel::summit());
+  perf::ProductionModel prod(model, perf::ProductionConfig{});
+  const auto trace = prod.trace();
+
+  TextTable table({"Wall (h)", "Sim (ns)", "Matom-steps/node-s", "T (K)",
+                   "BC8 frac", "ckpt"});
+  // Downsample for print; always include checkpoint samples (the dips).
+  const std::size_t stride = trace.size() / 24;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& s = trace[i];
+    if (i % stride != 0 && !s.checkpoint) continue;
+    table.add_row(s.wall_hours, s.sim_ns, s.perf_matom_steps_node_s,
+                  s.temperature, s.bc8_fraction, s.checkpoint ? "*" : "");
+  }
+  table.print();
+  std::printf("  total: %.2f ns in %.1f h (paper: 1 ns in 24 h)\n",
+              trace.back().sim_ns, trace.back().wall_hours);
+
+  std::printf(
+      "\n-- measured: miniature production run (real MD + checkpoints) --\n"
+      "512 carbon atoms, Tersoff, Langevin schedule, checkpoint every 4th "
+      "block.\n\n");
+  md::LatticeSpec spec;
+  spec.kind = md::LatticeKind::Diamond;
+  spec.a = 3.45;  // compressed
+  spec.nx = spec.ny = spec.nz = 4;
+  md::System sys = md::build_lattice(spec, 12.011);
+  Rng rng(9);
+  sys.thermalize(3000.0, rng);
+  md::Simulation sim(std::move(sys), std::make_shared<ref::PairTersoff>(),
+                     2e-4, 0.4, 9);
+  sim.setup();
+
+  const double schedule[] = {5000, 5300, 5500, 5500, 5500};
+  TextTable mtable({"Block", "T target (K)", "T (K)",
+                    "Katom-steps/s", "ckpt"});
+  const long steps_per_block = 60;
+  int block = 0;
+  for (const double t_target : schedule) {
+    sim.integrator().set_langevin(md::LangevinParams{t_target, 0.05});
+    for (int rep = 0; rep < 2; ++rep, ++block) {
+      WallTimer timer;
+      sim.run(steps_per_block);
+      const bool ckpt = block % 4 == 3;
+      if (ckpt) {
+        // The checkpoint write lands inside the measured block, exactly
+        // like the paper's dips.
+        md::write_checkpoint(sim.system(), "/tmp/ember_fig7_ckpt.bin");
+      }
+      const double rate =
+          sim.system().nlocal() * steps_per_block / timer.seconds() / 1e3;
+      mtable.add_row(block, t_target, sim.system().temperature(), rate,
+                     ckpt ? "*" : "");
+    }
+  }
+  std::remove("/tmp/ember_fig7_ckpt.bin");
+  mtable.print();
+  std::printf(
+      "\nShape check: restart segments at rising temperatures, rate dips on\n"
+      "checkpoint blocks, model trace rises as the BC8 fraction grows.\n");
+  return 0;
+}

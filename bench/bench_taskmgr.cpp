@@ -1,0 +1,57 @@
+// Deck §56-77 — the EXAALT pull-model task-management framework.
+//
+// Worker utilization and task throughput vs scale for the flat
+// producer-consumer topology (every worker asks the work manager
+// directly) against the hierarchical pull model (task managers pre-fetch
+// batches and feed local workers). Reproduces the deck's claims: the flat
+// model collapses at scale; the hierarchy sustains ~50k tasks/s with
+// near-perfect worker occupancy ("no worker should ever be idle").
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "parsplice/taskmgr.hpp"
+
+int main() {
+  using namespace ember::parsplice;
+  std::printf("== Task management at scale: flat vs hierarchical ==\n"
+              "(0.5 s tasks; WM per-request overhead 0.1 ms)\n\n");
+
+  ember::TextTable table({"Workers", "Topology", "Tasks/s",
+                          "Worker util %", "WM busy %", "WM requests"});
+  for (const int scale : {256, 1024, 4096, 16384, 65536}) {
+    {
+      TaskFarmConfig cfg;
+      cfg.n_task_managers = scale;
+      cfg.workers_per_tm = 1;
+      cfg.batch = 1;
+      cfg.low_water = 0;
+      cfg.tm_latency = 0.0;
+      cfg.task_seconds = 0.5;
+      cfg.sim_seconds = 60.0;
+      const auto r = simulate_task_farm(cfg);
+      table.add_row(scale, "flat", r.tasks_per_second,
+                    100.0 * r.worker_utilization,
+                    100.0 * r.wm_busy_fraction, r.wm_requests);
+    }
+    {
+      TaskFarmConfig cfg;
+      cfg.n_task_managers = std::max(1, scale / 128);
+      cfg.workers_per_tm = std::min(scale, 128);
+      cfg.batch = 256;
+      cfg.low_water = 128;
+      cfg.task_seconds = 0.5;
+      cfg.sim_seconds = 60.0;
+      const auto r = simulate_task_farm(cfg);
+      table.add_row(scale, "hierarchical", r.tasks_per_second,
+                    100.0 * r.worker_utilization,
+                    100.0 * r.wm_busy_fraction, r.wm_requests);
+    }
+  }
+  table.print();
+  std::printf(
+      "\nShape check vs the deck: flat throughput caps near the WM's\n"
+      "request rate and utilization collapses; the hierarchical pull\n"
+      "model tracks demand to ~10^5 workers (deck: ~50,000 tasks/s).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The science pipeline of the paper at example scale:
+//   1. prepare amorphous carbon by melt-quench (Tersoff oracle),
+//   2. compress and anneal at extreme conditions,
+//   3. watch the phase classifier for crystalline signatures.
+//
+// The paper did this with 10^9 atoms and a nanosecond of sampling on
+// Summit, observing a-C -> BC8 at ~12 Mbar / 5000 K. At example scale the
+// transformation itself is far beyond reach; what this program
+// demonstrates is the full production toolchain: preparation protocol,
+// pressure control, trajectory I/O and on-the-fly phase detection.
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/classify.hpp"
+#include "common/units.hpp"
+#include "md/computes.hpp"
+#include "md/io.hpp"
+#include "md/lattice.hpp"
+#include "md/simulation.hpp"
+#include "ref/pair_tersoff.hpp"
+
+namespace {
+
+void report(const char* stage, ember::md::Simulation& sim) {
+  const auto f = ember::analysis::analyze(sim.system());
+  std::printf("%-22s T=%6.0f K  P=%7.2f Mbar  diamond %5.1f%%  bc8 %5.1f%%  "
+              "disordered %5.1f%%\n",
+              stage, sim.system().temperature(),
+              sim.pressure() / ember::units::MBAR, 100 * f.diamond,
+              100 * f.bc8, 100 * (1 - f.crystalline()));
+}
+
+}  // namespace
+
+int main() {
+  using namespace ember;
+
+  // Expanded diamond cell (~3 g/cc): standard a-C preparation density.
+  md::LatticeSpec spec;
+  spec.kind = md::LatticeKind::Diamond;
+  spec.a = 3.70;
+  spec.nx = spec.ny = spec.nz = 2;
+  md::System sys = md::build_lattice(spec, 12.011);
+  Rng rng(99);
+  sys.thermalize(300.0, rng);
+
+  md::Simulation sim(std::move(sys), std::make_shared<ref::PairTersoff>(),
+                     2e-4, 0.4, 99);
+  sim.setup();
+  report("initial crystal", sim);
+
+  // --- melt ---
+  sim.integrator().set_langevin(md::LangevinParams{12000.0, 0.02});
+  md::Msd msd;
+  msd.set_reference(sim.system());
+  sim.run(5000);
+  report("melt (12,000 K)", sim);
+  std::printf("%-22s MSD = %.1f A^2 (topological melt needs > bond^2)\n",
+              "", msd.compute(sim.system()));
+
+  // --- quench to a-C ---
+  sim.integrator().set_langevin(md::LangevinParams{300.0, 0.01});
+  sim.run(4000);
+  report("quenched a-C", sim);
+  md::write_xyz(sim.system(), "/tmp/ember_ac_sample.xyz", "amorphous carbon");
+
+  // --- compress toward the BC8 regime and anneal hot ---
+  sim.integrator().set_langevin(md::LangevinParams{5000.0, 0.05});
+  // Carbon's compressibility is ~2e-7 1/bar; tau short for a fast ramp.
+  sim.integrator().set_berendsen_p(
+      md::BerendsenPParams{12.0 * units::MBAR, 0.05, 2e-7});
+  const double v0 = sim.system().box().volume();
+  for (int block = 0; block < 10; ++block) {
+    sim.run(500);
+  }
+  report("12 Mbar / 5000 K anneal", sim);
+  std::printf("%-22s V/V0 = %.2f (extreme compression)\n", "",
+              sim.system().box().volume() / v0);
+
+  // --- the detector on the target phase, demonstrated explicitly ---
+  md::LatticeSpec bc8;
+  bc8.kind = md::LatticeKind::Bc8;
+  bc8.a = 4.46;
+  bc8.nx = bc8.ny = bc8.nz = 2;
+  md::System target = md::build_lattice(bc8, 12.011);
+  const auto f = analysis::analyze(target);
+  std::printf("%-22s bc8 %.1f%% (the signature the production run watches "
+              "for)\n",
+              "ideal BC8 reference", 100 * f.bc8);
+
+  std::printf(
+      "\nAt paper scale this protocol, run for ~1 ns on 10^9 atoms, shows\n"
+      "the bc8 fraction rising from 0 toward 1 (Fig. 7's performance\n"
+      "signature). a-C snapshot written to /tmp/ember_ac_sample.xyz.\n");
+  return 0;
+}

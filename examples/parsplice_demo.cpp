@@ -1,0 +1,45 @@
+// ParSplice demo: accelerate state-to-state dynamics on a disordered
+// multi-well landscape by parallelizing over time (deck §26-52).
+//
+// Compares direct MD against ParSplice with 8 virtual workers at a
+// temperature where escapes are rare, then prints the oracle's learned
+// picture of the state network.
+
+#include <cstdio>
+
+#include "parsplice/parsplice.hpp"
+
+int main() {
+  using namespace ember::parsplice;
+
+  Landscape land(4, 1.0, 0.06, 7);
+  std::printf("Landscape: %d wells, barrier %.1f, mild disorder\n",
+              land.num_states(), land.barrier());
+
+  ParSpliceConfig cfg;
+  cfg.temperature = 0.15;
+  cfg.nworkers = 8;
+  cfg.wall_budget = 300.0;
+
+  std::printf("\nDirect MD for a wall budget of %.0f time units:\n",
+              cfg.wall_budget);
+  const auto md = run_md_reference(land, cfg);
+  std::printf("  physical time: %8.1f   transitions: %ld   states: %d\n",
+              md.physical_time, md.transitions, md.states_visited);
+
+  std::printf("\nParSplice, %d workers, same wall budget:\n", cfg.nworkers);
+  const auto ps = run_parsplice(land, cfg);
+  std::printf("  spliced time:  %8.1f   transitions: %ld   states: %d\n",
+              ps.spliced_time, ps.transitions, ps.states_visited);
+  std::printf("  generated:     %8.1f   segments: %ld spliced / %ld made\n",
+              ps.generated_time, ps.segments_spliced, ps.segments_generated);
+  std::printf("  utilization:   %7.1f%%   speedup vs MD: %.2fx\n",
+              100.0 * ps.utilization(), ps.speedup());
+
+  std::printf(
+      "\nThe speedup approaches the worker count when events are rare —\n"
+      "wall-clock parallelization over TIME, which spatial domain\n"
+      "decomposition cannot provide for small systems (deck: 'Can we\n"
+      "parallelize over time instead?').\n");
+  return 0;
+}

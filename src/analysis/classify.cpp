@@ -1,0 +1,123 @@
+#include "classify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ember::analysis {
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::Diamond:
+      return "diamond";
+    case Phase::Bc8:
+      return "bc8";
+    case Phase::Disordered:
+      return "disordered";
+    case Phase::LowCoordinated:
+      return "low-coordinated";
+    case Phase::HighCoordinated:
+      return "high-coordinated";
+  }
+  return "?";
+}
+
+std::vector<Phase> classify_atoms(const md::System& sys,
+                                  const md::NeighborList& nl,
+                                  const ClassifyOptions& opt) {
+  std::vector<Phase> phases(sys.nlocal(), Phase::Disordered);
+  const double c2 = opt.bond_cutoff * opt.bond_cutoff;
+
+  std::vector<Vec3> bonds;
+  std::vector<double> angles;
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    bonds.clear();
+    const auto [entries, count] = nl.neighbors(i);
+    for (int m = 0; m < count; ++m) {
+      const Vec3 d = sys.x[entries[m].j] + entries[m].shift - sys.x[i];
+      if (d.norm2() < c2) bonds.push_back(d);
+    }
+    if (bonds.size() < 4) {
+      phases[i] = Phase::LowCoordinated;
+      continue;
+    }
+    if (bonds.size() > 4) {
+      phases[i] = Phase::HighCoordinated;
+      continue;
+    }
+
+    double blen[4];
+    for (int p = 0; p < 4; ++p) blen[p] = bonds[p].norm();
+    std::sort(blen, blen + 4);
+
+    angles.clear();
+    for (int p = 0; p < 4; ++p) {
+      for (int q = p + 1; q < 4; ++q) {
+        const double cth = dot(bonds[p], bonds[q]) /
+                           (bonds[p].norm() * bonds[q].norm());
+        angles.push_back(std::acos(std::clamp(cth, -1.0, 1.0)) * 180.0 /
+                         M_PI);
+      }
+    }
+    std::sort(angles.begin(), angles.end());
+
+    // BC8 first — its signature (bimodal angles + short/long bond split)
+    // is the more specific one; ideal BC8 angles would otherwise fall
+    // inside a thermally-widened tetrahedral window.
+    const double low3 = (angles[0] + angles[1] + angles[2]) / 3.0;
+    const double high3 = (angles[3] + angles[4] + angles[5]) / 3.0;
+    const bool bimodal =
+        low3 < opt.bc8_low_angle && high3 > opt.bc8_high_angle &&
+        angles.front() > 85.0 && angles.back() < 130.0;
+    // BC8 bond signature: exactly one distinctly short bond, and three
+    // long bonds similar to each other (kills generic thermal distortion
+    // of tetrahedral sites, which spreads all four lengths).
+    const bool split = blen[1] / blen[0] > opt.bc8_bond_split &&
+                       blen[3] / blen[1] < opt.bc8_long_spread;
+    if (bimodal && split) {
+      phases[i] = Phase::Bc8;
+      continue;
+    }
+
+    const bool all_tetrahedral =
+        angles.front() >= opt.diamond_angle_lo &&
+        angles.back() <= opt.diamond_angle_hi;
+    if (all_tetrahedral) {
+      phases[i] = Phase::Diamond;
+    }
+  }
+  return phases;
+}
+
+PhaseFractions phase_fractions(const std::vector<Phase>& phases) {
+  PhaseFractions f;
+  if (phases.empty()) return f;
+  for (const Phase p : phases) {
+    switch (p) {
+      case Phase::Diamond:
+        f.diamond += 1;
+        break;
+      case Phase::Bc8:
+        f.bc8 += 1;
+        break;
+      case Phase::Disordered:
+        f.disordered += 1;
+        break;
+      default:
+        f.other += 1;
+    }
+  }
+  const double n = static_cast<double>(phases.size());
+  f.diamond /= n;
+  f.bc8 /= n;
+  f.disordered /= n;
+  f.other /= n;
+  return f;
+}
+
+PhaseFractions analyze(const md::System& sys, const ClassifyOptions& opt) {
+  md::NeighborList nl(opt.bond_cutoff + 0.4, 0.0);
+  nl.build(sys);
+  return phase_fractions(classify_atoms(sys, nl, opt));
+}
+
+}  // namespace ember::analysis

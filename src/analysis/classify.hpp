@@ -1,0 +1,64 @@
+#pragma once
+
+// Local-structure classification: diamond vs BC8 vs disordered carbon.
+//
+// The paper's discovery is the emergence of the BC8 phase from amorphous
+// carbon at ~12 Mbar / 5000 K; this module provides the detector. Both
+// diamond and BC8 are fourfold coordinated, but their bond geometry
+// differs sharply (values from the ideal lattices, ember lattice module):
+//
+//            bonds                      angles
+//   diamond  4 equal                    6 x 109.47 deg
+//   BC8      1 short + 3 long (~12%)    3 x ~101.4 + 3 x ~116.2 deg
+//
+// The per-atom classifier keys on coordination, the bond-length split and
+// the bimodal angle signature, with thresholds wide enough to survive
+// thermal disorder (property-tested in tests/analysis).
+
+#include <vector>
+
+#include "md/neighbor.hpp"
+#include "md/system.hpp"
+
+namespace ember::analysis {
+
+enum class Phase {
+  Diamond,
+  Bc8,
+  Disordered,   // amorphous / liquid / defective
+  LowCoordinated,
+  HighCoordinated,
+};
+
+const char* to_string(Phase phase);
+
+struct ClassifyOptions {
+  double bond_cutoff = 1.85;        // first-shell cutoff [A]
+  double diamond_angle_lo = 100.0;  // all angles within -> diamond
+  double diamond_angle_hi = 119.5;
+  double bc8_low_angle = 104.5;     // 3 smallest average below this...
+  double bc8_high_angle = 113.5;    // ...and 3 largest average above this
+  double bc8_bond_split = 1.05;     // second-shortest / shortest floor
+  double bc8_long_spread = 1.10;    // longest / second-shortest ceiling
+};
+
+// Per-atom phases for all local atoms.
+std::vector<Phase> classify_atoms(const md::System& sys,
+                                  const md::NeighborList& nl,
+                                  const ClassifyOptions& options = {});
+
+struct PhaseFractions {
+  double diamond = 0.0;
+  double bc8 = 0.0;
+  double disordered = 0.0;
+  double other = 0.0;
+  [[nodiscard]] double crystalline() const { return diamond + bc8; }
+};
+
+PhaseFractions phase_fractions(const std::vector<Phase>& phases);
+
+// Convenience: build a list and classify in one call.
+PhaseFractions analyze(const md::System& sys,
+                       const ClassifyOptions& options = {});
+
+}  // namespace ember::analysis

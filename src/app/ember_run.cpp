@@ -1,0 +1,58 @@
+// ember_run — script-driven MD runner.
+//
+//   ember_run <script>       execute an input script
+//   ember_run -              read the script from stdin
+//   ember_run --help         command reference
+//
+// See src/app/interpreter.hpp for the command language and
+// examples/inputs/ for ready-made protocols.
+
+#include <iostream>
+#include <sstream>
+
+#include "app/interpreter.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+constexpr const char* kHelp = R"(ember_run — script-driven MD (see README.md)
+
+commands:
+  mass <amu>
+  lattice <sc|bcc|fcc|diamond|bc8> <a> [repeat nx ny nz]
+  random <lx> <ly> <lz> <natoms> <minsep> [seed <n>]
+  read_checkpoint <file>
+  potential <lj e s rc | morse d a r0 rc | tersoff | eam | snap model.snap>
+  thermalize <T> [seed <n>]
+  timestep <ps>
+  thermostat <langevin T damp | berendsen T tau | nose_hoover T tdamp | none>
+  barostat <berendsen P tau kappa | none>
+  log every <n>
+  dump every <n> <file.xyz>
+  checkpoint every <n> <file.bin>
+  run <steps>
+  analyze
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::string(argv[1]) == "--help") {
+    std::cout << kHelp;
+    return argc == 2 ? 0 : 1;
+  }
+  ember::app::Interpreter interp(std::cout);
+  try {
+    if (std::string(argv[1]) == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      interp.run_script(buffer.str());
+    } else {
+      interp.run_file(argv[1]);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "ember_run: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,330 @@
+#include "interpreter.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/classify.hpp"
+#include "common/error.hpp"
+#include "md/io.hpp"
+#include "md/lattice.hpp"
+#include "ref/pair_eam.hpp"
+#include "ref/pair_lj.hpp"
+#include "ref/pair_morse.hpp"
+#include "ref/pair_tersoff.hpp"
+#include "snap/snap_potential.hpp"
+
+namespace ember::app {
+
+namespace {
+
+// Extract a mandatory value of type T from the argument stream.
+template <typename T>
+T need(std::istream& is, const char* what) {
+  T value{};
+  EMBER_REQUIRE(static_cast<bool>(is >> value),
+                std::string("missing or malformed argument: ") + what);
+  return value;
+}
+
+}  // namespace
+
+struct Interpreter::Pending {
+  double dt = 1e-3;
+  double skin = 0.4;
+  std::uint64_t seed = 12345;
+  std::optional<md::LangevinParams> langevin;
+  std::optional<md::BerendsenTParams> berendsen_t;
+  std::optional<md::NoseHooverParams> nose_hoover;
+  std::optional<md::BerendsenPParams> berendsen_p;
+  long log_every = 0;
+  long dump_every = 0;
+  std::string dump_path;
+  long checkpoint_every = 0;
+  std::string checkpoint_path;
+};
+
+Interpreter::Interpreter(std::ostream& out)
+    : out_(out), pending_(std::make_unique<Pending>()) {}
+
+Interpreter::~Interpreter() = default;
+
+const md::System& Interpreter::system() const {
+  EMBER_REQUIRE(system_.has_value(), "no system defined yet");
+  return sim_ ? sim_->system() : *system_;
+}
+
+void Interpreter::run_script(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  line_number_ = 0;
+  while (std::getline(is, line)) {
+    ++line_number_;
+    try {
+      execute(line);
+    } catch (const Error& e) {
+      throw Error("line " + std::to_string(line_number_) + ": " + e.what());
+    }
+  }
+}
+
+void Interpreter::run_file(const std::string& path) {
+  std::ifstream is(path);
+  EMBER_REQUIRE(is.good(), "cannot open script: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  run_script(buffer.str());
+}
+
+void Interpreter::execute(const std::string& line) {
+  // Strip comments.
+  const auto hash = line.find('#');
+  std::istringstream is(hash == std::string::npos ? line
+                                                  : line.substr(0, hash));
+  std::string cmd;
+  if (!(is >> cmd)) return;  // blank line
+
+  using Handler = void (Interpreter::*)(std::istream&);
+  static const std::map<std::string, Handler> handlers = {
+      {"lattice", &Interpreter::cmd_lattice},
+      {"random", &Interpreter::cmd_random},
+      {"mass", &Interpreter::cmd_mass},
+      {"potential", &Interpreter::cmd_potential},
+      {"thermalize", &Interpreter::cmd_thermalize},
+      {"timestep", &Interpreter::cmd_timestep},
+      {"thermostat", &Interpreter::cmd_thermostat},
+      {"barostat", &Interpreter::cmd_barostat},
+      {"log", &Interpreter::cmd_log},
+      {"dump", &Interpreter::cmd_dump},
+      {"checkpoint", &Interpreter::cmd_checkpoint},
+      {"run", &Interpreter::cmd_run},
+      {"analyze", &Interpreter::cmd_analyze},
+      {"read_checkpoint", &Interpreter::cmd_read_checkpoint},
+  };
+  const auto it = handlers.find(cmd);
+  EMBER_REQUIRE(it != handlers.end(), "unknown command: " + cmd);
+  (this->*(it->second))(is);
+}
+
+void Interpreter::cmd_lattice(std::istream& args) {
+  const auto kind = need<std::string>(args, "lattice kind");
+  md::LatticeSpec spec;
+  static const std::map<std::string, md::LatticeKind> kinds = {
+      {"sc", md::LatticeKind::SimpleCubic}, {"bcc", md::LatticeKind::Bcc},
+      {"fcc", md::LatticeKind::Fcc},        {"diamond", md::LatticeKind::Diamond},
+      {"bc8", md::LatticeKind::Bc8},
+  };
+  const auto it = kinds.find(kind);
+  EMBER_REQUIRE(it != kinds.end(), "unknown lattice kind: " + kind);
+  spec.kind = it->second;
+  spec.a = need<double>(args, "lattice constant");
+  std::string word;
+  if (args >> word) {
+    EMBER_REQUIRE(word == "repeat", "expected 'repeat nx ny nz'");
+    spec.nx = need<int>(args, "nx");
+    spec.ny = need<int>(args, "ny");
+    spec.nz = need<int>(args, "nz");
+  }
+  system_ = md::build_lattice(spec, mass_);
+  sim_.reset();
+  out_ << "created " << system_->nlocal() << " atoms (" << kind << ")\n";
+}
+
+void Interpreter::cmd_random(std::istream& args) {
+  const double lx = need<double>(args, "box x");
+  const double ly = need<double>(args, "box y");
+  const double lz = need<double>(args, "box z");
+  const int n = need<int>(args, "atom count");
+  const double minsep = need<double>(args, "minimum separation");
+  std::uint64_t seed = 1;
+  std::string word;
+  if (args >> word) {
+    EMBER_REQUIRE(word == "seed", "expected 'seed <n>'");
+    seed = need<std::uint64_t>(args, "seed");
+  }
+  Rng rng(seed);
+  system_ = md::random_packing(md::Box(lx, ly, lz), n, minsep, mass_, rng);
+  sim_.reset();
+  out_ << "created " << system_->nlocal() << " atoms (random packing)\n";
+}
+
+void Interpreter::cmd_mass(std::istream& args) {
+  mass_ = need<double>(args, "mass");
+  EMBER_REQUIRE(!system_, "mass must come before the system is created");
+}
+
+void Interpreter::cmd_potential(std::istream& args) {
+  const auto kind = need<std::string>(args, "potential kind");
+  if (kind == "lj") {
+    const double eps = need<double>(args, "epsilon");
+    const double sigma = need<double>(args, "sigma");
+    const double rcut = need<double>(args, "rcut");
+    potential_ = std::make_shared<ref::PairLJ>(eps, sigma, rcut);
+  } else if (kind == "morse") {
+    const double d0 = need<double>(args, "D0");
+    const double alpha = need<double>(args, "alpha");
+    const double r0 = need<double>(args, "r0");
+    const double rcut = need<double>(args, "rcut");
+    potential_ = std::make_shared<ref::PairMorse>(d0, alpha, r0, rcut);
+  } else if (kind == "tersoff") {
+    potential_ = std::make_shared<ref::PairTersoff>();
+  } else if (kind == "eam") {
+    potential_ = std::make_shared<ref::PairEam>();
+  } else if (kind == "snap") {
+    const auto path = need<std::string>(args, "model file");
+    potential_ =
+        std::make_shared<snap::SnapPotential>(snap::SnapModel::load(path));
+  } else {
+    EMBER_REQUIRE(false, "unknown potential: " + kind);
+  }
+  sim_.reset();
+  out_ << "potential " << potential_->name() << " (rcut "
+       << potential_->cutoff() << ")\n";
+}
+
+void Interpreter::cmd_thermalize(std::istream& args) {
+  EMBER_REQUIRE(system_.has_value(), "thermalize needs a system");
+  const double t = need<double>(args, "temperature");
+  std::string word;
+  std::uint64_t seed = pending_->seed;
+  if (args >> word) {
+    EMBER_REQUIRE(word == "seed", "expected 'seed <n>'");
+    seed = need<std::uint64_t>(args, "seed");
+  }
+  pending_->seed = seed;
+  Rng rng(seed);
+  (sim_ ? sim_->system() : *system_).thermalize(t, rng);
+  out_ << "thermalized to " << t << " K\n";
+}
+
+void Interpreter::cmd_timestep(std::istream& args) {
+  pending_->dt = need<double>(args, "timestep [ps]");
+  if (sim_) sim_->integrator().set_dt(pending_->dt);
+}
+
+void Interpreter::cmd_thermostat(std::istream& args) {
+  const auto kind = need<std::string>(args, "thermostat kind");
+  if (kind == "langevin") {
+    const double t = need<double>(args, "temperature");
+    const double damp = need<double>(args, "damp [ps]");
+    pending_->langevin = md::LangevinParams{t, damp};
+    pending_->berendsen_t.reset();
+  } else if (kind == "berendsen") {
+    const double t = need<double>(args, "temperature");
+    const double tau = need<double>(args, "tau [ps]");
+    pending_->berendsen_t = md::BerendsenTParams{t, tau};
+    pending_->langevin.reset();
+  } else if (kind == "nose_hoover") {
+    const double t = need<double>(args, "temperature");
+    const double tdamp = need<double>(args, "tdamp [ps]");
+    pending_->nose_hoover = md::NoseHooverParams{t, tdamp};
+    pending_->langevin.reset();
+    pending_->berendsen_t.reset();
+  } else if (kind == "none") {
+    pending_->langevin.reset();
+    pending_->berendsen_t.reset();
+    pending_->nose_hoover.reset();
+  } else {
+    EMBER_REQUIRE(false, "unknown thermostat: " + kind);
+  }
+  if (sim_) {
+    sim_->integrator().set_langevin(pending_->langevin);
+    sim_->integrator().set_berendsen_t(pending_->berendsen_t);
+    sim_->integrator().set_nose_hoover(pending_->nose_hoover);
+  }
+}
+
+void Interpreter::cmd_barostat(std::istream& args) {
+  const auto kind = need<std::string>(args, "barostat kind");
+  if (kind == "berendsen") {
+    const double p = need<double>(args, "pressure [bar]");
+    const double tau = need<double>(args, "tau [ps]");
+    const double kappa = need<double>(args, "compressibility [1/bar]");
+    pending_->berendsen_p = md::BerendsenPParams{p, tau, kappa};
+  } else if (kind == "none") {
+    pending_->berendsen_p.reset();
+  } else {
+    EMBER_REQUIRE(false, "unknown barostat: " + kind);
+  }
+  if (sim_) sim_->integrator().set_berendsen_p(pending_->berendsen_p);
+}
+
+void Interpreter::cmd_log(std::istream& args) {
+  const auto word = need<std::string>(args, "'every'");
+  EMBER_REQUIRE(word == "every", "expected 'log every <n>'");
+  pending_->log_every = need<long>(args, "interval");
+}
+
+void Interpreter::cmd_dump(std::istream& args) {
+  const auto word = need<std::string>(args, "'every'");
+  EMBER_REQUIRE(word == "every", "expected 'dump every <n> <file>'");
+  pending_->dump_every = need<long>(args, "interval");
+  pending_->dump_path = need<std::string>(args, "file");
+}
+
+void Interpreter::cmd_checkpoint(std::istream& args) {
+  const auto word = need<std::string>(args, "'every'");
+  EMBER_REQUIRE(word == "every", "expected 'checkpoint every <n> <file>'");
+  pending_->checkpoint_every = need<long>(args, "interval");
+  pending_->checkpoint_path = need<std::string>(args, "file");
+}
+
+void Interpreter::cmd_read_checkpoint(std::istream& args) {
+  const auto path = need<std::string>(args, "checkpoint file");
+  system_ = md::read_checkpoint(path);
+  sim_.reset();
+  out_ << "restored " << system_->nlocal() << " atoms from " << path << "\n";
+}
+
+void Interpreter::ensure_simulation() {
+  EMBER_REQUIRE(system_.has_value(), "no system: use 'lattice' or 'random'");
+  EMBER_REQUIRE(potential_ != nullptr, "no potential defined");
+  if (sim_) return;
+  sim_ = std::make_unique<md::Simulation>(std::move(*system_), potential_,
+                                          pending_->dt, pending_->skin,
+                                          pending_->seed);
+  system_.emplace(md::Box(1, 1, 1), mass_);  // moved-from placeholder
+  sim_->integrator().set_langevin(pending_->langevin);
+  sim_->integrator().set_berendsen_t(pending_->berendsen_t);
+  sim_->integrator().set_nose_hoover(pending_->nose_hoover);
+  sim_->integrator().set_berendsen_p(pending_->berendsen_p);
+}
+
+void Interpreter::cmd_run(std::istream& args) {
+  const long steps = need<long>(args, "step count");
+  ensure_simulation();
+  const long log_every = pending_->log_every;
+  const long dump_every = pending_->dump_every;
+  const long ckpt_every = pending_->checkpoint_every;
+  bool first_dump = total_steps_ == 0;
+
+  sim_->run(steps, [&](md::Simulation& s) {
+    if (log_every > 0 && s.step() % log_every == 0) {
+      out_ << "step " << s.step() << "  E " << s.total_energy() << "  T "
+           << s.system().temperature() << "  P " << s.pressure() << "\n";
+    }
+    if (dump_every > 0 && s.step() % dump_every == 0) {
+      md::write_xyz(s.system(), pending_->dump_path,
+                    "step=" + std::to_string(s.step()), !first_dump);
+      first_dump = false;
+    }
+    if (ckpt_every > 0 && s.step() % ckpt_every == 0) {
+      md::write_checkpoint(s.system(), pending_->checkpoint_path);
+    }
+  });
+  total_steps_ += steps;
+  out_ << "ran " << steps << " steps (total " << total_steps_ << ")\n";
+}
+
+void Interpreter::cmd_analyze(std::istream&) {
+  EMBER_REQUIRE(system_.has_value() || sim_, "no system to analyze");
+  const md::System& sys = sim_ ? sim_->system() : *system_;
+  const auto f = analysis::analyze(sys);
+  out_ << "phases: diamond " << 100.0 * f.diamond << "%  bc8 "
+       << 100.0 * f.bc8 << "%  disordered "
+       << 100.0 * (1.0 - f.crystalline()) << "%\n";
+}
+
+}  // namespace ember::app

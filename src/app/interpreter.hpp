@@ -1,0 +1,82 @@
+#pragma once
+
+// ember_run input-script interpreter.
+//
+// A small LAMMPS-flavoured command language driving the library, so
+// production protocols (like the paper's melt-quench-compress-anneal
+// runs) are plain text files:
+//
+//   lattice diamond 3.567 repeat 3 3 3
+//   mass 12.011
+//   potential tersoff
+//   thermalize 300 seed 42
+//   timestep 0.0002
+//   thermostat langevin 5000 0.05
+//   barostat berendsen 12e6 0.05 2e-7
+//   log every 100
+//   dump every 500 traj.xyz
+//   checkpoint every 1000 state.bin
+//   run 2000
+//   analyze
+//
+// Commands execute in order; `run` advances the dynamics. Unknown
+// commands raise ember::Error with the line number.
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "md/simulation.hpp"
+
+namespace ember::app {
+
+class Interpreter {
+ public:
+  explicit Interpreter(std::ostream& out);
+  ~Interpreter();
+
+  // Execute a whole script (throws ember::Error with line info).
+  void run_script(const std::string& text);
+  void run_file(const std::string& path);
+
+  // Execute a single command line (empty/comment lines are no-ops).
+  void execute(const std::string& line);
+
+  // Introspection for tests.
+  [[nodiscard]] bool has_system() const { return system_.has_value(); }
+  [[nodiscard]] const md::System& system() const;
+  [[nodiscard]] md::Simulation* simulation() { return sim_.get(); }
+  [[nodiscard]] long total_steps() const { return total_steps_; }
+
+ private:
+  struct Pending;  // settings staged before the Simulation exists
+
+  void cmd_lattice(std::istream& args);
+  void cmd_random(std::istream& args);
+  void cmd_mass(std::istream& args);
+  void cmd_potential(std::istream& args);
+  void cmd_thermalize(std::istream& args);
+  void cmd_timestep(std::istream& args);
+  void cmd_thermostat(std::istream& args);
+  void cmd_barostat(std::istream& args);
+  void cmd_log(std::istream& args);
+  void cmd_dump(std::istream& args);
+  void cmd_checkpoint(std::istream& args);
+  void cmd_run(std::istream& args);
+  void cmd_analyze(std::istream& args);
+  void cmd_read_checkpoint(std::istream& args);
+
+  void ensure_simulation();
+
+  std::ostream& out_;
+  std::optional<md::System> system_;
+  std::shared_ptr<md::PairPotential> potential_;
+  std::unique_ptr<md::Simulation> sim_;
+  std::unique_ptr<Pending> pending_;
+  double mass_ = 12.011;
+  long total_steps_ = 0;
+  int line_number_ = 0;
+};
+
+}  // namespace ember::app

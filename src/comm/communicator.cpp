@@ -1,0 +1,174 @@
+#include "communicator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "common/timer.hpp"
+
+namespace ember::comm {
+
+namespace {
+// Internal tags for collectives built on point-to-point (user code should
+// use non-negative tags).
+constexpr int kTagGather = -101;
+constexpr int kTagBcast = -102;
+}  // namespace
+
+World::World(int size) : size_(size) {
+  EMBER_REQUIRE(size >= 1 && size <= 512, "unsupported world size");
+  mailboxes_.reserve(size);
+  for (int r = 0; r < size; ++r) {
+    auto mb = std::make_unique<Mailbox>();
+    mb->from.resize(size);
+    mailboxes_.push_back(std::move(mb));
+  }
+}
+
+void World::run(const std::function<void(Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(size_);
+  threads.reserve(size_);
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      Communicator comm(*this, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+int Communicator::size() const { return world_.size(); }
+
+void Communicator::send_bytes(int dest, int tag, const void* data,
+                              std::size_t bytes) {
+  EMBER_REQUIRE(dest >= 0 && dest < world_.size(), "invalid destination");
+  auto& mb = world_.mailbox(dest);
+  World::Message msg;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  {
+    std::lock_guard lock(mb.mutex);
+    mb.from[rank_].push_back(std::move(msg));
+  }
+  mb.cv.notify_all();
+}
+
+std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
+  EMBER_REQUIRE(source >= 0 && source < world_.size(), "invalid source");
+  WallTimer timer;
+  auto& mb = world_.mailbox(rank_);
+  std::unique_lock lock(mb.mutex);
+  auto& queue = mb.from[source];
+  for (;;) {
+    const auto it = std::find_if(queue.begin(), queue.end(),
+                                 [tag](const World::Message& m) {
+                                   return m.tag == tag;
+                                 });
+    if (it != queue.end()) {
+      auto payload = std::move(it->payload);
+      queue.erase(it);
+      comm_seconds_ += timer.seconds();
+      return payload;
+    }
+    mb.cv.wait(lock);
+  }
+}
+
+void Communicator::barrier() {
+  WallTimer timer;
+  std::unique_lock lock(world_.barrier_mutex_);
+  const long gen = world_.barrier_generation_;
+  if (++world_.barrier_count_ == world_.size_) {
+    world_.barrier_count_ = 0;
+    ++world_.barrier_generation_;
+    world_.barrier_cv_.notify_all();
+  } else {
+    world_.barrier_cv_.wait(lock, [this, gen] {
+      return world_.barrier_generation_ != gen;
+    });
+  }
+  comm_seconds_ += timer.seconds();
+}
+
+// Reduction skeleton: accumulate under the lock; the last rank to arrive
+// publishes the result and bumps the generation. Correctness of result
+// lifetime: the next reduction can only overwrite result_field after all
+// ranks enter it, which requires all ranks to have returned (and thus
+// read the result) from this one.
+#define EMBER_REDUCE_BODY(scratch_field, result_field, op_expr, init_value) \
+  WallTimer timer;                                                          \
+  std::unique_lock lock(world_.reduce_mutex_);                              \
+  const long gen = world_.reduce_generation_;                               \
+  if (world_.reduce_count_ == 0) world_.scratch_field = (init_value);       \
+  world_.scratch_field = (op_expr);                                         \
+  if (++world_.reduce_count_ == world_.size_) {                             \
+    world_.result_field = world_.scratch_field;                             \
+    world_.reduce_count_ = 0;                                               \
+    ++world_.reduce_generation_;                                            \
+    world_.reduce_cv_.notify_all();                                         \
+  } else {                                                                  \
+    world_.reduce_cv_.wait(lock, [this, gen] {                              \
+      return world_.reduce_generation_ != gen;                              \
+    });                                                                     \
+  }                                                                         \
+  comm_seconds_ += timer.seconds();                                         \
+  return world_.result_field;
+
+double Communicator::allreduce_sum(double value) {
+  EMBER_REDUCE_BODY(reduce_double_, reduce_result_double_,
+                    world_.reduce_double_ + value, 0.0)
+}
+
+long Communicator::allreduce_sum(long value) {
+  EMBER_REDUCE_BODY(reduce_long_, reduce_result_long_,
+                    world_.reduce_long_ + value, 0L)
+}
+
+double Communicator::allreduce_max(double value) {
+  EMBER_REDUCE_BODY(reduce_double_, reduce_result_double_,
+                    std::max(world_.reduce_double_, value),
+                    -std::numeric_limits<double>::infinity())
+}
+
+bool Communicator::allreduce_or(bool value) {
+  EMBER_REDUCE_BODY(reduce_bool_, reduce_result_bool_,
+                    world_.reduce_bool_ || value, false)
+}
+
+#undef EMBER_REDUCE_BODY
+
+std::vector<double> Communicator::gather(double value, int root) {
+  if (rank_ == root) {
+    std::vector<double> out(world_.size());
+    out[root] = value;
+    for (int r = 0; r < world_.size(); ++r) {
+      if (r == root) continue;
+      out[r] = recv_value<double>(r, kTagGather);
+    }
+    return out;
+  }
+  send_value(root, kTagGather, value);
+  return {};
+}
+
+double Communicator::broadcast(double value, int root) {
+  if (rank_ == root) {
+    for (int r = 0; r < world_.size(); ++r) {
+      if (r == root) continue;
+      send_value(r, kTagBcast, value);
+    }
+    return value;
+  }
+  return recv_value<double>(root, kTagBcast);
+}
+
+}  // namespace ember::comm

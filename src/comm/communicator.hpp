@@ -1,0 +1,142 @@
+#pragma once
+
+// In-process message passing with MPI-like semantics.
+//
+// A World hosts N ranks; each rank executes the same function on its own
+// thread and communicates through mailboxes (mutex + condition variable
+// per destination). The subset of MPI that LAMMPS-style MD needs is
+// provided: blocking tagged send/recv, barrier, reductions, gather and
+// broadcast. Deterministic given deterministic rank programs: recv matches
+// (source, tag) exactly, so no wildcard races exist.
+//
+// This layer stands in for MPI on the single-node environment (see
+// DESIGN.md §2); the domain-decomposition code is written against this
+// interface exactly as it would be against MPI.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ember::comm {
+
+class World;
+
+class Communicator {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  // ---- point to point (blocking, byte-level) ----
+  void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
+  std::vector<std::byte> recv_bytes(int source, int tag);
+
+  // Typed convenience wrappers for trivially copyable payloads.
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, data.data(), data.size() * sizeof(T));
+  }
+  template <typename T>
+  std::vector<T> recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto raw = recv_bytes(source, tag);
+    EMBER_REQUIRE(raw.size() % sizeof(T) == 0, "message size mismatch");
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, &value, sizeof(T));
+  }
+  template <typename T>
+  T recv_value(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto raw = recv_bytes(source, tag);
+    EMBER_REQUIRE(raw.size() == sizeof(T), "message size mismatch");
+    T out;
+    std::memcpy(&out, raw.data(), sizeof(T));
+    return out;
+  }
+
+  // ---- collectives (all ranks must call) ----
+  void barrier();
+  double allreduce_sum(double value);
+  long allreduce_sum(long value);
+  double allreduce_max(double value);
+  bool allreduce_or(bool value);
+  // Gather one double per rank to root (result valid on root only).
+  std::vector<double> gather(double value, int root = 0);
+  // Broadcast a value from root to all ranks.
+  double broadcast(double value, int root = 0);
+
+  // Elapsed seconds this rank has spent blocked in communication calls.
+  [[nodiscard]] double comm_seconds() const { return comm_seconds_; }
+  void reset_comm_seconds() { comm_seconds_ = 0.0; }
+
+ private:
+  friend class World;
+  Communicator(World& world, int rank) : world_(world), rank_(rank) {}
+
+  World& world_;
+  int rank_;
+  double comm_seconds_ = 0.0;
+};
+
+class World {
+ public:
+  explicit World(int size);
+
+  [[nodiscard]] int size() const { return size_; }
+
+  // Execute fn on every rank concurrently and join. Exceptions thrown by
+  // any rank are rethrown (the first one) after all threads complete.
+  void run(const std::function<void(Communicator&)>& fn);
+
+ private:
+  friend class Communicator;
+
+  struct Message {
+    int tag;
+    std::vector<std::byte> payload;
+  };
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    // One queue per source rank: (source, tag) matching scans only the
+    // source's queue, preserving per-source FIFO order like MPI.
+    std::vector<std::deque<Message>> from;
+  };
+
+  Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Barrier state (central counter, generation-stamped).
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  long barrier_generation_ = 0;
+
+  // Reduction scratch (protected by barrier-style phases).
+  std::mutex reduce_mutex_;
+  std::condition_variable reduce_cv_;
+  double reduce_double_ = 0.0;
+  long reduce_long_ = 0;
+  bool reduce_bool_ = false;
+  int reduce_count_ = 0;
+  long reduce_generation_ = 0;
+  double reduce_result_double_ = 0.0;
+  long reduce_result_long_ = 0;
+  bool reduce_result_bool_ = false;
+};
+
+}  // namespace ember::comm

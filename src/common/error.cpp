@@ -1,0 +1,15 @@
+#include "error.hpp"
+
+#include <sstream>
+
+namespace ember {
+
+void fail_requirement(const char* expr, const char* file, int line,
+                      const std::string& message) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw Error(os.str());
+}
+
+}  // namespace ember

@@ -1,0 +1,28 @@
+#pragma once
+
+// Error handling: ember throws ember::Error for recoverable/user-facing
+// failures (bad input files, inconsistent parameters) and uses
+// EMBER_REQUIRE for internal invariants that indicate a programming error.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace ember {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void fail_requirement(const char* expr, const char* file, int line,
+                                   const std::string& message);
+
+}  // namespace ember
+
+#define EMBER_REQUIRE(cond, message)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::ember::fail_requirement(#cond, __FILE__, __LINE__, (message));   \
+    }                                                                    \
+  } while (0)

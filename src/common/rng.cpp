@@ -1,0 +1,27 @@
+#include "rng.hpp"
+
+#include <cmath>
+
+namespace ember {
+
+double Rng::gaussian() {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return cached_gauss_;
+  }
+  // Marsaglia polar: draw (u,v) in the unit disk, transform both.
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gauss_ = v * factor;
+  have_gauss_ = true;
+  return u * factor;
+}
+
+}  // namespace ember

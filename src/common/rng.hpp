@@ -1,0 +1,92 @@
+#pragma once
+
+// Deterministic, splittable pseudo-random number generation.
+//
+// MD thermostats, amorphous-sample preparation and the ParSplice segment
+// generators all need independent, reproducible streams — one per rank /
+// worker — so we use xoshiro256++ seeded through splitmix64. A Rng can be
+// forked into statistically independent children (`split`), which is how
+// per-rank streams are derived from a single run seed.
+
+#include <cstdint>
+
+namespace ember {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+    have_gauss_ = false;
+  }
+
+  // xoshiro256++ core step.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's unbiased bounded generation (rejection on the low word).
+    const std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Standard normal via Marsaglia polar method (caches the second deviate).
+  double gaussian();
+
+  // Fork a statistically independent child stream. The child is seeded from
+  // this stream's output mixed with the stream index, so split(i) is
+  // reproducible and distinct for each i.
+  [[nodiscard]] Rng split(std::uint64_t stream) const {
+    Rng child;
+    std::uint64_t s = state_[0] ^ (stream * 0xd2b74407b1ce6e93ULL + 0x8bb84b93962eacc9ULL);
+    child.reseed(s ^ rotl(state_[2], 17));
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool have_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+}  // namespace ember

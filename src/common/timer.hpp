@@ -1,0 +1,79 @@
+#pragma once
+
+// Wall-clock timing utilities.
+//
+// The parallel MD driver reports a LAMMPS-style breakdown (Pair / Comm /
+// Other), which SC Fig. 4 is built from; TimerSet accumulates named
+// categories and computes percentages.
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace ember {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Accumulates elapsed seconds into named buckets.
+class TimerSet {
+ public:
+  void add(const std::string& category, double seconds) {
+    totals_[category] += seconds;
+  }
+
+  [[nodiscard]] double total(const std::string& category) const {
+    auto it = totals_.find(category);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] double grand_total() const {
+    double sum = 0.0;
+    for (const auto& [name, secs] : totals_) sum += secs;
+    return sum;
+  }
+
+  [[nodiscard]] double fraction(const std::string& category) const {
+    const double all = grand_total();
+    return all > 0.0 ? total(category) / all : 0.0;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& totals() const {
+    return totals_;
+  }
+
+  void clear() { totals_.clear(); }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+// RAII helper: adds the scope's elapsed time to a TimerSet bucket.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerSet& set, std::string category)
+      : set_(set), category_(std::move(category)) {}
+  ~ScopedTimer() { set_.add(category_, timer_.seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerSet& set_;
+  std::string category_;
+  WallTimer timer_;
+};
+
+}  // namespace ember

@@ -1,0 +1,40 @@
+#pragma once
+
+// Physical constants and unit conventions.
+//
+// ember uses LAMMPS "metal" units throughout:
+//   length  : Angstrom
+//   energy  : eV
+//   time    : picosecond
+//   mass    : g/mol (atomic mass units)
+//   pressure: bar (via the conversion factor below)
+//   temperature: Kelvin
+//
+// In these units F = m a requires the mass-velocity conversion constant
+// mvv2e: kinetic energy = 1/2 m v^2 * MVV2E with v in A/ps and m in g/mol.
+
+namespace ember::units {
+
+// Boltzmann constant [eV/K].
+inline constexpr double kB = 8.617333262e-5;
+
+// Kinetic-energy conversion: (g/mol)(A/ps)^2 -> eV.
+inline constexpr double MVV2E = 1.0364269e-4;
+
+// Pressure conversion: eV/A^3 -> bar.
+inline constexpr double EVA3_TO_BAR = 1.602176634e6;
+
+// 1 Mbar in bar.
+inline constexpr double MBAR = 1.0e6;
+
+// Carbon atomic mass [g/mol].
+inline constexpr double MASS_CARBON = 12.011;
+
+// Diamond-cubic lattice constant of carbon at ambient conditions [A].
+inline constexpr double A0_DIAMOND = 3.567;
+
+// Force from energy gradient needs no conversion (eV/A), but acceleration
+// a = F / m must be scaled by 1/MVV2E to be in A/ps^2.
+inline constexpr double FORCE_TO_ACCEL = 1.0 / MVV2E;
+
+}  // namespace ember::units

@@ -1,0 +1,56 @@
+#pragma once
+
+// Small fixed-size 3-vector used throughout ember. Deliberately a plain
+// aggregate: MD hot loops index raw arrays-of-struct or struct-of-arrays
+// storage, and Vec3 must stay trivially copyable so it can be memcpy'd
+// through the comm layer.
+
+#include <cmath>
+#include <iosfwd>
+
+namespace ember {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z; return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z; return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s; return *this;
+  }
+  constexpr Vec3& operator/=(double s) { return (*this) *= (1.0 / s); }
+
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y + z * z; }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+};
+
+constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+}  // namespace ember

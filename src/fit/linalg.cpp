@@ -1,0 +1,58 @@
+#include "linalg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ember::fit {
+
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b,
+                              int n, double ridge) {
+  EMBER_REQUIRE(static_cast<int>(a.size()) == n * n, "matrix size mismatch");
+  EMBER_REQUIRE(static_cast<int>(b.size()) == n, "rhs size mismatch");
+  for (int i = 0; i < n; ++i) a[i * n + i] += ridge;
+
+  // Cholesky: A = L L^T, L lower-triangular stored in a.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (int k = 0; k < j; ++k) sum -= a[i * n + k] * a[j * n + k];
+      if (i == j) {
+        EMBER_REQUIRE(sum > 0.0,
+                      "matrix not positive definite (increase ridge)");
+        a[i * n + i] = std::sqrt(sum);
+      } else {
+        a[i * n + j] = sum / a[j * n + j];
+      }
+    }
+  }
+  // Forward substitution L y = b.
+  for (int i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (int k = 0; k < i; ++k) sum -= a[i * n + k] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+  // Back substitution L^T x = y.
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = b[i];
+    for (int k = i + 1; k < n; ++k) sum -= a[k * n + i] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+  return b;
+}
+
+std::vector<double> matvec(const std::vector<double>& m, int rows, int cols,
+                           const std::vector<double>& x) {
+  EMBER_REQUIRE(static_cast<int>(m.size()) == rows * cols &&
+                    static_cast<int>(x.size()) == cols,
+                "matvec dimension mismatch");
+  std::vector<double> y(rows, 0.0);
+  for (int r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < cols; ++c) sum += m[r * cols + c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+}  // namespace ember::fit

@@ -1,0 +1,19 @@
+#pragma once
+
+// Minimal dense linear algebra for the SNAP trainer: symmetric positive
+// definite solves via Cholesky. Matrices are row-major std::vector<double>.
+
+#include <vector>
+
+namespace ember::fit {
+
+// Solve (A + ridge*I) x = b in place for symmetric positive definite A
+// (n x n). Returns x. Throws ember::Error if the factorization fails.
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b,
+                              int n, double ridge = 0.0);
+
+// y = M x for row-major (rows x cols) M.
+std::vector<double> matvec(const std::vector<double>& m, int rows, int cols,
+                           const std::vector<double>& x);
+
+}  // namespace ember::fit

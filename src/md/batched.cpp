@@ -1,0 +1,93 @@
+#include "batched.hpp"
+
+#include "common/units.hpp"
+
+namespace ember::md {
+
+BatchedSimulation::BatchedSimulation(std::vector<System> replicas,
+                                     std::shared_ptr<PairPotential> pot,
+                                     double dt_ps, double skin,
+                                     std::uint64_t seed)
+    : combined_(replicas.empty() ? Box(1, 1, 1) : replicas.front().box(),
+                replicas.empty() ? 1.0 : replicas.front().mass()),
+      pot_(std::move(pot)),
+      integrator_(dt_ps),
+      nl_(pot_->cutoff(), skin),
+      rng_(seed) {
+  EMBER_REQUIRE(!replicas.empty(), "need at least one replica");
+  offsets_.push_back(0);
+  for (const auto& rep : replicas) {
+    EMBER_REQUIRE(rep.mass() == combined_.mass(),
+                  "batched replicas must share one atomic mass");
+    EMBER_REQUIRE(rep.nghost() == 0, "batched replicas must be ghost-free");
+    boxes_.push_back(rep.box());
+    for (int i = 0; i < rep.nlocal(); ++i) {
+      combined_.add_atom(rep.x[i], rep.v[i]);
+      // add_atom wraps into the combined system's (dummy) box; restore
+      // the replica-frame coordinate — wrapping is per-replica here.
+      combined_.x[combined_.nlocal() - 1] = rep.x[i];
+    }
+    offsets_.push_back(combined_.nlocal());
+  }
+}
+
+System BatchedSimulation::replica(int r) const {
+  EMBER_REQUIRE(r >= 0 && r < num_replicas(), "replica index out of range");
+  System out(boxes_[r], combined_.mass());
+  for (int i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+    out.add_atom(boxes_[r].wrap(combined_.x[i]), combined_.v[i]);
+  }
+  return out;
+}
+
+double BatchedSimulation::kinetic_energy(int r) const {
+  EMBER_REQUIRE(r >= 0 && r < num_replicas(), "replica index out of range");
+  double sum = 0.0;
+  for (int i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+    sum += combined_.v[i].norm2();
+  }
+  return 0.5 * combined_.mass() * units::MVV2E * sum;
+}
+
+double BatchedSimulation::temperature(int r) const {
+  const int n = offsets_[r + 1] - offsets_[r];
+  const int dof = std::max(1, 3 * n - 3);
+  return 2.0 * kinetic_energy(r) / (dof * units::kB);
+}
+
+void BatchedSimulation::wrap_replicas() {
+  for (int r = 0; r < num_replicas(); ++r) {
+    for (int i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      combined_.x[i] = boxes_[r].wrap(combined_.x[i]);
+    }
+  }
+}
+
+void BatchedSimulation::compute_forces() {
+  combined_.zero_forces();
+  ev_ = pot_->compute(combined_, nl_);
+}
+
+void BatchedSimulation::setup() {
+  wrap_replicas();
+  nl_.build_batched(combined_, boxes_, offsets_);
+  compute_forces();
+  ready_ = true;
+}
+
+void BatchedSimulation::run(long nsteps) {
+  if (!ready_) setup();
+  for (long s = 0; s < nsteps; ++s) {
+    // One sweep over the concatenated arrays advances every replica.
+    integrator_.initial_integrate(combined_);
+    if (nl_.needs_rebuild(combined_)) {
+      wrap_replicas();
+      nl_.build_batched(combined_, boxes_, offsets_);
+    }
+    compute_forces();
+    integrator_.final_integrate(combined_, ev_, rng_);
+    ++step_;
+  }
+}
+
+}  // namespace ember::md

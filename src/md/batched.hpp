@@ -1,0 +1,70 @@
+#pragma once
+
+// Batched multi-replica MD: many independent systems advanced in lockstep
+// through a single concatenated atom list and one combined neighbor list.
+//
+// This is the deck's closing proof-of-concept ("GPUs are too powerful"):
+// when one replica cannot saturate a device, concatenate all replicas
+// into a single list of atoms, build a combined neighbor list with a
+// different simulation cell per system, compute forces all at once
+// (atoms from different systems don't see each other), and integrate all
+// systems in lockstep. The force kernels need no changes — they already
+// consume neighbor entries with explicit shift vectors and never touch
+// the box.
+//
+// Requirements: all replicas share the same atomic mass and potential;
+// barostats are not supported (per-replica boxes are fixed).
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "md/integrate.hpp"
+#include "md/potential.hpp"
+#include "md/system.hpp"
+
+namespace ember::md {
+
+class BatchedSimulation {
+ public:
+  BatchedSimulation(std::vector<System> replicas,
+                    std::shared_ptr<PairPotential> pot, double dt_ps,
+                    double skin = 0.5, std::uint64_t seed = 12345);
+
+  [[nodiscard]] int num_replicas() const {
+    return static_cast<int>(boxes_.size());
+  }
+  [[nodiscard]] const System& combined() const { return combined_; }
+  [[nodiscard]] Integrator& integrator() { return integrator_; }
+  [[nodiscard]] long step() const { return step_; }
+
+  // Extract one replica's current state (copies).
+  [[nodiscard]] System replica(int r) const;
+
+  // Combined energy/virial over all replicas (valid after setup()/run()).
+  [[nodiscard]] const EnergyVirial& energy_virial() const { return ev_; }
+
+  // Kinetic energy / instantaneous temperature of one replica.
+  [[nodiscard]] double kinetic_energy(int r) const;
+  [[nodiscard]] double temperature(int r) const;
+
+  void setup();
+  void run(long nsteps);
+
+ private:
+  void compute_forces();
+  void wrap_replicas();
+
+  System combined_;
+  std::vector<Box> boxes_;
+  std::vector<int> offsets_;
+  std::shared_ptr<PairPotential> pot_;
+  Integrator integrator_;
+  NeighborList nl_;
+  Rng rng_;
+  EnergyVirial ev_;
+  long step_ = 0;
+  bool ready_ = false;
+};
+
+}  // namespace ember::md

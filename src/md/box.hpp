@@ -1,0 +1,58 @@
+#pragma once
+
+// Orthorhombic periodic simulation cell.
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/vec3.hpp"
+
+namespace ember::md {
+
+class Box {
+ public:
+  Box() = default;
+  Box(double lx, double ly, double lz, std::array<bool, 3> periodic = {true, true, true})
+      : len_{lx, ly, lz}, periodic_(periodic) {
+    EMBER_REQUIRE(lx > 0 && ly > 0 && lz > 0, "box lengths must be positive");
+  }
+
+  [[nodiscard]] double length(int d) const { return len_[d]; }
+  [[nodiscard]] Vec3 lengths() const { return {len_[0], len_[1], len_[2]}; }
+  [[nodiscard]] double volume() const { return len_[0] * len_[1] * len_[2]; }
+  [[nodiscard]] bool periodic(int d) const { return periodic_[d]; }
+
+  // Wrap a position into [0, L) along periodic dimensions.
+  [[nodiscard]] Vec3 wrap(Vec3 r) const {
+    for (int d = 0; d < 3; ++d) {
+      if (!periodic_[d]) continue;
+      r[d] -= len_[d] * std::floor(r[d] / len_[d]);
+      if (r[d] >= len_[d]) r[d] -= len_[d];  // guard the r[d] == L edge
+    }
+    return r;
+  }
+
+  // Minimum-image displacement b - a.
+  [[nodiscard]] Vec3 minimum_image(const Vec3& a, const Vec3& b) const {
+    Vec3 d = b - a;
+    for (int k = 0; k < 3; ++k) {
+      if (!periodic_[k]) continue;
+      d[k] -= len_[k] * std::round(d[k] / len_[k]);
+    }
+    return d;
+  }
+
+  // Rescale all lengths by per-dimension factors (barostat).
+  void scale(const Vec3& factors) {
+    for (int d = 0; d < 3; ++d) {
+      len_[d] *= factors[d];
+      EMBER_REQUIRE(len_[d] > 0, "box collapsed under barostat scaling");
+    }
+  }
+
+ private:
+  double len_[3] = {1.0, 1.0, 1.0};
+  std::array<bool, 3> periodic_ = {true, true, true};
+};
+
+}  // namespace ember::md

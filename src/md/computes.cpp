@@ -1,0 +1,83 @@
+#include "computes.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ember::md {
+
+void Rdf::compute(const System& sys) {
+  g.assign(nbins, 0.0);
+  r.assign(nbins, 0.0);
+  const double dr = rmax / nbins;
+  for (int b = 0; b < nbins; ++b) r[b] = (b + 0.5) * dr;
+
+  const int n = sys.nlocal();
+  if (n < 2) return;
+  // Direct double loop with minimum image (diagnostic tool: clarity over
+  // speed; samples used in tests/examples are <= a few thousand atoms).
+  std::vector<double> counts(nbins, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double d = sys.box().minimum_image(sys.x[i], sys.x[j]).norm();
+      if (d < rmax) {
+        counts[static_cast<int>(d / dr)] += 2.0;  // both directions
+      }
+    }
+  }
+  const double density = n / sys.box().volume();
+  for (int b = 0; b < nbins; ++b) {
+    const double r_lo = b * dr;
+    const double r_hi = r_lo + dr;
+    const double shell =
+        4.0 / 3.0 * M_PI * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    g[b] = counts[b] / (n * density * shell);
+  }
+}
+
+double Rdf::first_peak() const {
+  // First local maximum above the noise floor g > 0.5.
+  for (int b = 1; b + 1 < nbins; ++b) {
+    if (g[b] > 0.5 && g[b] >= g[b - 1] && g[b] > g[b + 1]) return r[b];
+  }
+  return 0.0;
+}
+
+std::vector<int> coordination_numbers(const System& sys,
+                                      const NeighborList& nl,
+                                      double bond_cutoff) {
+  EMBER_REQUIRE(bond_cutoff <= nl.cutoff() + nl.skin(),
+                "bond cutoff exceeds the neighbor list range");
+  const double c2 = bond_cutoff * bond_cutoff;
+  std::vector<int> coord(sys.nlocal(), 0);
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    const auto [entries, count] = nl.neighbors(i);
+    for (int m = 0; m < count; ++m) {
+      const Vec3 d = sys.x[entries[m].j] + entries[m].shift - sys.x[i];
+      if (d.norm2() < c2) ++coord[i];
+    }
+  }
+  return coord;
+}
+
+void Msd::set_reference(const System& sys) {
+  ref_.assign(sys.x.begin(), sys.x.begin() + sys.nlocal());
+  prev_ = ref_;
+  disp_.assign(sys.nlocal(), Vec3{});
+}
+
+double Msd::compute(const System& sys) const {
+  EMBER_REQUIRE(static_cast<int>(ref_.size()) == sys.nlocal(),
+                "MSD reference does not match the system");
+  double sum = 0.0;
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    // Integrate the hop since the last query via minimum image; valid as
+    // long as no atom moves more than half a box length between queries.
+    disp_[i] += sys.box().minimum_image(prev_[i], sys.x[i]);
+    prev_[i] = sys.x[i];
+    sum += disp_[i].norm2();
+  }
+  return sum / std::max(1, sys.nlocal());
+}
+
+}  // namespace ember::md

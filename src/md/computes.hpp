@@ -1,0 +1,45 @@
+#pragma once
+
+// Diagnostics over configurations: radial distribution function, mean
+// squared displacement, coordination numbers.
+
+#include <vector>
+
+#include "md/neighbor.hpp"
+#include "md/system.hpp"
+
+namespace ember::md {
+
+// g(r) histogram on [0, rmax) with nbins bins.
+struct Rdf {
+  double rmax = 6.0;
+  int nbins = 120;
+  std::vector<double> g;        // normalized g(r)
+  std::vector<double> r;        // bin centers
+
+  void compute(const System& sys);
+  // Location of the first maximum of g(r) [A].
+  [[nodiscard]] double first_peak() const;
+};
+
+// Per-atom coordination numbers within a bond cutoff.
+std::vector<int> coordination_numbers(const System& sys,
+                                      const NeighborList& nl,
+                                      double bond_cutoff);
+
+// Mean squared displacement tracker: record a reference frame, then query.
+class Msd {
+ public:
+  void set_reference(const System& sys);
+  [[nodiscard]] double compute(const System& sys) const;
+
+ private:
+  std::vector<Vec3> ref_;
+  // Unwrapped tracking: accumulated via minimum-image hops per query is
+  // unreliable over long runs; instead we keep the previous positions and
+  // integrate displacements incrementally.
+  mutable std::vector<Vec3> prev_;
+  mutable std::vector<Vec3> disp_;
+};
+
+}  // namespace ember::md

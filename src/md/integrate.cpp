@@ -1,0 +1,99 @@
+#include "integrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace ember::md {
+
+void Integrator::initial_integrate(System& sys) {
+  if (nose_hoover_) apply_nose_hoover_half(sys);
+  const double dtf = 0.5 * dt_ * units::FORCE_TO_ACCEL / sys.mass();
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    sys.v[i] += dtf * sys.f[i];
+    // Positions are NOT wrapped here: the neighbor list's shift vectors
+    // reference the coordinates at build time, and wrapping mid-lifetime
+    // silently breaks those images. The driver wraps at reneighboring.
+    sys.x[i] += dt_ * sys.v[i];
+  }
+}
+
+void Integrator::final_integrate(System& sys, const EnergyVirial& ev,
+                                 Rng& rng) {
+  const double dtf = 0.5 * dt_ * units::FORCE_TO_ACCEL / sys.mass();
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    sys.v[i] += dtf * sys.f[i];
+  }
+  if (langevin_) apply_langevin(sys, rng);
+  if (berendsen_t_) apply_berendsen_t(sys);
+  if (nose_hoover_) apply_nose_hoover_half(sys);
+  if (berendsen_p_) apply_berendsen_p(sys, ev);
+}
+
+void Integrator::apply_langevin(System& sys, Rng& rng) {
+  // Impulsive Langevin update applied after the Verlet kick:
+  //   v <- c1 v + c2 xi, c1 = exp(-dt/damp),
+  //   c2 = sqrt((1 - c1^2) kB T / (m MVV2E))
+  // which samples the Ornstein-Uhlenbeck velocity process exactly and
+  // drives equipartition at the target temperature.
+  const auto& p = *langevin_;
+  const double c1 = std::exp(-dt_ / p.damp);
+  const double c2 = std::sqrt((1.0 - c1 * c1) * units::kB * p.temperature /
+                              (sys.mass() * units::MVV2E));
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    sys.v[i] = c1 * sys.v[i] + Vec3{c2 * rng.gaussian(), c2 * rng.gaussian(),
+                                    c2 * rng.gaussian()};
+  }
+}
+
+void Integrator::apply_nose_hoover_half(System& sys) {
+  // Symmetric half-step thermostat sweep (applied before the first and
+  // after the second Verlet kick): advance xi a quarter step, scale the
+  // velocities over the half step, advance xi another quarter step.
+  // Q = g kB T0 tdamp^2.
+  const auto& p = *nose_hoover_;
+  const int dof = std::max(1, 3 * sys.nlocal() - 3);
+  const double g_kt = dof * units::kB * p.temperature;
+  const double q = g_kt * p.tdamp * p.tdamp;
+  const double dt4 = 0.25 * dt_;
+  const double dt2 = 0.5 * dt_;
+
+  nh_xi_ += dt4 * (2.0 * sys.kinetic_energy() - g_kt) / q;
+  const double scale = std::exp(-nh_xi_ * dt2);
+  for (int i = 0; i < sys.nlocal(); ++i) sys.v[i] *= scale;
+  nh_eta_ += nh_xi_ * dt2;
+  nh_xi_ += dt4 * (2.0 * sys.kinetic_energy() - g_kt) / q;
+}
+
+double Integrator::nose_hoover_energy(int dof) const {
+  if (!nose_hoover_) return 0.0;
+  const auto& p = *nose_hoover_;
+  const double g_kt = dof * units::kB * p.temperature;
+  const double q = g_kt * p.tdamp * p.tdamp;
+  return 0.5 * q * nh_xi_ * nh_xi_ + g_kt * nh_eta_;
+}
+
+void Integrator::apply_berendsen_t(System& sys) {
+  const auto& p = *berendsen_t_;
+  const double t_now = sys.temperature();
+  if (t_now <= 0.0) return;
+  const double lambda =
+      std::sqrt(1.0 + dt_ / p.tau * (p.temperature / t_now - 1.0));
+  for (int i = 0; i < sys.nlocal(); ++i) sys.v[i] *= lambda;
+}
+
+void Integrator::apply_berendsen_p(System& sys, const EnergyVirial& ev) {
+  const auto& p = *berendsen_p_;
+  const double pressure = pressure_bar(sys, ev);
+  double mu = std::cbrt(1.0 - dt_ / p.tau * p.compressibility *
+                                  (p.pressure - pressure));
+  // Clamp to avoid violent volume changes from pressure spikes.
+  mu = std::clamp(mu, 0.95, 1.05);
+  sys.box().scale({mu, mu, mu});
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    sys.x[i] = mu * sys.x[i];  // wrapped at the next reneighboring
+  }
+}
+
+}  // namespace ember::md

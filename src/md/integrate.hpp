@@ -1,0 +1,87 @@
+#pragma once
+
+// Time integration: velocity Verlet with optional Langevin or Berendsen
+// thermostats and a Berendsen barostat.
+//
+// The paper's production runs used velocity Verlet with a Langevin
+// thermostat (Fig. 7 temperature schedule 5000 -> 5500 K); the barostat is
+// used by the BC8 pipeline to hold the ~12 Mbar compression.
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "md/potential.hpp"
+#include "md/system.hpp"
+
+namespace ember::md {
+
+struct LangevinParams {
+  double temperature = 300.0;  // target T [K]
+  double damp = 0.1;           // relaxation time [ps]
+};
+
+struct BerendsenTParams {
+  double temperature = 300.0;
+  double tau = 0.1;  // coupling time [ps]
+};
+
+struct BerendsenPParams {
+  double pressure = 0.0;        // target pressure [bar]
+  double tau = 1.0;             // coupling time [ps]
+  double compressibility = 1e-6; // inverse bulk modulus [1/bar]
+};
+
+// Nose-Hoover NVT (single thermostat variable). Unlike Langevin it is
+// deterministic and has a conserved quantity
+//   H' = E + 1/2 Q xi^2 + g kB T0 eta
+// which the tests monitor as the canonical-sampling correctness check.
+struct NoseHooverParams {
+  double temperature = 300.0;  // target T [K]
+  double tdamp = 0.1;          // thermostat period [ps] (sets Q)
+};
+
+class Integrator {
+ public:
+  explicit Integrator(double dt_ps) : dt_(dt_ps) {}
+
+  [[nodiscard]] double dt() const { return dt_; }
+  void set_dt(double dt_ps) { dt_ = dt_ps; }
+
+  void set_langevin(std::optional<LangevinParams> p) { langevin_ = p; }
+  void set_berendsen_t(std::optional<BerendsenTParams> p) { berendsen_t_ = p; }
+  void set_berendsen_p(std::optional<BerendsenPParams> p) { berendsen_p_ = p; }
+  void set_nose_hoover(std::optional<NoseHooverParams> p) {
+    nose_hoover_ = p;
+    nh_xi_ = 0.0;
+    nh_eta_ = 0.0;
+  }
+  [[nodiscard]] std::optional<LangevinParams>& langevin() { return langevin_; }
+
+  // Thermostat contribution to the conserved quantity of Nose-Hoover
+  // dynamics (zero when the thermostat is off); pass the thermostatted
+  // degrees of freedom (3N - 3).
+  [[nodiscard]] double nose_hoover_energy(int dof) const;
+
+  // First Verlet half-kick + drift. Forces must be current.
+  void initial_integrate(System& sys);
+
+  // Second half-kick; call after forces were recomputed. ev is used by the
+  // barostat (pressure), rng by the Langevin thermostat.
+  void final_integrate(System& sys, const EnergyVirial& ev, Rng& rng);
+
+ private:
+  void apply_langevin(System& sys, Rng& rng);
+  void apply_berendsen_t(System& sys);
+  void apply_berendsen_p(System& sys, const EnergyVirial& ev);
+  void apply_nose_hoover_half(System& sys);
+
+  double dt_;
+  std::optional<LangevinParams> langevin_;
+  std::optional<BerendsenTParams> berendsen_t_;
+  std::optional<BerendsenPParams> berendsen_p_;
+  std::optional<NoseHooverParams> nose_hoover_;
+  double nh_xi_ = 0.0;   // thermostat velocity
+  double nh_eta_ = 0.0;  // thermostat position (for the conserved qty)
+};
+
+}  // namespace ember::md

@@ -1,0 +1,81 @@
+#include "io.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace ember::md {
+
+void write_xyz(const System& sys, const std::string& path,
+               const std::string& comment, bool append) {
+  std::ofstream os(path, append ? std::ios::app : std::ios::trunc);
+  EMBER_REQUIRE(os.good(), "cannot open " + path + " for writing");
+  os << sys.nlocal() << '\n';
+  os << "Lattice=\"" << sys.box().length(0) << " 0 0 0 "
+     << sys.box().length(1) << " 0 0 0 " << sys.box().length(2) << "\" "
+     << comment << '\n';
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    os << "C " << sys.x[i].x << ' ' << sys.x[i].y << ' ' << sys.x[i].z
+       << '\n';
+  }
+}
+
+namespace {
+constexpr std::uint64_t kMagic = 0x454d424552435031ULL;  // "EMBERCP1"
+
+template <typename T>
+void put(std::ofstream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::ifstream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  EMBER_REQUIRE(is.good(), "checkpoint truncated");
+  return value;
+}
+}  // namespace
+
+void write_checkpoint(const System& sys, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  EMBER_REQUIRE(os.good(), "cannot open " + path + " for writing");
+  put(os, kMagic);
+  put(os, sys.box().length(0));
+  put(os, sys.box().length(1));
+  put(os, sys.box().length(2));
+  put(os, sys.mass());
+  put(os, static_cast<std::int64_t>(sys.nlocal()));
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    put(os, static_cast<std::int64_t>(sys.id[i]));
+    // Canonicalize: positions are stored wrapped so a restart is
+    // independent of how far past a reneighboring the run was.
+    put(os, sys.box().wrap(sys.x[i]));
+    put(os, sys.v[i]);
+  }
+  EMBER_REQUIRE(os.good(), "checkpoint write failed");
+}
+
+System read_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EMBER_REQUIRE(is.good(), "cannot open " + path);
+  EMBER_REQUIRE(get<std::uint64_t>(is) == kMagic,
+                "not an ember checkpoint: " + path);
+  const double lx = get<double>(is);
+  const double ly = get<double>(is);
+  const double lz = get<double>(is);
+  const double mass = get<double>(is);
+  const auto n = get<std::int64_t>(is);
+  System sys(Box(lx, ly, lz), mass);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto id = get<std::int64_t>(is);
+    const auto x = get<Vec3>(is);
+    const auto v = get<Vec3>(is);
+    sys.add_atom(x, v);
+    sys.id[static_cast<std::size_t>(i)] = id;
+  }
+  return sys;
+}
+
+}  // namespace ember::md

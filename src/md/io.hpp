@@ -1,0 +1,24 @@
+#pragma once
+
+// Trajectory and checkpoint I/O.
+//
+// The production run of the paper (Fig. 7) writes periodic binary
+// checkpoint files whose cost shows up as dips in the performance trace;
+// write_checkpoint/read_checkpoint provide the same capability (and the
+// production bench measures their cost the same way).
+
+#include <string>
+
+#include "md/system.hpp"
+
+namespace ember::md {
+
+// Extended-XYZ snapshot (positions only), appending when append=true.
+void write_xyz(const System& sys, const std::string& path,
+               const std::string& comment = "", bool append = false);
+
+// Binary checkpoint: box, mass, ids, positions, velocities.
+void write_checkpoint(const System& sys, const std::string& path);
+System read_checkpoint(const std::string& path);
+
+}  // namespace ember::md

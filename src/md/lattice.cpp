@@ -1,0 +1,114 @@
+#include "lattice.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ember::md {
+
+std::vector<Vec3> lattice_basis(LatticeKind kind, double x_bc8) {
+  switch (kind) {
+    case LatticeKind::SimpleCubic:
+      return {{0, 0, 0}};
+    case LatticeKind::Bcc:
+      return {{0, 0, 0}, {0.5, 0.5, 0.5}};
+    case LatticeKind::Fcc:
+      return {{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}};
+    case LatticeKind::Diamond: {
+      std::vector<Vec3> basis;
+      for (const Vec3& f :
+           {Vec3{0, 0, 0}, Vec3{0.5, 0.5, 0}, Vec3{0.5, 0, 0.5},
+            Vec3{0, 0.5, 0.5}}) {
+        basis.push_back(f);
+        basis.push_back(f + Vec3{0.25, 0.25, 0.25});
+      }
+      return basis;
+    }
+    case LatticeKind::Bc8: {
+      // Ia-3 (206), Wyckoff 16c at (x, x, x): 8 positions + body-centered
+      // copies = 16 atoms per conventional cell.
+      const double x = x_bc8;
+      const std::vector<Vec3> gen = {
+          {x, x, x},
+          {0.5 - x, -x, 0.5 + x},
+          {-x, 0.5 + x, 0.5 - x},
+          {0.5 + x, 0.5 - x, -x},
+      };
+      std::vector<Vec3> basis;
+      for (const auto& p : gen) {
+        basis.push_back(p);
+        basis.push_back(-1.0 * p);
+      }
+      const std::size_t n = basis.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        basis.push_back(basis[i] + Vec3{0.5, 0.5, 0.5});
+      }
+      // Wrap fractions into [0, 1).
+      for (auto& p : basis) {
+        for (int d = 0; d < 3; ++d) p[d] -= std::floor(p[d]);
+      }
+      return basis;
+    }
+  }
+  EMBER_REQUIRE(false, "unknown lattice kind");
+  return {};
+}
+
+int lattice_atom_count(const LatticeSpec& spec) {
+  return static_cast<int>(lattice_basis(spec.kind, spec.x_bc8).size()) *
+         spec.nx * spec.ny * spec.nz;
+}
+
+System build_lattice(const LatticeSpec& spec, double mass) {
+  EMBER_REQUIRE(spec.nx > 0 && spec.ny > 0 && spec.nz > 0,
+                "lattice repetitions must be positive");
+  const auto basis = lattice_basis(spec.kind, spec.x_bc8);
+  Box box(spec.a * spec.nx, spec.a * spec.ny, spec.a * spec.nz);
+  System sys(box, mass);
+  for (int ix = 0; ix < spec.nx; ++ix) {
+    for (int iy = 0; iy < spec.ny; ++iy) {
+      for (int iz = 0; iz < spec.nz; ++iz) {
+        const Vec3 corner{ix * spec.a, iy * spec.a, iz * spec.a};
+        for (const auto& frac : basis) {
+          sys.add_atom(corner + spec.a * frac);
+        }
+      }
+    }
+  }
+  return sys;
+}
+
+void perturb(System& sys, double sigma, Rng& rng) {
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    sys.x[i] = sys.box().wrap(sys.x[i] + Vec3{sigma * rng.gaussian(),
+                                              sigma * rng.gaussian(),
+                                              sigma * rng.gaussian()});
+  }
+}
+
+System random_packing(const Box& box, int n, double min_separation,
+                      double mass, Rng& rng) {
+  System sys(box, mass);
+  const double min2 = min_separation * min_separation;
+  int attempts = 0;
+  const int max_attempts = 2000 * n;
+  while (sys.nlocal() < n) {
+    EMBER_REQUIRE(++attempts < max_attempts,
+                  "random_packing: target density unreachable at this "
+                  "minimum separation");
+    const Vec3 cand{rng.uniform(0.0, box.length(0)),
+                    rng.uniform(0.0, box.length(1)),
+                    rng.uniform(0.0, box.length(2))};
+    bool ok = true;
+    for (int i = 0; i < sys.nlocal(); ++i) {
+      if (box.minimum_image(sys.x[i], cand).norm2() < min2) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) sys.add_atom(cand);
+  }
+  return sys;
+}
+
+}  // namespace ember::md

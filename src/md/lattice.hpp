@@ -1,0 +1,47 @@
+#pragma once
+
+// Crystal-structure generators: diamond cubic, BC8, fcc, bcc, simple cubic.
+//
+// BC8 is the high-pressure carbon phase the paper's production run
+// discovered emerging from amorphous carbon at ~12 Mbar / 5000 K. It is a
+// body-centered cubic arrangement with an 8-atom basis (space group Ia-3),
+// parameterized by the internal coordinate x_bc8 ~ 0.0937 (silicon BC8
+// value; carbon's is similar). Every atom is 4-coordinated like diamond but
+// with one short and three long bonds and distinct bond angles — which is
+// what the structure classifier keys on.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+#include "md/system.hpp"
+
+namespace ember::md {
+
+enum class LatticeKind { SimpleCubic, Bcc, Fcc, Diamond, Bc8 };
+
+struct LatticeSpec {
+  LatticeKind kind = LatticeKind::Diamond;
+  double a = 3.567;      // conventional cell parameter [A]
+  int nx = 1, ny = 1, nz = 1;  // unit-cell repetitions
+  double x_bc8 = 0.0937;       // BC8 internal coordinate
+};
+
+// Number of atoms the spec will generate.
+int lattice_atom_count(const LatticeSpec& spec);
+
+// Build a periodic system filled with the requested lattice.
+System build_lattice(const LatticeSpec& spec, double mass);
+
+// Displace every atom by a Gaussian of width sigma (thermal disorder).
+void perturb(System& sys, double sigma, Rng& rng);
+
+// Fill a box of the given dimensions with n atoms at random positions with
+// a minimum separation (used to seed melt-quench amorphous samples).
+System random_packing(const Box& box, int n, double min_separation,
+                      double mass, Rng& rng);
+
+// Fractional basis of each lattice (unit conventional cell).
+std::vector<Vec3> lattice_basis(LatticeKind kind, double x_bc8 = 0.0937);
+
+}  // namespace ember::md

@@ -1,0 +1,95 @@
+#include "minimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace ember::md {
+
+FireResult fire_minimize(System& sys, PairPotential& pot,
+                         const FireParams& p, double skin) {
+  FireResult result;
+  NeighborList nl(pot.cutoff(), skin);
+
+  // Start from rest.
+  for (int i = 0; i < sys.nlocal(); ++i) sys.v[i] = Vec3{};
+
+  double dt = p.dt_initial;
+  double alpha = p.alpha0;
+  int since_negative = 0;
+
+  auto forces = [&]() {
+    if (nl.needs_rebuild(sys)) {
+      for (int i = 0; i < sys.nlocal(); ++i) sys.x[i] = sys.box().wrap(sys.x[i]);
+      nl.build(sys);
+    }
+    sys.zero_forces();
+    return pot.compute(sys, nl);
+  };
+  auto max_force = [&]() {
+    double fmax = 0.0;
+    for (int i = 0; i < sys.nlocal(); ++i) {
+      fmax = std::max({fmax, std::abs(sys.f[i].x), std::abs(sys.f[i].y),
+                       std::abs(sys.f[i].z)});
+    }
+    return fmax;
+  };
+
+  nl.build(sys);
+  auto ev = forces();
+
+  for (long step = 0; step < p.max_steps; ++step) {
+    result.max_force = max_force();
+    if (result.max_force < p.force_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Velocity Verlet step with the FIRE velocity mixing.
+    const double dtf = 0.5 * dt * units::FORCE_TO_ACCEL / sys.mass();
+    for (int i = 0; i < sys.nlocal(); ++i) {
+      sys.v[i] += dtf * sys.f[i];
+      sys.x[i] += dt * sys.v[i];
+    }
+    ev = forces();
+    for (int i = 0; i < sys.nlocal(); ++i) sys.v[i] += dtf * sys.f[i];
+
+    // Power P = F . v decides the steering.
+    double power = 0.0;
+    double vnorm2 = 0.0;
+    double fnorm2 = 0.0;
+    for (int i = 0; i < sys.nlocal(); ++i) {
+      power += dot(sys.f[i], sys.v[i]);
+      vnorm2 += sys.v[i].norm2();
+      fnorm2 += sys.f[i].norm2();
+    }
+
+    if (power > 0.0) {
+      // Mix velocity toward the force direction.
+      const double mix =
+          fnorm2 > 0.0 ? alpha * std::sqrt(vnorm2 / fnorm2) : 0.0;
+      for (int i = 0; i < sys.nlocal(); ++i) {
+        sys.v[i] = (1.0 - alpha) * sys.v[i] + mix * sys.f[i];
+      }
+      if (++since_negative > p.n_min) {
+        dt = std::min(dt * p.f_inc, p.dt_max);
+        alpha *= p.f_alpha;
+      }
+    } else {
+      // Uphill: freeze and restart steering.
+      for (int i = 0; i < sys.nlocal(); ++i) sys.v[i] = Vec3{};
+      dt *= p.f_dec;
+      alpha = p.alpha0;
+      since_negative = 0;
+    }
+    ++result.steps;
+  }
+
+  result.energy = ev.energy;
+  result.max_force = max_force();
+  if (result.max_force < p.force_tolerance) result.converged = true;
+  return result;
+}
+
+}  // namespace ember::md

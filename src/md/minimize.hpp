@@ -1,0 +1,41 @@
+#pragma once
+
+// FIRE energy minimization (Bitzek et al., PRL 97, 170201).
+//
+// Used to quench configurations to their inherent structures — the state
+// definition underlying ParSplice-style state-to-state dynamics, and a
+// general relaxation tool (e.g. relaxing fitted-SNAP structures before
+// production runs).
+
+#include <memory>
+
+#include "md/neighbor.hpp"
+#include "md/potential.hpp"
+#include "md/system.hpp"
+
+namespace ember::md {
+
+struct FireParams {
+  double dt_initial = 1e-3;    // [ps]
+  double dt_max = 1e-2;
+  double force_tolerance = 1e-4;  // max |F| component [eV/A]
+  long max_steps = 5000;
+  double alpha0 = 0.1;
+  double f_inc = 1.1;
+  double f_dec = 0.5;
+  double f_alpha = 0.99;
+  int n_min = 5;  // steps of positive power before acceleration
+};
+
+struct FireResult {
+  bool converged = false;
+  long steps = 0;
+  double max_force = 0.0;   // final max |F| component
+  double energy = 0.0;      // final potential energy
+};
+
+// Minimize sys in place; the neighbor list is managed internally.
+FireResult fire_minimize(System& sys, PairPotential& pot,
+                         const FireParams& params = {}, double skin = 0.4);
+
+}  // namespace ember::md

@@ -1,0 +1,251 @@
+#include "neighbor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ember::md {
+
+void NeighborList::build(const System& sys, bool use_ghosts) {
+  EMBER_REQUIRE(cutoff_ > 0.0, "neighbor list cutoff not set");
+  first_.assign(sys.nlocal() + 1, 0);
+  entries_.clear();
+
+  if (use_ghosts) {
+    // Parallel path: ghosts are explicit pre-shifted copies; bin every atom
+    // into cells over the joint bounding box, no periodic wrapping.
+    build_cells(sys);
+  } else {
+    build_periodic_range(sys, sys.box(), 0, sys.nlocal());
+  }
+
+  x_at_build_.assign(sys.x.begin(), sys.x.begin() + sys.nlocal());
+  box_at_build_ = sys.box().lengths();
+}
+
+void NeighborList::build_batched(const System& combined,
+                                 std::span<const Box> boxes,
+                                 std::span<const int> offsets) {
+  EMBER_REQUIRE(cutoff_ > 0.0, "neighbor list cutoff not set");
+  EMBER_REQUIRE(offsets.size() == boxes.size() + 1 &&
+                    offsets.front() == 0 &&
+                    offsets.back() == combined.nlocal(),
+                "batched offsets must tile the combined system");
+  first_.assign(combined.nlocal() + 1, 0);
+  entries_.clear();
+  for (std::size_t r = 0; r < boxes.size(); ++r) {
+    build_periodic_range(combined, boxes[r], offsets[r], offsets[r + 1]);
+  }
+  x_at_build_.assign(combined.x.begin(),
+                     combined.x.begin() + combined.nlocal());
+  box_at_build_ = combined.box().lengths();
+}
+
+void NeighborList::build_periodic_range(const System& sys, const Box& box,
+                                        int begin, int end) {
+  const double rlist = cutoff_ + skin_;
+  const bool cells_ok = box.length(0) / rlist >= 3.0 &&
+                        box.length(1) / rlist >= 3.0 &&
+                        box.length(2) / rlist >= 3.0;
+  if (cells_ok) {
+    build_cells_range(sys, box, begin, end);
+  } else {
+    build_brute_force_range(sys, box, begin, end);
+  }
+}
+
+bool NeighborList::needs_rebuild(const System& sys) const {
+  if (static_cast<int>(x_at_build_.size()) != sys.nlocal()) return true;
+  // A barostat changes the box: every stored shift is invalid.
+  const Vec3 db = sys.box().lengths() - box_at_build_;
+  if (db.norm2() != 0.0) return true;
+  const double limit2 = 0.25 * skin_ * skin_;
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    // Use minimum image: positions may have been rewrapped since build.
+    const Vec3 d = sys.box().minimum_image(x_at_build_[i], sys.x[i]);
+    if (d.norm2() > limit2) return true;
+  }
+  return false;
+}
+
+void NeighborList::build_brute_force_range(const System& sys, const Box& box,
+                                           int begin, int end) {
+  const double rlist = cutoff_ + skin_;
+  const double r2 = rlist * rlist;
+  // Number of periodic images to search per dimension.
+  int span[3];
+  for (int d = 0; d < 3; ++d) {
+    span[d] = box.periodic(d)
+                  ? static_cast<int>(std::ceil(rlist / box.length(d)))
+                  : 0;
+  }
+  for (int i = begin; i < end; ++i) {
+    for (int j = begin; j < end; ++j) {
+      for (int sx = -span[0]; sx <= span[0]; ++sx) {
+        for (int sy = -span[1]; sy <= span[1]; ++sy) {
+          for (int sz = -span[2]; sz <= span[2]; ++sz) {
+            if (j == i && sx == 0 && sy == 0 && sz == 0) continue;
+            const Vec3 shift{sx * box.length(0), sy * box.length(1),
+                             sz * box.length(2)};
+            const Vec3 d = sys.x[j] + shift - sys.x[i];
+            if (d.norm2() < r2) {
+              entries_.push_back({j, shift});
+            }
+          }
+        }
+      }
+    }
+    first_[i + 1] = static_cast<int>(entries_.size());
+  }
+}
+
+void NeighborList::build_cells_range(const System& sys, const Box& box,
+                                     int begin, int end) {
+  const double rlist = cutoff_ + skin_;
+  const double r2 = rlist * rlist;
+  const int n = end - begin;
+
+  int nc[3];
+  for (int d = 0; d < 3; ++d) {
+    nc[d] = std::max(1, static_cast<int>(std::floor(box.length(d) / rlist)));
+  }
+  const auto cell_of = [&](const Vec3& r, int out[3]) {
+    for (int d = 0; d < 3; ++d) {
+      const int c = static_cast<int>(r[d] / box.length(d) * nc[d]);
+      out[d] = std::clamp(c, 0, nc[d] - 1);
+    }
+  };
+
+  // Bucket atoms of the range into cells (counting sort).
+  const int ncells = nc[0] * nc[1] * nc[2];
+  std::vector<int> count(ncells + 1, 0);
+  std::vector<int> cell_idx(n);
+  for (int i = 0; i < n; ++i) {
+    int c[3];
+    cell_of(sys.x[begin + i], c);
+    cell_idx[i] = (c[2] * nc[1] + c[1]) * nc[0] + c[0];
+    ++count[cell_idx[i] + 1];
+  }
+  for (int c = 0; c < ncells; ++c) count[c + 1] += count[c];
+  std::vector<int> order(n);
+  {
+    std::vector<int> cursor(count.begin(), count.end() - 1);
+    for (int i = 0; i < n; ++i) order[cursor[cell_idx[i]]++] = begin + i;
+  }
+
+  for (int i = begin; i < end; ++i) {
+    int ci[3];
+    cell_of(sys.x[i], ci);
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          int cj[3] = {ci[0] + dx, ci[1] + dy, ci[2] + dz};
+          Vec3 shift{};
+          bool skip = false;
+          for (int d = 0; d < 3; ++d) {
+            int wrapped = cj[d];
+            if (wrapped < 0 || wrapped >= nc[d]) {
+              if (!box.periodic(d)) {
+                skip = true;
+                break;
+              }
+              if (wrapped < 0) {
+                wrapped += nc[d];
+                shift[d] = -box.length(d);
+              } else {
+                wrapped -= nc[d];
+                shift[d] = box.length(d);
+              }
+            }
+            cj[d] = wrapped;
+          }
+          if (skip) continue;
+          const int cell = (cj[2] * nc[1] + cj[1]) * nc[0] + cj[0];
+          for (int s = count[cell]; s < count[cell + 1]; ++s) {
+            const int j = order[s];
+            if (j == i && shift.norm2() == 0.0) continue;
+            const Vec3 d = sys.x[j] + shift - sys.x[i];
+            if (d.norm2() < r2) entries_.push_back({j, shift});
+          }
+        }
+      }
+    }
+    first_[i + 1] = static_cast<int>(entries_.size());
+  }
+}
+
+void NeighborList::build_cells(const System& sys) {
+  const double rlist = cutoff_ + skin_;
+  const double r2 = rlist * rlist;
+  const int ntotal = sys.ntotal();
+
+  // Grid over the bounding box of all atoms (locals + pre-shifted
+  // ghosts), open stencil, no wrapping.
+  Vec3 lo = sys.x[0];
+  Vec3 hi = sys.x[0];
+  for (int i = 1; i < ntotal; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], sys.x[i][d]);
+      hi[d] = std::max(hi[d], sys.x[i][d]);
+    }
+  }
+  const Vec3 origin = lo - Vec3{1e-9, 1e-9, 1e-9};
+  const Vec3 extent = hi - lo + Vec3{2e-9, 2e-9, 2e-9};
+
+  int nc[3];
+  for (int d = 0; d < 3; ++d) {
+    nc[d] = std::max(1, static_cast<int>(std::floor(extent[d] / rlist)));
+  }
+  const auto cell_of = [&](const Vec3& r, int out[3]) {
+    for (int d = 0; d < 3; ++d) {
+      const int c = static_cast<int>((r[d] - origin[d]) / extent[d] * nc[d]);
+      out[d] = std::clamp(c, 0, nc[d] - 1);
+    }
+  };
+
+  const int ncells = nc[0] * nc[1] * nc[2];
+  std::vector<int> count(ncells + 1, 0);
+  std::vector<int> cell_idx(ntotal);
+  for (int i = 0; i < ntotal; ++i) {
+    int c[3];
+    cell_of(sys.x[i], c);
+    cell_idx[i] = (c[2] * nc[1] + c[1]) * nc[0] + c[0];
+    ++count[cell_idx[i] + 1];
+  }
+  for (int c = 0; c < ncells; ++c) count[c + 1] += count[c];
+  std::vector<int> order(ntotal);
+  {
+    std::vector<int> cursor(count.begin(), count.end() - 1);
+    for (int i = 0; i < ntotal; ++i) order[cursor[cell_idx[i]]++] = i;
+  }
+
+  const int nlocal = sys.nlocal();
+  for (int i = 0; i < nlocal; ++i) {
+    int ci[3];
+    cell_of(sys.x[i], ci);
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int cx = ci[0] + dx;
+          const int cy = ci[1] + dy;
+          const int cz = ci[2] + dz;
+          if (cx < 0 || cx >= nc[0] || cy < 0 || cy >= nc[1] || cz < 0 ||
+              cz >= nc[2]) {
+            continue;
+          }
+          const int cell = (cz * nc[1] + cy) * nc[0] + cx;
+          for (int s = count[cell]; s < count[cell + 1]; ++s) {
+            const int j = order[s];
+            if (j == i) continue;
+            const Vec3 d = sys.x[j] - sys.x[i];
+            if (d.norm2() < r2) entries_.push_back({j, Vec3{}});
+          }
+        }
+      }
+    }
+    first_[i + 1] = static_cast<int>(entries_.size());
+  }
+}
+
+}  // namespace ember::md

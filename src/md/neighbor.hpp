@@ -1,0 +1,84 @@
+#pragma once
+
+// Cell-list construction of full neighbor lists with periodic shifts.
+//
+// The list stores, for every local atom i, the indices of all atoms j with
+// |r_j + shift - r_i| < cutoff (j may equal another local atom or, in
+// parallel runs, a ghost). Shift vectors make minimum-image arithmetic
+// unnecessary in force kernels: rij = x[j] + shift(ij) - x[i].
+//
+// A skin distance is added so the list stays valid while atoms move less
+// than skin/2; needs_rebuild() tracks the displacement criterion.
+
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "md/system.hpp"
+
+namespace ember::md {
+
+class NeighborList {
+ public:
+  struct Entry {
+    int j;       // neighbor atom index (local or ghost)
+    Vec3 shift;  // periodic image shift to add to x[j]
+  };
+
+  NeighborList() = default;
+  NeighborList(double cutoff, double skin) : cutoff_(cutoff), skin_(skin) {}
+
+  [[nodiscard]] double cutoff() const { return cutoff_; }
+  [[nodiscard]] double skin() const { return skin_; }
+
+  // Rebuild the full list for all local atoms of sys. When use_ghosts is
+  // true, atoms beyond nlocal are treated as pre-shifted ghost copies and
+  // no periodic wrapping is applied (parallel path); otherwise neighbors
+  // are found through periodic images of the local atoms (serial path).
+  void build(const System& sys, bool use_ghosts = false);
+
+  // Batched build over several independent replicas laid out back to back
+  // in one System: replica r occupies atoms [offsets[r], offsets[r+1])
+  // and lives in its own periodic box. Atoms of different replicas never
+  // appear as neighbors of each other (the deck's multi-replica lockstep
+  // scheme: one combined list, one force pass, zero cross-talk).
+  void build_batched(const System& combined, std::span<const Box> boxes,
+                     std::span<const int> offsets);
+
+  [[nodiscard]] bool needs_rebuild(const System& sys) const;
+
+  // Neighbors of local atom i.
+  [[nodiscard]] std::pair<const Entry*, int> neighbors(int i) const {
+    const int begin = first_[i];
+    return {entries_.data() + begin, first_[i + 1] - begin};
+  }
+
+  [[nodiscard]] int num_atoms() const {
+    return static_cast<int>(first_.size()) - 1;
+  }
+  [[nodiscard]] std::size_t total_pairs() const { return entries_.size(); }
+  [[nodiscard]] double average_neighbors() const {
+    return num_atoms() > 0 ? static_cast<double>(entries_.size()) / num_atoms()
+                           : 0.0;
+  }
+
+ private:
+  void build_cells(const System& sys);
+  // Periodic build over the index range [begin, end) using `box`;
+  // appends CSR rows for those atoms (callers proceed in index order).
+  void build_periodic_range(const System& sys, const Box& box, int begin,
+                            int end);
+  void build_brute_force_range(const System& sys, const Box& box, int begin,
+                               int end);
+  void build_cells_range(const System& sys, const Box& box, int begin,
+                         int end);
+
+  double cutoff_ = 0.0;
+  double skin_ = 0.5;
+  std::vector<int> first_;       // CSR offsets, size nlocal+1
+  std::vector<Entry> entries_;
+  std::vector<Vec3> x_at_build_;  // positions when the list was built
+  Vec3 box_at_build_{};           // box lengths when the list was built
+};
+
+}  // namespace ember::md

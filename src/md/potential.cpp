@@ -1,0 +1,13 @@
+#include "potential.hpp"
+
+#include "common/units.hpp"
+
+namespace ember::md {
+
+double pressure_bar(const System& sys, const EnergyVirial& ev) {
+  const double volume = sys.box().volume();
+  const double two_ke = 2.0 * sys.kinetic_energy();
+  return (two_ke + ev.virial) / (3.0 * volume) * units::EVA3_TO_BAR;
+}
+
+}  // namespace ember::md

@@ -1,0 +1,49 @@
+#pragma once
+
+// Interatomic-potential interface.
+//
+// Potentials receive full neighbor lists (every pair appears from both
+// sides) and may write forces onto ghost atoms; the caller is responsible
+// for reverse-communicating ghost forces in parallel runs.
+
+#include <span>
+
+#include "common/vec3.hpp"
+#include "md/neighbor.hpp"
+#include "md/system.hpp"
+
+namespace ember::md {
+
+struct EnergyVirial {
+  double energy = 0.0;  // potential energy of the local atoms [eV]
+  double virial = 0.0;  // scalar virial sum_pairs r . f [eV]
+
+  EnergyVirial& operator+=(const EnergyVirial& o) {
+    energy += o.energy;
+    virial += o.virial;
+    return *this;
+  }
+};
+
+class PairPotential {
+ public:
+  virtual ~PairPotential() = default;
+
+  // Interaction cutoff [A]; the neighbor list must be built at least this
+  // large.
+  [[nodiscard]] virtual double cutoff() const = 0;
+
+  // Accumulate forces for the local atoms of sys (forces must have been
+  // zeroed by the caller); returns energy and scalar virial. The neighbor
+  // list nl must be current.
+  virtual EnergyVirial compute(System& sys, const NeighborList& nl) = 0;
+
+  // Human-readable name for logs and benchmark tables.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+// Pressure from energy/virial bookkeeping [bar]:
+//   P = (2 KE + virial) / (3 V) converted from eV/A^3.
+double pressure_bar(const System& sys, const EnergyVirial& ev);
+
+}  // namespace ember::md

@@ -1,0 +1,54 @@
+#include "simulation.hpp"
+
+namespace ember::md {
+
+Simulation::Simulation(System sys, std::shared_ptr<PairPotential> pot,
+                       double dt_ps, double skin, std::uint64_t seed)
+    : sys_(std::move(sys)),
+      pot_(std::move(pot)),
+      integrator_(dt_ps),
+      nl_(pot_->cutoff(), skin),
+      rng_(seed) {}
+
+void Simulation::setup() {
+  {
+    ScopedTimer t(timers_, "Neigh");
+    nl_.build(sys_);
+  }
+  compute_forces();
+  ready_ = true;
+}
+
+void Simulation::compute_forces() {
+  ScopedTimer t(timers_, "Pair");
+  sys_.zero_forces();
+  ev_ = pot_->compute(sys_, nl_);
+}
+
+void Simulation::run(long nsteps, const StepCallback& callback) {
+  if (!ready_) setup();
+  for (long s = 0; s < nsteps; ++s) {
+    {
+      ScopedTimer t(timers_, "Other");
+      integrator_.initial_integrate(sys_);
+    }
+    if (nl_.needs_rebuild(sys_)) {
+      ScopedTimer t(timers_, "Neigh");
+      // Re-wrap positions only here, together with the rebuild, so the
+      // list's shift vectors stay consistent with the stored coordinates.
+      for (int i = 0; i < sys_.nlocal(); ++i) {
+        sys_.x[i] = sys_.box().wrap(sys_.x[i]);
+      }
+      nl_.build(sys_);
+    }
+    compute_forces();
+    {
+      ScopedTimer t(timers_, "Other");
+      integrator_.final_integrate(sys_, ev_, rng_);
+    }
+    ++step_;
+    if (callback) callback(*this);
+  }
+}
+
+}  // namespace ember::md

@@ -1,0 +1,63 @@
+#pragma once
+
+// Serial MD driver: owns the neighbor list, integrator and potential, runs
+// timesteps, and keeps a LAMMPS-style timing breakdown (Pair / Neigh /
+// Other) of the kind the paper's Fig. 4 reports.
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "md/integrate.hpp"
+#include "md/potential.hpp"
+#include "md/system.hpp"
+
+namespace ember::md {
+
+class Simulation {
+ public:
+  Simulation(System sys, std::shared_ptr<PairPotential> pot, double dt_ps,
+             double skin = 0.5, std::uint64_t seed = 12345);
+
+  [[nodiscard]] System& system() { return sys_; }
+  [[nodiscard]] const System& system() const { return sys_; }
+  [[nodiscard]] Integrator& integrator() { return integrator_; }
+  [[nodiscard]] PairPotential& potential() { return *pot_; }
+  [[nodiscard]] const NeighborList& neighbor_list() const { return nl_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  // Latest energy/virial (valid after setup() or any step).
+  [[nodiscard]] const EnergyVirial& energy_virial() const { return ev_; }
+  [[nodiscard]] double potential_energy() const { return ev_.energy; }
+  [[nodiscard]] double total_energy() const {
+    return ev_.energy + sys_.kinetic_energy();
+  }
+  [[nodiscard]] double pressure() const { return pressure_bar(sys_, ev_); }
+  [[nodiscard]] long step() const { return step_; }
+  [[nodiscard]] const TimerSet& timers() const { return timers_; }
+  void reset_timers() { timers_.clear(); }
+
+  // Build the neighbor list and compute initial forces. Called lazily by
+  // run() if needed.
+  void setup();
+
+  // Advance nsteps; the optional callback fires after every step.
+  using StepCallback = std::function<void(Simulation&)>;
+  void run(long nsteps, const StepCallback& callback = {});
+
+ private:
+  void compute_forces();
+
+  System sys_;
+  std::shared_ptr<PairPotential> pot_;
+  Integrator integrator_;
+  NeighborList nl_;
+  Rng rng_;
+  EnergyVirial ev_;
+  TimerSet timers_;
+  long step_ = 0;
+  bool ready_ = false;
+};
+
+}  // namespace ember::md

@@ -1,0 +1,105 @@
+#pragma once
+
+// Atom storage (structure of arrays) and basic thermodynamic accessors.
+//
+// A System owns the positions/velocities/forces of the atoms it is
+// responsible for. In serial runs every atom is "local"; the parallel
+// driver appends ghost copies after index nlocal(). Per Core Guidelines
+// Per.16 the arrays are kept compact and contiguous — MD hot loops stream
+// through them in index order.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "common/vec3.hpp"
+#include "md/box.hpp"
+
+namespace ember::md {
+
+class System {
+ public:
+  System() = default;
+  System(Box box, double mass) : box_(box), mass_(mass) {}
+
+  [[nodiscard]] const Box& box() const { return box_; }
+  [[nodiscard]] Box& box() { return box_; }
+  [[nodiscard]] double mass() const { return mass_; }
+
+  [[nodiscard]] int nlocal() const { return nlocal_; }
+  [[nodiscard]] int ntotal() const { return static_cast<int>(x.size()); }
+  [[nodiscard]] int nghost() const { return ntotal() - nlocal_; }
+
+  // Append a local atom (position wrapped into the box).
+  void add_atom(const Vec3& pos, const Vec3& vel = {}) {
+    x.push_back(box_.wrap(pos));
+    v.push_back(vel);
+    f.emplace_back();
+    id.push_back(next_id_++);
+    ++nlocal_;
+  }
+
+  // Append a ghost copy (parallel halo); cleared by clear_ghosts().
+  void add_ghost(const Vec3& pos, long global_id) {
+    x.push_back(pos);
+    v.emplace_back();
+    f.emplace_back();
+    id.push_back(global_id);
+  }
+
+  void clear_ghosts() {
+    x.resize(nlocal_);
+    v.resize(nlocal_);
+    f.resize(nlocal_);
+    id.resize(nlocal_);
+  }
+
+  void zero_forces() {
+    for (auto& fi : f) fi = Vec3{};
+  }
+
+  // Kinetic energy in eV.
+  [[nodiscard]] double kinetic_energy() const {
+    double sum = 0.0;
+    for (int i = 0; i < nlocal_; ++i) sum += v[i].norm2();
+    return 0.5 * mass_ * units::MVV2E * sum;
+  }
+
+  // Instantaneous temperature [K]; dof = 3N - 3 removes the conserved
+  // center-of-mass momentum (pass total atom count for parallel runs).
+  [[nodiscard]] double temperature(int total_atoms = -1) const {
+    const int n = total_atoms < 0 ? nlocal_ : total_atoms;
+    const int dof = std::max(1, 3 * n - 3);
+    return 2.0 * kinetic_energy() / (dof * units::kB);
+  }
+
+  // Draw Maxwell-Boltzmann velocities at temperature T and remove the
+  // center-of-mass drift.
+  void thermalize(double temperature_K, Rng& rng) {
+    const double sigma =
+        std::sqrt(units::kB * temperature_K / (mass_ * units::MVV2E));
+    Vec3 ptot;
+    for (int i = 0; i < nlocal_; ++i) {
+      v[i] = {sigma * rng.gaussian(), sigma * rng.gaussian(),
+              sigma * rng.gaussian()};
+      ptot += v[i];
+    }
+    if (nlocal_ > 0) {
+      const Vec3 drift = ptot / nlocal_;
+      for (int i = 0; i < nlocal_; ++i) v[i] -= drift;
+    }
+  }
+
+  std::vector<Vec3> x;  // positions [A]
+  std::vector<Vec3> v;  // velocities [A/ps]
+  std::vector<Vec3> f;  // forces [eV/A]
+  std::vector<long> id; // global ids (stable across migration)
+
+ private:
+  Box box_;
+  double mass_ = units::MASS_CARBON;
+  int nlocal_ = 0;
+  long next_id_ = 0;
+};
+
+}  // namespace ember::md

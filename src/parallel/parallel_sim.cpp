@@ -1,0 +1,291 @@
+#include "parallel_sim.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/units.hpp"
+
+namespace ember::parallel {
+
+namespace {
+constexpr int kTagGhost = 10;    // + leg index
+constexpr int kTagForward = 20;  // + leg index
+constexpr int kTagReverse = 30;  // + leg index
+constexpr int kTagMigrate = 50;
+constexpr int kTagGather = 60;
+
+struct PackedAtom {
+  double x, y, z;
+  double vx, vy, vz;
+  long id;
+};
+
+struct PackedGhost {
+  double x, y, z;
+  long id;
+};
+}  // namespace
+
+ParallelSimulation::ParallelSimulation(comm::Communicator& comm,
+                                       const md::System& global,
+                                       std::shared_ptr<md::PairPotential> pot,
+                                       double dt_ps, double skin,
+                                       std::uint64_t seed)
+    : comm_(comm),
+      global_box_(global.box()),
+      domain_(global.box(),
+              RankGrid::choose(comm.size(), global.box().lengths()),
+              comm.rank()),
+      sys_(global.box(), global.mass()),
+      pot_(std::move(pot)),
+      integrator_(dt_ps),
+      nl_(pot_->cutoff(), skin),
+      rng_(Rng(seed).split(static_cast<std::uint64_t>(comm.rank()))) {
+  const double rghost = pot_->cutoff() + skin;
+  const Vec3 sub = domain_.lengths();
+  EMBER_REQUIRE(sub.x >= rghost && sub.y >= rghost && sub.z >= rghost,
+                "sub-domain smaller than the ghost cutoff; use fewer ranks");
+  scatter(global);
+}
+
+void ParallelSimulation::scatter(const md::System& global) {
+  for (int i = 0; i < global.nlocal(); ++i) {
+    const Vec3 w = global_box_.wrap(global.x[i]);
+    if (domain_.owns(w)) {
+      sys_.add_atom(w, global.v[i]);
+      sys_.id[sys_.nlocal() - 1] = global.id[i];
+    }
+  }
+}
+
+void ParallelSimulation::migrate() {
+  sys_.clear_ghosts();
+  const int nranks = comm_.size();
+  std::vector<std::vector<PackedAtom>> outgoing(nranks);
+  std::vector<int> keep;
+  keep.reserve(sys_.nlocal());
+
+  for (int i = 0; i < sys_.nlocal(); ++i) {
+    const Vec3 w = global_box_.wrap(sys_.x[i]);
+    sys_.x[i] = w;
+    const int owner = domain_.owner_of(w);
+    if (owner == comm_.rank()) {
+      keep.push_back(i);
+    } else {
+      outgoing[owner].push_back(
+          {w.x, w.y, w.z, sys_.v[i].x, sys_.v[i].y, sys_.v[i].z, sys_.id[i]});
+    }
+  }
+
+  // Compact the kept atoms.
+  md::System next(global_box_, sys_.mass());
+  for (const int i : keep) {
+    next.add_atom(sys_.x[i], sys_.v[i]);
+    next.id[next.nlocal() - 1] = sys_.id[i];
+  }
+
+  for (int r = 0; r < nranks; ++r) {
+    if (r == comm_.rank()) continue;
+    comm_.send(r, kTagMigrate, outgoing[r]);
+  }
+  for (int r = 0; r < nranks; ++r) {
+    if (r == comm_.rank()) continue;
+    for (const auto& a : comm_.recv<PackedAtom>(r, kTagMigrate)) {
+      next.add_atom({a.x, a.y, a.z}, {a.vx, a.vy, a.vz});
+      next.id[next.nlocal() - 1] = a.id;
+    }
+  }
+  sys_ = std::move(next);
+}
+
+void ParallelSimulation::exchange_ghosts() {
+  sys_.clear_ghosts();
+  const double rghost = pot_->cutoff() + nl_.skin();
+  const auto coords = domain_.grid().coords_of(comm_.rank());
+  const int n[3] = {domain_.grid().nx, domain_.grid().ny, domain_.grid().nz};
+
+  for (int d = 0; d < 3; ++d) {
+    // Both legs of dimension d scan only atoms that existed before this
+    // dimension: scanning ghosts received by the opposite leg of the SAME
+    // dimension would bounce them straight back as duplicate self-images.
+    // Ghosts from previous dimensions ARE scanned (corner propagation).
+    const int scan_limit = sys_.ntotal();
+    for (int dir = 0; dir < 2; ++dir) {  // 0 = up (+), 1 = down (-)
+      Leg& leg = legs_[2 * d + dir];
+      leg.send_idx.clear();
+      int up[3] = {coords[0], coords[1], coords[2]};
+      up[d] += (dir == 0) ? 1 : -1;
+      leg.send_to = domain_.grid().rank_of(up[0], up[1], up[2]);
+      int dn[3] = {coords[0], coords[1], coords[2]};
+      dn[d] -= (dir == 0) ? 1 : -1;
+      leg.recv_from = domain_.grid().rank_of(dn[0], dn[1], dn[2]);
+
+      const double face = (dir == 0) ? domain_.hi()[d] : domain_.lo()[d];
+      const bool at_edge =
+          (dir == 0) ? coords[d] == n[d] - 1 : coords[d] == 0;
+      leg.send_shift = Vec3{};
+      if (at_edge) {
+        leg.send_shift[d] =
+            (dir == 0) ? -global_box_.length(d) : global_box_.length(d);
+      }
+
+      std::vector<PackedGhost> packed;
+      for (int i = 0; i < scan_limit; ++i) {
+        const double c = sys_.x[i][d];
+        const bool in_slab =
+            (dir == 0) ? (c >= face - rghost) : (c < face + rghost);
+        if (!in_slab) continue;
+        leg.send_idx.push_back(i);
+        const Vec3 p = sys_.x[i] + leg.send_shift;
+        packed.push_back({p.x, p.y, p.z, sys_.id[i]});
+      }
+      comm_.send(leg.send_to, kTagGhost + 2 * d + dir, packed);
+
+      const auto incoming =
+          comm_.recv<PackedGhost>(leg.recv_from, kTagGhost + 2 * d + dir);
+      leg.ghost_begin = sys_.ntotal();
+      leg.ghost_count = static_cast<int>(incoming.size());
+      for (const auto& g : incoming) {
+        sys_.add_ghost({g.x, g.y, g.z}, g.id);
+      }
+    }
+  }
+}
+
+void ParallelSimulation::forward_positions() {
+  std::vector<Vec3> packed;
+  for (int leg_idx = 0; leg_idx < 6; ++leg_idx) {
+    const Leg& leg = legs_[leg_idx];
+    packed.clear();
+    packed.reserve(leg.send_idx.size());
+    for (const int i : leg.send_idx) {
+      packed.push_back(sys_.x[i] + leg.send_shift);
+    }
+    comm_.send(leg.send_to, kTagForward + leg_idx, packed);
+    const auto incoming = comm_.recv<Vec3>(leg.recv_from, kTagForward + leg_idx);
+    EMBER_REQUIRE(static_cast<int>(incoming.size()) == leg.ghost_count,
+                  "forward communication size drift");
+    for (int g = 0; g < leg.ghost_count; ++g) {
+      sys_.x[leg.ghost_begin + g] = incoming[g];
+    }
+  }
+}
+
+void ParallelSimulation::reverse_forces() {
+  std::vector<Vec3> packed;
+  for (int leg_idx = 5; leg_idx >= 0; --leg_idx) {
+    const Leg& leg = legs_[leg_idx];
+    packed.assign(sys_.f.begin() + leg.ghost_begin,
+                  sys_.f.begin() + leg.ghost_begin + leg.ghost_count);
+    comm_.send(leg.recv_from, kTagReverse + leg_idx, packed);
+    const auto incoming = comm_.recv<Vec3>(leg.send_to, kTagReverse + leg_idx);
+    EMBER_REQUIRE(incoming.size() == leg.send_idx.size(),
+                  "reverse communication size drift");
+    for (std::size_t m = 0; m < incoming.size(); ++m) {
+      sys_.f[leg.send_idx[m]] += incoming[m];
+    }
+  }
+}
+
+void ParallelSimulation::compute_forces() {
+  ScopedTimer t(timers_, "SNAP");
+  sys_.zero_forces();
+  ev_ = pot_->compute(sys_, nl_);
+}
+
+void ParallelSimulation::setup() {
+  {
+    ScopedTimer t(timers_, "MPI Comm");
+    migrate();
+    exchange_ghosts();
+  }
+  {
+    ScopedTimer t(timers_, "Neigh");
+    nl_.build(sys_, /*use_ghosts=*/true);
+  }
+  compute_forces();
+  {
+    ScopedTimer t(timers_, "MPI Comm");
+    reverse_forces();
+  }
+  ready_ = true;
+}
+
+void ParallelSimulation::run(long nsteps, const StepCallback& callback) {
+  if (!ready_) setup();
+  for (long s = 0; s < nsteps; ++s) {
+    {
+      ScopedTimer t(timers_, "Other");
+      integrator_.initial_integrate(sys_);
+    }
+    bool rebuild;
+    {
+      ScopedTimer t(timers_, "MPI Comm");
+      rebuild = comm_.allreduce_or(nl_.needs_rebuild(sys_));
+    }
+    if (rebuild) {
+      {
+        ScopedTimer t(timers_, "MPI Comm");
+        migrate();
+        exchange_ghosts();
+      }
+      ScopedTimer t(timers_, "Neigh");
+      nl_.build(sys_, /*use_ghosts=*/true);
+    } else {
+      ScopedTimer t(timers_, "MPI Comm");
+      forward_positions();
+    }
+    compute_forces();
+    {
+      ScopedTimer t(timers_, "MPI Comm");
+      reverse_forces();
+    }
+    {
+      ScopedTimer t(timers_, "Other");
+      integrator_.final_integrate(sys_, ev_, rng_);
+    }
+    ++step_;
+    if (callback) callback(*this);
+  }
+}
+
+GlobalState ParallelSimulation::global_state() {
+  GlobalState g;
+  g.natoms = comm_.allreduce_sum(static_cast<long>(sys_.nlocal()));
+  g.potential_energy = comm_.allreduce_sum(ev_.energy);
+  g.kinetic_energy = comm_.allreduce_sum(sys_.kinetic_energy());
+  g.virial = comm_.allreduce_sum(ev_.virial);
+  const long dof = std::max<long>(1, 3 * g.natoms - 3);
+  g.temperature = 2.0 * g.kinetic_energy / (dof * units::kB);
+  return g;
+}
+
+md::System ParallelSimulation::gather_global() {
+  std::vector<PackedAtom> mine;
+  mine.reserve(sys_.nlocal());
+  for (int i = 0; i < sys_.nlocal(); ++i) {
+    mine.push_back({sys_.x[i].x, sys_.x[i].y, sys_.x[i].z, sys_.v[i].x,
+                    sys_.v[i].y, sys_.v[i].z, sys_.id[i]});
+  }
+  std::vector<PackedAtom> all = mine;
+  for (int r = 0; r < comm_.size(); ++r) {
+    if (r == comm_.rank()) continue;
+    comm_.send(r, kTagGather, mine);
+  }
+  for (int r = 0; r < comm_.size(); ++r) {
+    if (r == comm_.rank()) continue;
+    const auto theirs = comm_.recv<PackedAtom>(r, kTagGather);
+    all.insert(all.end(), theirs.begin(), theirs.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const PackedAtom& a, const PackedAtom& b) { return a.id < b.id; });
+
+  md::System out(global_box_, sys_.mass());
+  for (const auto& a : all) {
+    out.add_atom({a.x, a.y, a.z}, {a.vx, a.vy, a.vz});
+    out.id[out.nlocal() - 1] = a.id;
+  }
+  return out;
+}
+
+}  // namespace ember::parallel

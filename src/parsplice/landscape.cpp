@@ -1,0 +1,79 @@
+#include "landscape.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ember::parsplice {
+
+Landscape::Landscape(int nwells, double barrier, double disorder,
+                     std::uint64_t seed)
+    : nwells_(nwells), barrier_(barrier) {
+  EMBER_REQUIRE(nwells >= 2, "need at least a 2x2 well lattice");
+  // Smooth disorder: a few long-wavelength Fourier modes commensurate with
+  // the periodic domain.
+  Rng rng(seed);
+  for (int kx = 0; kx <= 2; ++kx) {
+    for (int ky = 0; ky <= 2; ++ky) {
+      if (kx == 0 && ky == 0) continue;
+      Mode m;
+      m.kx = 2.0 * M_PI * kx / nwells;
+      m.ky = 2.0 * M_PI * ky / nwells;
+      m.amplitude = disorder * rng.uniform(-1.0, 1.0);
+      m.phase = rng.uniform(0.0, 2.0 * M_PI);
+      modes_.push_back(m);
+    }
+  }
+}
+
+double Landscape::energy(const Vec2& r) const {
+  // Clean lattice: minima at integer points, saddle at half-integers with
+  // height = barrier (the -cos form has barrier = 2 * amplitude along the
+  // minimum-energy path through an edge saddle).
+  const double a = 0.5 * barrier_;
+  double v = a * (2.0 - std::cos(2.0 * M_PI * r.x) -
+                  std::cos(2.0 * M_PI * r.y));
+  for (const auto& m : modes_) {
+    v += m.amplitude * std::cos(m.kx * r.x + m.ky * r.y + m.phase);
+  }
+  return v;
+}
+
+Vec2 Landscape::gradient(const Vec2& r) const {
+  const double a = 0.5 * barrier_;
+  Vec2 g{a * 2.0 * M_PI * std::sin(2.0 * M_PI * r.x),
+         a * 2.0 * M_PI * std::sin(2.0 * M_PI * r.y)};
+  for (const auto& m : modes_) {
+    const double s = -m.amplitude * std::sin(m.kx * r.x + m.ky * r.y + m.phase);
+    g.x += s * m.kx;
+    g.y += s * m.ky;
+  }
+  return g;
+}
+
+int Landscape::state_of(const Vec2& r) const {
+  const auto wrap = [this](double c) {
+    int i = static_cast<int>(std::lround(c));
+    i %= nwells_;
+    if (i < 0) i += nwells_;
+    return i;
+  };
+  return wrap(r.y) * nwells_ + wrap(r.x);
+}
+
+Vec2 Landscape::well_center(int state) const {
+  return {static_cast<double>(state % nwells_),
+          static_cast<double>(state / nwells_)};
+}
+
+void Landscape::step(Vec2& r, double temperature, double dt, Rng& rng) const {
+  const Vec2 g = gradient(r);
+  const double noise = std::sqrt(2.0 * temperature * dt);
+  r.x += -g.x * dt + noise * rng.gaussian();
+  r.y += -g.y * dt + noise * rng.gaussian();
+  // Keep coordinates in the periodic domain [0, nwells).
+  r.x -= nwells_ * std::floor(r.x / nwells_);
+  r.y -= nwells_ * std::floor(r.y / nwells_);
+}
+
+}  // namespace ember::parsplice

@@ -1,0 +1,62 @@
+#pragma once
+
+// Toy potential-energy landscape for Parallel Trajectory Splicing.
+//
+// A periodic 2-D lattice of wells (minima at integer lattice points of a
+// -cos(2 pi x) - cos(2 pi y) surface) with a smooth random disorder field
+// superimposed. The disorder detunes well depths and barrier heights, so
+// some well pairs form low-barrier "superbasins" — the revisit structure
+// that ParSplice's segment caching exploits (deck, "Super-basins" slide).
+//
+// Dynamics are overdamped Langevin, the setting in which the QSD theory of
+// the deck (Le Bris, Lelievre, Luskin, Perez) applies directly.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ember::parsplice {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class Landscape {
+ public:
+  // nwells x nwells periodic well lattice; barrier sets the clean-lattice
+  // saddle height [energy units]; disorder adds smooth random modulation.
+  Landscape(int nwells, double barrier, double disorder,
+            std::uint64_t seed = 99);
+
+  [[nodiscard]] int nwells() const { return nwells_; }
+  [[nodiscard]] int num_states() const { return nwells_ * nwells_; }
+  [[nodiscard]] double barrier() const { return barrier_; }
+
+  [[nodiscard]] double energy(const Vec2& r) const;
+  [[nodiscard]] Vec2 gradient(const Vec2& r) const;
+
+  // State = index of the well basin containing r (nearest lattice point;
+  // exact basin boundaries are immaterial to the method as long as the
+  // definition is fixed — see the deck: "this is true for any state
+  // definition").
+  [[nodiscard]] int state_of(const Vec2& r) const;
+
+  // Center of a state's well.
+  [[nodiscard]] Vec2 well_center(int state) const;
+
+  // One overdamped Langevin step: r <- r - grad V dt + sqrt(2 T dt) xi.
+  void step(Vec2& r, double temperature, double dt, Rng& rng) const;
+
+ private:
+  struct Mode {
+    double kx, ky, amplitude, phase;
+  };
+
+  int nwells_;
+  double barrier_;
+  std::vector<Mode> modes_;
+};
+
+}  // namespace ember::parsplice

@@ -1,0 +1,255 @@
+#include "parsplice.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace ember::parsplice {
+
+Segment generate_segment(const Landscape& land, int state,
+                         const ParSpliceConfig& cfg, Rng& rng) {
+  Segment seg;
+  seg.start_state = state;
+  const Vec2 anchor = land.well_center(state);
+
+  // --- dephasing: converge to the QSD of `state` ---
+  // Run from the anchor; if the walker escapes before accumulating t_corr
+  // inside the state, reject and restart (Fleming-Viot-style rejection).
+  Vec2 r = anchor;
+  double in_state = 0.0;
+  double dephase_cost = 0.0;
+  while (in_state < cfg.t_corr) {
+    land.step(r, cfg.temperature, cfg.dt, rng);
+    dephase_cost += cfg.dt;
+    if (land.state_of(r) == state) {
+      in_state += cfg.dt;
+    } else {
+      r = anchor;
+      in_state = 0.0;
+    }
+  }
+
+  // --- segment body: run t_segment, then extend until the current state
+  // has held for t_corr (so the end is also QSD-distributed) ---
+  double elapsed = 0.0;
+  int current = state;      // instantaneous basin
+  int committed = state;    // last state held for >= t_corr
+  double current_hold = cfg.t_corr;  // dephasing already provided it
+  while (elapsed < cfg.t_segment || current_hold < cfg.t_corr) {
+    land.step(r, cfg.temperature, cfg.dt, rng);
+    elapsed += cfg.dt;
+    const int s = land.state_of(r);
+    if (s == current) {
+      current_hold += cfg.dt;
+      if (current != committed && current_hold >= cfg.t_corr) {
+        committed = current;
+        ++seg.transitions;
+      }
+    } else {
+      current = s;
+      current_hold = cfg.dt;
+    }
+    // Safety valve: at very high temperature the walker may never settle;
+    // cap the extension at 5x the nominal duration.
+    if (elapsed > 5.0 * cfg.t_segment) break;
+  }
+
+  seg.end_state = committed;
+  seg.duration = elapsed;
+  seg.wall_cost = dephase_cost + elapsed;
+  return seg;
+}
+
+std::map<int, double> Oracle::predict(int state, int horizon) const {
+  std::map<int, double> dist{{state, 1.0}};
+  for (int h = 0; h < horizon; ++h) {
+    std::map<int, double> next;
+    for (const auto& [s, p] : dist) {
+      // Row of the learned transition matrix for s.
+      double total = 0.0;
+      for (const auto& [key, c] : counts_) {
+        if (key.first == s) total += static_cast<double>(c);
+      }
+      if (total == 0.0) {
+        next[s] += p;  // nothing learned: assume it stays
+        continue;
+      }
+      for (const auto& [key, c] : counts_) {
+        if (key.first == s) {
+          next[key.second] += p * static_cast<double>(c) / total;
+        }
+      }
+    }
+    dist = std::move(next);
+  }
+  return dist;
+}
+
+Segment SegmentDatabase::take(int state) {
+  auto it = db_.find(state);
+  EMBER_REQUIRE(it != db_.end() && !it->second.empty(),
+                "no banked segment for the requested state");
+  Segment seg = it->second.front();
+  it->second.pop_front();
+  return seg;
+}
+
+std::size_t SegmentDatabase::banked() const {
+  std::size_t n = 0;
+  for (const auto& [state, q] : db_) n += q.size();
+  return n;
+}
+
+namespace {
+
+struct WorkerEvent {
+  double completion_time;
+  int worker;
+  bool operator>(const WorkerEvent& o) const {
+    return completion_time > o.completion_time;
+  }
+};
+
+// Pick the production target for a worker: sample the oracle's predicted
+// occupancy a few segments ahead of the trajectory's current end, reduced
+// by what is already banked or in flight.
+int pick_target(const Oracle& oracle, const SegmentDatabase& db,
+                const std::map<int, int>& in_flight, int end_state,
+                int horizon, Rng& rng) {
+  const auto dist = oracle.predict(end_state, horizon);
+  // Score = predicted demand minus supply already available/in flight.
+  int best = end_state;
+  double best_score = -1e300;
+  for (const auto& [s, p] : dist) {
+    double supply = db.available(s) ? 1.0 : 0.0;
+    const auto it = in_flight.find(s);
+    if (it != in_flight.end()) supply += it->second;
+    const double score = p - 0.35 * supply + 1e-6 * rng.uniform();
+    if (score > best_score) {
+      best_score = score;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ParSpliceResult run_parsplice(const Landscape& land,
+                              const ParSpliceConfig& cfg) {
+  EMBER_REQUIRE(cfg.nworkers >= 1, "need at least one worker");
+  ParSpliceResult result;
+  Oracle oracle;
+  SegmentDatabase db;
+  Rng master(cfg.seed);
+
+  int end_state = land.state_of({0.0, 0.0});
+  std::set<int> visited{end_state};
+
+  // Event queue of worker completions; workers also remember their target
+  // and private RNG stream.
+  std::priority_queue<WorkerEvent, std::vector<WorkerEvent>,
+                      std::greater<WorkerEvent>>
+      events;
+  std::vector<int> worker_target(cfg.nworkers, end_state);
+  std::vector<Rng> worker_rng;
+  worker_rng.reserve(cfg.nworkers);
+  std::map<int, int> in_flight;
+
+  // Initially every worker produces for the current state.
+  for (int w = 0; w < cfg.nworkers; ++w) {
+    worker_rng.push_back(master.split(w + 1));
+    worker_target[w] = end_state;
+    ++in_flight[end_state];
+    // Stagger virtual start times negligibly to break ties.
+    events.push({1e-9 * w, w});
+  }
+
+  double now = 0.0;
+  // Completion events carry the *previous* assignment; on pop we generate
+  // that segment, splice, and reassign.
+  while (!events.empty()) {
+    const auto ev = events.top();
+    events.pop();
+    now = ev.completion_time;
+    if (now > cfg.wall_budget) break;
+
+    const int w = ev.worker;
+    const int target = worker_target[w];
+    Segment seg = generate_segment(land, target, cfg, worker_rng[w]);
+    --in_flight[target];
+    ++result.segments_generated;
+    result.generated_time += seg.duration;
+    oracle.observe(seg.start_state, seg.end_state);
+    db.deposit(seg);
+
+    // Splice as far as the database allows.
+    while (db.available(end_state)) {
+      const Segment s = db.take(end_state);
+      result.spliced_time += s.duration;
+      ++result.segments_spliced;
+      result.transitions += s.transitions;
+      end_state = s.end_state;
+      visited.insert(end_state);
+    }
+
+    // Reassign the worker.
+    const int next = pick_target(oracle, db, in_flight, end_state,
+                                 cfg.speculation_horizon, master);
+    worker_target[w] = next;
+    ++in_flight[next];
+    events.push({now + seg.wall_cost, w});
+  }
+
+  result.states_visited = static_cast<int>(visited.size());
+  result.wall_time = std::min(now, cfg.wall_budget);
+  return result;
+}
+
+MdReference run_md_reference(const Landscape& land,
+                             const ParSpliceConfig& cfg) {
+  MdReference ref;
+  Rng rng(cfg.seed ^ 0xabcdef);
+  Vec2 r = land.well_center(land.state_of({0.0, 0.0}));
+  int state = land.state_of(r);
+  std::set<int> visited{state};
+  double residence = 0.0;
+  std::vector<double> residences;
+
+  // Count transitions with the same commitment criterion ParSplice uses:
+  // a hop counts once the new basin has been held for t_corr.
+  int current = state;
+  double hold = cfg.t_corr;
+  const long nsteps = static_cast<long>(cfg.wall_budget / cfg.dt);
+  for (long s = 0; s < nsteps; ++s) {
+    land.step(r, cfg.temperature, cfg.dt, rng);
+    residence += cfg.dt;
+    const int now_state = land.state_of(r);
+    if (now_state == current) {
+      hold += cfg.dt;
+      if (current != state && hold >= cfg.t_corr) {
+        ++ref.transitions;
+        residences.push_back(residence);
+        residence = 0.0;
+        state = current;
+        visited.insert(state);
+      }
+    } else {
+      current = now_state;
+      hold = cfg.dt;
+    }
+  }
+  ref.physical_time = cfg.wall_budget;
+  ref.states_visited = static_cast<int>(visited.size());
+  if (!residences.empty()) {
+    double sum = 0.0;
+    for (const double t : residences) sum += t;
+    ref.mean_residence_time = sum / static_cast<double>(residences.size());
+  }
+  return ref;
+}
+
+}  // namespace ember::parsplice

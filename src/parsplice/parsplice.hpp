@@ -1,0 +1,118 @@
+#pragma once
+
+// Parallel Trajectory Splicing (ParSplice) over the toy landscape.
+//
+// The method (deck §26-52; Perez et al., JCTC 12, 18 (2016)):
+//  * a *segment* is a trajectory piece that spent at least t_corr in its
+//    initial state before its start (dephasing to the quasi-stationary
+//    distribution) and at least t_corr in its final state before its end;
+//  * segments with matching end/start states can be spliced end-to-end
+//    into a single statistically-correct state-to-state trajectory;
+//  * many workers generate segments independently — parallelization over
+//    *time*. Workers are steered by a statistical oracle (a learned Markov
+//    model) toward states the trajectory is likely to visit, and unused
+//    segments are banked for later revisits (superbasins).
+//
+// The scheduler here is a virtual-time discrete-event simulation: worker
+// wall-cost of a segment equals the physical time it had to integrate
+// (dephasing attempts included), so "speedup" compares the spliced
+// physical time against single-worker MD at the same rate.
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "parsplice/landscape.hpp"
+
+namespace ember::parsplice {
+
+struct Segment {
+  int start_state = -1;
+  int end_state = -1;
+  double duration = 0.0;   // physical time covered by the segment
+  double wall_cost = 0.0;  // physical time integrated to produce it
+  // Committed state changes inside the segment: a hop counts once the new
+  // state has been held for t_corr (raw boundary recrossings do not).
+  long transitions = 0;
+};
+
+struct ParSpliceConfig {
+  int nworkers = 8;
+  double temperature = 0.12;  // in barrier units (barrier/T sets rarity)
+  double dt = 5e-4;
+  double t_corr = 0.4;        // QSD dephasing / decorrelation time
+  double t_segment = 2.0;     // nominal segment duration
+  double wall_budget = 400.0; // total virtual wall time to simulate
+  int speculation_horizon = 3;
+  std::uint64_t seed = 12345;
+};
+
+struct ParSpliceResult {
+  double spliced_time = 0.0;     // validated trajectory length
+  double generated_time = 0.0;   // total segment time produced
+  long transitions = 0;          // state changes along the trajectory
+  long segments_spliced = 0;
+  long segments_generated = 0;
+  int states_visited = 0;
+  double wall_time = 0.0;
+  // Figure of merit from the deck's benchmark tables.
+  [[nodiscard]] double utilization() const {
+    return generated_time > 0 ? spliced_time / generated_time : 0.0;
+  }
+  [[nodiscard]] double speedup() const {
+    return wall_time > 0 ? spliced_time / wall_time : 0.0;
+  }
+};
+
+// Generate one segment for `state`: dephase to the QSD (restart on escape
+// during dephasing), then integrate until both the nominal duration has
+// elapsed and the trajectory has sat in its current state for t_corr.
+Segment generate_segment(const Landscape& land, int state,
+                         const ParSpliceConfig& config, Rng& rng);
+
+// The statistical oracle: an online-learned Markov chain over states.
+class Oracle {
+ public:
+  void observe(int from, int to) { ++counts_[{from, to}]; }
+
+  // Probability distribution of the state `horizon` segments ahead of
+  // `state`, from the learned transition matrix (self-transitions
+  // included).
+  [[nodiscard]] std::map<int, double> predict(int state, int horizon) const;
+
+ private:
+  std::map<std::pair<int, int>, long> counts_;
+};
+
+class SegmentDatabase {
+ public:
+  void deposit(const Segment& segment) {
+    db_[segment.start_state].push_back(segment);
+  }
+  [[nodiscard]] bool available(int state) const {
+    const auto it = db_.find(state);
+    return it != db_.end() && !it->second.empty();
+  }
+  Segment take(int state);
+  [[nodiscard]] std::size_t banked() const;
+
+ private:
+  std::map<int, std::deque<Segment>> db_;
+};
+
+// Run the full ParSplice virtual-time simulation.
+ParSpliceResult run_parsplice(const Landscape& land,
+                              const ParSpliceConfig& config);
+
+// Reference: plain MD trajectory statistics over the same wall budget
+// (single worker), for speedup comparisons and statistical validation.
+struct MdReference {
+  double physical_time = 0.0;
+  long transitions = 0;
+  int states_visited = 0;
+  double mean_residence_time = 0.0;
+};
+MdReference run_md_reference(const Landscape& land,
+                             const ParSpliceConfig& config);
+
+}  // namespace ember::parsplice

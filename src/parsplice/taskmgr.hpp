@@ -1,0 +1,48 @@
+#pragma once
+
+// EXAALT-style pull-model task management (deck §56-77).
+//
+// The deck's architecture: a work manager (WM) generates tasks; task
+// managers (TMs) act as middlemen that pre-fetch *batches* of tasks and
+// feed their local pool of workers, hiding WM latency and aggregating
+// small messages. The deck's claims, reproduced by this discrete-event
+// simulation:
+//   * a flat producer-consumer (every worker asks the WM directly)
+//     saturates the WM and worker utilization collapses with scale;
+//   * the hierarchical pull model keeps workers busy ("no worker should
+//     ever be idle") up to ~50,000 tasks/s.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace ember::parsplice {
+
+struct TaskFarmConfig {
+  int n_task_managers = 4;
+  int workers_per_tm = 64;
+  double task_seconds = 1.0;        // mean task execution time
+  double task_jitter = 0.2;         // uniform +- fraction of the mean
+  double wm_service_seconds = 2e-5; // WM CPU time to mint one task
+  double wm_request_overhead = 1e-4; // WM CPU time per request (any size)
+  double wm_latency = 5e-4;         // one-way message latency to the WM
+  double tm_latency = 2e-5;         // one-way worker <-> TM latency
+  int batch = 64;                   // tasks per WM request
+  int low_water = 32;               // TM prefetch trigger (queue depth)
+  double sim_seconds = 300.0;
+  std::uint64_t seed = 7;
+};
+
+struct TaskFarmResult {
+  long tasks_completed = 0;
+  double tasks_per_second = 0.0;
+  double worker_utilization = 0.0;  // busy fraction across all workers
+  double wm_busy_fraction = 0.0;    // WM server occupancy
+  long wm_requests = 0;
+};
+
+// Simulate the farm; set n_task_managers = total workers and batch = 1 to
+// model the flat (no-middleman) topology.
+TaskFarmResult simulate_task_farm(const TaskFarmConfig& config);
+
+}  // namespace ember::parsplice

@@ -1,0 +1,60 @@
+#include "production.hpp"
+
+#include <cmath>
+
+namespace ember::perf {
+
+double ProductionModel::bc8_fraction(double sim_ns) const {
+  // Nucleation begins once the sample has annealed (~0.25 ns into the
+  // run, after the first temperature raise); Avrami growth afterwards.
+  const double onset = 0.25;
+  if (sim_ns <= onset) return 0.0;
+  const double t = sim_ns - onset;
+  return 1.0 - std::exp(-std::pow(t / 0.45, 2.0));
+}
+
+std::vector<ProductionSample> ProductionModel::trace() const {
+  std::vector<ProductionSample> out;
+  const auto base = model_.predict(config_.natoms, config_.nodes);
+  const double base_rate = base.matom_steps_per_node_s();
+
+  const double steps_per_sample = config_.sample_every_steps;
+  double wall_s = 0.0;
+  double sim_ps = 0.0;
+  double next_checkpoint_s = config_.checkpoint_every_hours * 3600.0;
+  const double total_s = config_.total_hours * 3600.0;
+  const int nseg = static_cast<int>(config_.segment_temperatures.size());
+
+  while (wall_s < total_s) {
+    const int seg = std::min(
+        nseg - 1, static_cast<int>(wall_s / (total_s / nseg)));
+    const double frac = bc8_fraction(sim_ps / 1000.0);
+    // Ordered-phase speedup accrues with the BC8 fraction.
+    const double rate = base_rate * (1.0 + config_.bc8_rate_boost * frac);
+
+    ProductionSample s;
+    const double block_atom_steps = config_.natoms * steps_per_sample;
+    double block_wall =
+        block_atom_steps / (rate * 1e6) / config_.nodes;
+    s.checkpoint = false;
+    if (wall_s + block_wall >= next_checkpoint_s) {
+      // Checkpoint write stalls the loop: the sampled rate collapses.
+      block_wall += config_.checkpoint_minutes * 60.0;
+      next_checkpoint_s += config_.checkpoint_every_hours * 3600.0;
+      s.checkpoint = true;
+    }
+    wall_s += block_wall;
+    sim_ps += steps_per_sample * config_.timestep_fs * 1e-3;
+
+    s.wall_hours = wall_s / 3600.0;
+    s.sim_ns = sim_ps / 1000.0;
+    s.perf_matom_steps_node_s =
+        block_atom_steps / (block_wall * config_.nodes) / 1e6;
+    s.temperature = config_.segment_temperatures[seg];
+    s.bc8_fraction = frac;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ember::perf

@@ -1,0 +1,113 @@
+#include "scaling.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ember::perf {
+
+MachineModel MachineModel::summit() {
+  MachineModel m;
+  m.node = {"Summit", 6, 43.2, 1.091, 2000, 1e15};
+  m.net = {35.0, 0.4, 1.5, 18, 1.35, 60.0};
+  return m;
+}
+
+MachineModel MachineModel::selene() {
+  // 8x A100 per node; ~1.9x Summit per node for SNAP. The peak counts the
+  // FP64 tensor cores (19.5 TF/GPU) which SNAP cannot use — the paper's
+  // explanation for Selene's lower fraction of peak (14%).
+  MachineModel m;
+  m.node = {"Selene", 8, 156.0, 1.60, 2000, 1e15};
+  m.net = {25.0, 0.8, 2.5, 35, 1.25, 60.0};
+  return m;
+}
+
+MachineModel MachineModel::perlmutter() {
+  // 4x A100 per node: per-GPU rate like Selene's, rough node parity with
+  // 6-GPU Summit thanks to the generational improvement.
+  MachineModel m;
+  m.node = {"Perlmutter", 4, 78.0, 1.60, 2000, 1e15};
+  m.net = {25.0, 0.8, 2.5, 64, 1.25, 60.0};
+  return m;
+}
+
+MachineModel MachineModel::frontera() {
+  // CPU machine (2x Xeon 8280 per node); the paper reports Summit ~52x
+  // faster per node for the 1 G-atom benchmark. Modelled as one device per
+  // node with a CPU-level rate and no occupancy cliff.
+  MachineModel m;
+  m.node = {"Frontera", 1, 3.9, 0.12, 50, 1e15};
+  m.net = {2.0, 4.0, 8.0, 90, 1.15, 60.0};
+  return m;
+}
+
+ScalingModel::ScalingModel(MachineModel machine, double flops_per_atom_step)
+    : machine_(machine), flops_per_atom_step_(flops_per_atom_step) {}
+
+RunPrediction ScalingModel::predict(double natoms, int nodes) const {
+  EMBER_REQUIRE(natoms > 0 && nodes > 0, "invalid prediction arguments");
+  const NodeModel& nd = machine_.node;
+  const NetworkModel& net = machine_.net;
+
+  RunPrediction run;
+  run.natoms = natoms;
+  run.nodes = nodes;
+
+  const double ranks = static_cast<double>(nodes) * nd.gpus_per_node;
+  const double n_rank = natoms / ranks;  // atoms per GPU (= per MPI rank)
+
+  // --- compute: occupancy-saturating GPU throughput ---
+  const double occ = n_rank / (n_rank + nd.half_occupancy_atoms);
+  const double roll = 1.0 / (1.0 + n_rank / nd.rolloff_atoms);
+  const double rate = nd.rate_max * occ * roll;  // Matom-steps/s per GPU
+  run.t_compute = n_rank / (rate * 1e6);
+
+  // --- communication: 6-direction halo, forward + reverse, reductions ---
+  const double side = std::cbrt(n_rank / machine_.atom_density);  // [A]
+  const double outer = side + 2.0 * machine_.ghost_cutoff;
+  const double ghost_atoms =
+      machine_.atom_density * (outer * outer * outer - side * side * side);
+  const double bytes = ghost_atoms * net.bytes_per_ghost;
+  const bool cross_rack = nodes > net.rack_nodes;
+  const double bw =
+      (cross_rack ? net.bandwidth_GBps : net.bandwidth_intra_GBps) * 1e9;
+  const double lat = net.latency_us * 1e-6 * (cross_rack ? net.rack_penalty : 1.0);
+  const double n_msgs = 12.0;  // 6 legs, forward + reverse
+  const double allreduce = 2.0 * std::log2(std::max(2.0, ranks)) * lat;
+  run.t_comm = n_msgs * lat + bytes / bw + allreduce;
+
+  // --- other: integration, thermostat, services (paper Fig. 4 "Other") --
+  run.t_other = n_rank * 9.0e-9 + 5.0e-4;
+
+  return run;
+}
+
+double ScalingModel::pflops(const RunPrediction& run) const {
+  const double atom_steps_per_s = run.natoms / run.step_time();
+  return atom_steps_per_s * flops_per_atom_step_ / 1e15;
+}
+
+double ScalingModel::fraction_of_peak(const RunPrediction& run) const {
+  const double peak_pflops = run.nodes * machine_.node.peak_tflops / 1e3;
+  return pflops(run) / peak_pflops;
+}
+
+double ScalingModel::parallel_efficiency(double natoms, int nodes_lo,
+                                         int nodes_hi) const {
+  const auto lo = predict(natoms, nodes_lo);
+  const auto hi = predict(natoms, nodes_hi);
+  return hi.matom_steps_per_node_s() / lo.matom_steps_per_node_s();
+}
+
+int ScalingModel::min_nodes(double natoms) const {
+  // ~4.7 kB total footprint per atom (neighbor lists, comm buffers, SNAP
+  // scratch) on a 16 GB V100: the paper first fits 20 G atoms on 972
+  // nodes and 1 G on 64.
+  const double atoms_per_gpu_max = 3.43e6;
+  const double gpus = natoms / atoms_per_gpu_max;
+  return std::max(1, static_cast<int>(
+                         std::ceil(gpus / machine_.node.gpus_per_node)));
+}
+
+}  // namespace ember::perf

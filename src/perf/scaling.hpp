@@ -1,0 +1,62 @@
+#pragma once
+
+// Analytic scaling model: predicts time-per-step and its breakdown for a
+// SNAP MD run of N atoms on a given machine and node count, from which the
+// paper's Figs. 3-6 series are regenerated.
+
+#include <vector>
+
+#include "perf/machine.hpp"
+
+namespace ember::perf {
+
+struct RunPrediction {
+  double natoms = 0;
+  int nodes = 0;
+  double t_compute = 0.0;  // [s/step] SNAP force kernel
+  double t_comm = 0.0;     // [s/step] halo exchange + reductions
+  double t_other = 0.0;    // [s/step] integration, thermostat, services
+  [[nodiscard]] double step_time() const {
+    return t_compute + t_comm + t_other;
+  }
+  // The paper's figure of merit.
+  [[nodiscard]] double matom_steps_per_node_s() const {
+    return natoms / step_time() / nodes / 1e6;
+  }
+  [[nodiscard]] double comm_fraction() const { return t_comm / step_time(); }
+  [[nodiscard]] double compute_fraction() const {
+    return t_compute / step_time();
+  }
+  [[nodiscard]] double other_fraction() const { return t_other / step_time(); }
+};
+
+class ScalingModel {
+ public:
+  // flops_per_atom_step: from the SNAP kernel's analytic FLOP count
+  // (Bispectrum::flops_adjoint_atom) — used to convert rates to FLOP/s.
+  explicit ScalingModel(MachineModel machine,
+                        double flops_per_atom_step = 1.7e6);
+
+  [[nodiscard]] const MachineModel& machine() const { return machine_; }
+
+  [[nodiscard]] RunPrediction predict(double natoms, int nodes) const;
+
+  // Sustained FLOP rate of a run [PFLOP/s].
+  [[nodiscard]] double pflops(const RunPrediction& run) const;
+  // Fraction of the machine's theoretical peak.
+  [[nodiscard]] double fraction_of_peak(const RunPrediction& run) const;
+
+  // Strong-scaling parallel efficiency between two node counts.
+  [[nodiscard]] double parallel_efficiency(double natoms, int nodes_lo,
+                                           int nodes_hi) const;
+
+  // Smallest node count whose per-GPU memory can hold the problem
+  // (~1.4 GB per million atoms, 16 GB V100-class budget).
+  [[nodiscard]] int min_nodes(double natoms) const;
+
+ private:
+  MachineModel machine_;
+  double flops_per_atom_step_;
+};
+
+}  // namespace ember::perf

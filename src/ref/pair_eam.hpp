@@ -1,0 +1,67 @@
+#pragma once
+
+// Finnis-Sinclair embedded-atom potential (single element).
+//
+//   E = sum_i F(rho_i) + 1/2 sum_{i != j} phi(r_ij)
+//   rho_i  = sum_j f(r_ij),
+//   f(r)   = (r - d)^2 + beta (r - d)^3 / d                    r < d
+//   phi(r) = (r - c)^2 (c0 + c1 r + c2 r^2)                    r < c
+//   F(rho) = -A sqrt(rho)
+//
+// Defaults are the original Finnis-Sinclair iron parameterization. In the
+// deck's cost taxonomy this is the *cheap* potential (vs SNAP's expensive
+// kernel): it anchors the low end of the arithmetic-intensity axis in the
+// occupancy study (bench_occupancy) and gives ParSplice-style workloads a
+// realistic metallic substrate.
+//
+// Serial-only: the embedding force needs the neighbors' F'(rho), which in
+// a domain-decomposed run requires an extra mid-force halo exchange that
+// the PairPotential interface does not provide (documented limitation).
+
+#include "md/potential.hpp"
+
+namespace ember::ref {
+
+struct EamParams {
+  double A = 1.828905;    // embedding strength [eV]
+  double d = 3.569745;    // density cutoff [A]
+  double beta = 1.8;      // cubic density correction (Fe)
+  double c = 3.40;        // pair cutoff [A]
+  double c0 = 1.2371147;
+  double c1 = -0.3592185;
+  double c2 = -0.0385607;
+};
+
+class PairEam final : public md::PairPotential {
+ public:
+  explicit PairEam(const EamParams& p = {}) : p_(p) {}
+
+  [[nodiscard]] double cutoff() const override { return std::max(p_.c, p_.d); }
+  [[nodiscard]] const char* name() const override { return "eam/fs"; }
+  [[nodiscard]] const EamParams& params() const { return p_; }
+
+  md::EnergyVirial compute(md::System& sys,
+                           const md::NeighborList& nl) override;
+
+  // Scalar ingredients, exposed for tests.
+  [[nodiscard]] double density_fn(double r) const {
+    if (r >= p_.d) return 0.0;
+    const double dr = r - p_.d;
+    return dr * dr + p_.beta * dr * dr * dr / p_.d;
+  }
+  [[nodiscard]] double pair_fn(double r) const {
+    if (r >= p_.c) return 0.0;
+    const double dr = r - p_.c;
+    return dr * dr * (p_.c0 + p_.c1 * r + p_.c2 * r * r);
+  }
+  [[nodiscard]] double embed_fn(double rho) const {
+    return rho > 0.0 ? -p_.A * std::sqrt(rho) : 0.0;
+  }
+
+ private:
+  EamParams p_;
+  std::vector<double> rho_;      // per-atom density scratch
+  std::vector<double> fprime_;   // dF/drho scratch
+};
+
+}  // namespace ember::ref

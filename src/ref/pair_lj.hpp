@@ -1,0 +1,30 @@
+#pragma once
+
+// Lennard-Jones 12-6 pair potential (energy-shifted at the cutoff).
+
+#include "md/potential.hpp"
+
+namespace ember::ref {
+
+class PairLJ final : public md::PairPotential {
+ public:
+  PairLJ(double epsilon, double sigma, double rcut)
+      : epsilon_(epsilon), sigma_(sigma), rcut_(rcut) {
+    const double sr6 = std::pow(sigma_ / rcut_, 6);
+    eshift_ = 4.0 * epsilon_ * (sr6 * sr6 - sr6);
+  }
+
+  [[nodiscard]] double cutoff() const override { return rcut_; }
+  [[nodiscard]] const char* name() const override { return "lj/cut"; }
+
+  md::EnergyVirial compute(md::System& sys,
+                           const md::NeighborList& nl) override;
+
+ private:
+  double epsilon_;
+  double sigma_;
+  double rcut_;
+  double eshift_;
+};
+
+}  // namespace ember::ref

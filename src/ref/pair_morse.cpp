@@ -1,0 +1,29 @@
+#include "pair_morse.hpp"
+
+#include <cmath>
+
+namespace ember::ref {
+
+md::EnergyVirial PairMorse::compute(md::System& sys,
+                                    const md::NeighborList& nl) {
+  md::EnergyVirial ev;
+  const double rc2 = rcut_ * rcut_;
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    const auto [entries, count] = nl.neighbors(i);
+    for (int m = 0; m < count; ++m) {
+      const Vec3 d = sys.x[entries[m].j] + entries[m].shift - sys.x[i];
+      const double r2 = d.norm2();
+      if (r2 >= rc2) continue;
+      const double r = std::sqrt(r2);
+      const double e = std::exp(-alpha_ * (r - r0_));
+      ev.energy += 0.5 * (d0_ * (e * e - 2.0 * e) - eshift_);
+      // dV/dr = -2 a D0 (e^2 - e); force on i is +dV/dr * rhat.
+      const double dvdr = -2.0 * alpha_ * d0_ * (e * e - e);
+      sys.f[i] += (dvdr / r) * d;
+      ev.virial += 0.5 * (-dvdr) * r;
+    }
+  }
+  return ev;
+}
+
+}  // namespace ember::ref

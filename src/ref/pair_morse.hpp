@@ -1,0 +1,32 @@
+#pragma once
+
+// Morse pair potential: V(r) = D0 [exp(-2a(r-r0)) - 2 exp(-a(r-r0))],
+// energy-shifted at the cutoff.
+
+#include "md/potential.hpp"
+
+namespace ember::ref {
+
+class PairMorse final : public md::PairPotential {
+ public:
+  PairMorse(double d0, double alpha, double r0, double rcut)
+      : d0_(d0), alpha_(alpha), r0_(r0), rcut_(rcut) {
+    const double e = std::exp(-alpha_ * (rcut_ - r0_));
+    eshift_ = d0_ * (e * e - 2.0 * e);
+  }
+
+  [[nodiscard]] double cutoff() const override { return rcut_; }
+  [[nodiscard]] const char* name() const override { return "morse"; }
+
+  md::EnergyVirial compute(md::System& sys,
+                           const md::NeighborList& nl) override;
+
+ private:
+  double d0_;
+  double alpha_;
+  double r0_;
+  double rcut_;
+  double eshift_;
+};
+
+}  // namespace ember::ref

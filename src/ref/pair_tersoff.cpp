@@ -1,0 +1,160 @@
+#include "pair_tersoff.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace ember::ref {
+
+double PairTersoff::fc(double r) const {
+  if (r < p_.R - p_.D) return 1.0;
+  if (r > p_.R + p_.D) return 0.0;
+  return 0.5 * (1.0 - std::sin(M_PI_2 * (r - p_.R) / p_.D));
+}
+
+double PairTersoff::fc_d(double r) const {
+  if (r < p_.R - p_.D || r > p_.R + p_.D) return 0.0;
+  return -(M_PI_4 / p_.D) * std::cos(M_PI_2 * (r - p_.R) / p_.D);
+}
+
+double PairTersoff::g_theta(double costheta) const {
+  const double u = p_.h - costheta;
+  const double c2 = p_.c * p_.c;
+  const double d2 = p_.d * p_.d;
+  return p_.gamma * (1.0 + c2 / d2 - c2 / (d2 + u * u));
+}
+
+double PairTersoff::g_theta_d(double costheta) const {
+  const double u = p_.h - costheta;
+  const double c2 = p_.c * p_.c;
+  const double d2 = p_.d * p_.d;
+  const double denom = d2 + u * u;
+  return -2.0 * p_.gamma * c2 * u / (denom * denom);
+}
+
+double PairTersoff::bij(double zeta) const {
+  if (zeta <= 0.0) return 1.0;
+  const double t = std::pow(p_.beta * zeta, p_.n);
+  return std::pow(1.0 + t, -1.0 / (2.0 * p_.n));
+}
+
+double PairTersoff::bij_d(double zeta) const {
+  if (zeta <= 0.0) return 0.0;
+  const double t = std::pow(p_.beta * zeta, p_.n);
+  return -0.5 * std::pow(1.0 + t, -1.0 / (2.0 * p_.n) - 1.0) * (t / zeta);
+}
+
+md::EnergyVirial PairTersoff::compute(md::System& sys,
+                                      const md::NeighborList& nl) {
+  md::EnergyVirial ev;
+  const double rc = cutoff();
+  const double rc2 = rc * rc;
+
+  // Scratch: in-range neighbors of the current atom.
+  struct Nb {
+    Vec3 d;     // displacement i -> neighbor
+    double r;
+    int j;
+  };
+  std::vector<Nb> nbr;
+
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    const auto [entries, count] = nl.neighbors(i);
+    nbr.clear();
+    for (int m = 0; m < count; ++m) {
+      const Vec3 d = sys.x[entries[m].j] + entries[m].shift - sys.x[i];
+      const double r2 = d.norm2();
+      if (r2 < rc2) nbr.push_back({d, std::sqrt(r2), entries[m].j});
+    }
+
+    for (std::size_t jj = 0; jj < nbr.size(); ++jj) {
+      const Vec3& rij = nbr[jj].d;
+      const double r1 = nbr[jj].r;
+      const int j = nbr[jj].j;
+
+      const double fc_ij = fc(r1);
+      if (fc_ij == 0.0) continue;
+      const double fcd_ij = fc_d(r1);
+      const double fr = p_.A * std::exp(-p_.lambda1 * r1);
+      const double fa = -p_.B * std::exp(-p_.lambda2 * r1);
+      const double fr_d = -p_.lambda1 * fr;
+      const double fa_d = -p_.lambda2 * fa;
+
+      // zeta_ij over the other neighbors of i.
+      double zeta = 0.0;
+      for (std::size_t kk = 0; kk < nbr.size(); ++kk) {
+        if (kk == jj) continue;
+        const double r2k = nbr[kk].r;
+        const double fc_ik = fc(r2k);
+        if (fc_ik == 0.0) continue;
+        const double cost = dot(rij, nbr[kk].d) / (r1 * r2k);
+        double ex = 1.0;
+        if (p_.lambda3 != 0.0) {
+          const double arg = std::pow(p_.lambda3, p_.m) *
+                             std::pow(r1 - r2k, p_.m);
+          ex = std::exp(arg);
+        }
+        zeta += fc_ik * g_theta(cost) * ex;
+      }
+      const double b = bij(zeta);
+      const double db = bij_d(zeta);
+
+      // Pair part: e2 = 1/2 fC (fR + b fA) at fixed b.
+      ev.energy += 0.5 * fc_ij * (fr + b * fa);
+      const double de2dr =
+          0.5 * (fcd_ij * (fr + b * fa) + fc_ij * (fr_d + b * fa_d));
+      // Force on i along -rhat (rij points i->j): F_i = de2/dr * rhat.
+      const Vec3 f2 = (de2dr / r1) * rij;
+      sys.f[i] += f2;
+      sys.f[j] -= f2;
+      ev.virial += -de2dr * r1;
+
+      // Three-body part: prefactor = dE/dzeta = 1/2 fC(rij) fA(rij) db.
+      const double pf = 0.5 * fc_ij * fa * db;
+      if (pf == 0.0) continue;
+      for (std::size_t kk = 0; kk < nbr.size(); ++kk) {
+        if (kk == jj) continue;
+        const Vec3& rik = nbr[kk].d;
+        const double r2k = nbr[kk].r;
+        const double fc_ik = fc(r2k);
+        if (fc_ik == 0.0) continue;
+        const int k = nbr[kk].j;
+        const double fcd_ik = fc_d(r2k);
+        const double cost = dot(rij, rik) / (r1 * r2k);
+        const double g = g_theta(cost);
+        const double gd = g_theta_d(cost);
+        double ex = 1.0;
+        double dexdrij = 0.0;
+        double dexdrik = 0.0;
+        if (p_.lambda3 != 0.0) {
+          const double l3m = std::pow(p_.lambda3, p_.m);
+          const double dr = r1 - r2k;
+          ex = std::exp(l3m * std::pow(dr, p_.m));
+          const double dd = l3m * p_.m * std::pow(dr, p_.m - 1.0) * ex;
+          dexdrij = dd;
+          dexdrik = -dd;
+        }
+
+        // Gradients of cos(theta) w.r.t. the positions of j and k.
+        const Vec3 dcos_dj = (1.0 / (r1 * r2k)) * rik - (cost / (r1 * r1)) * rij;
+        const Vec3 dcos_dk = (1.0 / (r1 * r2k)) * rij - (cost / (r2k * r2k)) * rik;
+
+        // dzeta/dr_j, dzeta/dr_k (r_i picks up the negative sum).
+        Vec3 dzeta_dj = fc_ik * ex * gd * dcos_dj;
+        if (dexdrij != 0.0) dzeta_dj += (fc_ik * g * dexdrij / r1) * rij;
+        Vec3 dzeta_dk = fc_ik * ex * gd * dcos_dk +
+                        ((fcd_ik * ex * g) / r2k) * rik;
+        if (dexdrik != 0.0) dzeta_dk += (fc_ik * g * dexdrik / r2k) * rik;
+
+        const Vec3 fj = -pf * dzeta_dj;  // force on atom j
+        const Vec3 fk = -pf * dzeta_dk;  // force on atom k
+        sys.f[j] += fj;
+        sys.f[k] += fk;
+        sys.f[i] -= fj + fk;
+        ev.virial += dot(rij, fj) + dot(rik, fk);
+      }
+    }
+  }
+  return ev;
+}
+
+}  // namespace ember::ref

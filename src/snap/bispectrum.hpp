@@ -1,0 +1,140 @@
+#pragma once
+
+// Per-atom SNAP bispectrum engine.
+//
+// This class owns the flattened U/Z/Y/B scratch arrays for one atom and
+// exposes the computation stages exactly as the paper's Listings 1/5 name
+// them, in two execution paths:
+//
+//   baseline path (Listing 1):
+//     compute_ui -> compute_zi -> compute_bi          (energy/descriptors)
+//                 \-> per neighbor: compute_duidrj -> compute_dbidrj
+//     Z storage is O(J^5); dB is O(J^5) work per neighbor.
+//
+//   adjoint path (Listing 5, the paper's §IV refactorization):
+//     compute_ui -> compute_yi(beta)
+//                 \-> per neighbor: compute_duidrj -> compute_deidrj
+//     Y storage is O(J^3); force is O(J^3) work per neighbor.
+//
+// The same instance can be reused across atoms (buffers are reset by
+// compute_ui). Instances are NOT thread-safe; create one per thread.
+
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "snap/cplx.hpp"
+#include "snap/indexing.hpp"
+#include "snap/wigner.hpp"
+
+namespace ember::snap {
+
+struct SnapParams {
+  int twojmax = 8;        // 2J; paper uses 8 (55 components) and 14 (204)
+  double rcut = 4.7;      // neighbor cutoff [A]
+  double rmin0 = 0.0;     // inner radius of the angular mapping [A]
+  double rfac0 = 0.99363; // fraction of pi covered at r = rcut
+  double wself = 1.0;     // self-contribution weight
+  bool switch_flag = true; // apply the smooth cutoff fc(r)
+  bool bzero_flag = false; // subtract the isolated-atom bispectrum
+};
+
+// Derivative of the weighted, switched U contribution of one neighbor:
+// d(w * fc(r) * u)/d{x,y,z}.
+struct DU {
+  Cplx d[3];
+};
+
+class Bispectrum {
+ public:
+  explicit Bispectrum(const SnapParams& params);
+
+  [[nodiscard]] const SnapParams& params() const { return params_; }
+  [[nodiscard]] const SnapIndex& index() const { return idx_; }
+  [[nodiscard]] int num_b() const { return idx_.num_b(); }
+
+  // ---- stage kernels ----
+
+  // Accumulate Utot over neighbors (positions relative to the central
+  // atom, all with |rij| < rcut) plus the self term.
+  void compute_ui(std::span<const Vec3> rij, std::span<const double> wj);
+
+  // Baseline: compute and store every coupled Z matrix (O(J^5) memory).
+  void compute_zi();
+
+  // Bispectrum components B_l for the canonical triples; requires
+  // compute_zi. Subtracts bzero when enabled.
+  void compute_bi();
+
+  // Adjoint: accumulate Y = sum beta * Z on the fly (O(J^3) memory);
+  // beta.size() must equal num_b().
+  void compute_yi(std::span<const double> beta);
+
+  // Per-neighbor derivative d(w fc u)/dr for the given displacement;
+  // fills the internal dU buffer used by the two force kernels below.
+  void compute_duidrj(const Vec3& rij, double wj);
+
+  // Adjoint force kernel: dE_i/dr_k = 2 Re sum_j Y_j : conj(dU_j).
+  [[nodiscard]] Vec3 compute_deidrj() const;
+
+  // Baseline force kernel: dB_l/dr_k for every canonical triple
+  // (requires compute_zi and compute_duidrj).
+  void compute_dbidrj();
+
+  // ---- results ----
+  [[nodiscard]] std::span<const double> blist() const { return blist_; }
+  [[nodiscard]] std::span<const Vec3> dblist() const { return dblist_; }
+  [[nodiscard]] std::span<const Cplx> utot() const { return utot_; }
+  [[nodiscard]] std::span<const Cplx> ylist() const { return ylist_; }
+  [[nodiscard]] std::span<const Cplx> zlist() const { return zlist_; }
+  [[nodiscard]] std::span<const DU> dulist() const { return dulist_; }
+
+  // Energy of the atom given linear SNAP coefficients (beta0 + beta . B);
+  // requires compute_bi.
+  [[nodiscard]] double energy(double beta0,
+                              std::span<const double> beta) const;
+
+  // Energy via the adjoint identity sum_j Y_j : conj(U_j) = 3 sum beta.B
+  // (every B component appears through its three U-slot dependency paths);
+  // requires compute_yi with the same beta. Lets the adjoint path skip Z
+  // storage entirely. beta is needed only for the bzero correction.
+  [[nodiscard]] double energy_from_yi(double beta0,
+                                      std::span<const double> beta) const;
+
+  // ---- analytic FLOP estimates (double-precision mul+add counted as 2) --
+  [[nodiscard]] double flops_ui(int nnbor) const;
+  [[nodiscard]] double flops_zi() const;
+  [[nodiscard]] double flops_bi() const;
+  [[nodiscard]] double flops_yi() const;
+  [[nodiscard]] double flops_duidrj() const;   // per neighbor
+  [[nodiscard]] double flops_deidrj() const;   // per neighbor
+  [[nodiscard]] double flops_dbidrj() const;   // per neighbor
+  // Total per-atom FLOPs of the adjoint path with nnbor neighbors.
+  [[nodiscard]] double flops_adjoint_atom(int nnbor) const;
+
+ private:
+  // Single-neighbor U recursion into ulist_; optionally also the
+  // derivative recursion into dulist_raw_ (du of the bare u, before the
+  // fc/weight product rule).
+  void u_recursion(const CayleyKlein& ck, bool with_derivatives);
+
+  // z-matrix element (row ma, col mb) of coupling triple t, from utot_.
+  [[nodiscard]] Cplx z_element(const ZTriple& t, int ma, int mb) const;
+
+  SnapParams params_;
+  SnapIndex idx_;
+  std::vector<double> rootpq_;  // rootpq_[p*(tj+1)+q] = sqrt(p/q)
+
+  std::vector<Cplx> utot_;
+  std::vector<Cplx> ulist_;      // per-neighbor scratch
+  std::vector<DU> dulist_raw_;   // per-neighbor du (bare u)
+  std::vector<DU> dulist_;       // d(w fc u)/dr
+  std::vector<Cplx> zlist_;
+  std::vector<Cplx> ylist_;
+  std::vector<double> blist_;
+  std::vector<Vec3> dblist_;
+  std::vector<double> bzero_;
+  bool have_z_ = false;
+};
+
+}  // namespace ember::snap

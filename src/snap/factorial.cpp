@@ -1,0 +1,71 @@
+#include "factorial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ember::snap {
+
+namespace {
+
+std::array<long double, kMaxFactorial + 1> build_table() {
+  std::array<long double, kMaxFactorial + 1> table{};
+  table[0] = 1.0L;
+  for (int n = 1; n <= kMaxFactorial; ++n) {
+    table[n] = table[n - 1] * static_cast<long double>(n);
+  }
+  return table;
+}
+
+}  // namespace
+
+long double factorial(int n) {
+  static const auto table = build_table();
+  EMBER_REQUIRE(n >= 0 && n <= kMaxFactorial, "factorial argument out of range");
+  return table[n];
+}
+
+double clebsch_gordan(int twoj1, int twom1, int twoj2, int twom2, int twoj,
+                      int twom) {
+  // Projection conservation and range checks.
+  if (twom1 + twom2 != twom) return 0.0;
+  if (twoj < std::abs(twoj1 - twoj2) || twoj > twoj1 + twoj2) return 0.0;
+  if (std::abs(twom1) > twoj1 || std::abs(twom2) > twoj2 || std::abs(twom) > twoj)
+    return 0.0;
+  // j and m must have the same parity (both doubled values even or odd).
+  if ((twoj1 + twom1) % 2 != 0 || (twoj2 + twom2) % 2 != 0 ||
+      (twoj + twom) % 2 != 0)
+    return 0.0;
+  // (j1 + j2 + j) must be an integer for a valid coupling.
+  if ((twoj1 + twoj2 + twoj) % 2 != 0) return 0.0;
+
+  // All factorial arguments below are guaranteed integral; divide doubled
+  // sums by 2 once validity is established.
+  const auto f = [](int doubled) { return factorial(doubled / 2); };
+
+  const long double prefactor =
+      std::sqrt(static_cast<long double>(twoj + 1) * f(twoj1 + twoj2 - twoj) *
+                f(twoj1 - twoj2 + twoj) * f(-twoj1 + twoj2 + twoj) /
+                f(twoj1 + twoj2 + twoj + 2)) *
+      std::sqrt(f(twoj + twom) * f(twoj - twom) * f(twoj1 - twom1) *
+                f(twoj1 + twom1) * f(twoj2 - twom2) * f(twoj2 + twom2));
+
+  // Racah sum over k (doubled index twok steps by 2).
+  long double sum = 0.0L;
+  const int twok_min =
+      std::max({0, twoj2 - twoj - twom1, twoj1 - twoj + twom2});
+  const int twok_max =
+      std::min({twoj1 + twoj2 - twoj, twoj1 - twom1, twoj2 + twom2});
+  for (int twok = twok_min; twok <= twok_max; twok += 2) {
+    const long double denom =
+        f(twok) * f(twoj1 + twoj2 - twoj - twok) * f(twoj1 - twom1 - twok) *
+        f(twoj2 + twom2 - twok) * f(twoj - twoj2 + twom1 + twok) *
+        f(twoj - twoj1 - twom2 + twok);
+    const long double sign = (twok / 2) % 2 == 0 ? 1.0L : -1.0L;
+    sum += sign / denom;
+  }
+  return static_cast<double>(prefactor * sum);
+}
+
+}  // namespace ember::snap

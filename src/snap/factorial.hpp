@@ -1,0 +1,25 @@
+#pragma once
+
+// Factorial table and Clebsch-Gordan coefficients for the SNAP bispectrum.
+//
+// All angular-momentum arguments are passed as *doubled* integers
+// (twoj = 2j, twom = 2m), the same convention LAMMPS uses, so half-integer
+// momenta are exact. Factorials are tabulated in long double: the largest
+// argument appearing for 2J = 14 is (j1+j2+j)/1 + 1 ~ 22, far below the
+// 1754! overflow limit of long double.
+
+#include <array>
+
+namespace ember::snap {
+
+inline constexpr int kMaxFactorial = 170;
+
+// n! as long double, tabulated at first use.
+long double factorial(int n);
+
+// Clebsch-Gordan coefficient C^{j m}_{j1 m1 j2 m2} with doubled arguments.
+// Returns 0 when the triangle or projection conditions fail.
+double clebsch_gordan(int twoj1, int twom1, int twoj2, int twom2, int twoj,
+                      int twom);
+
+}  // namespace ember::snap

@@ -1,0 +1,107 @@
+#include "indexing.hpp"
+
+#include <algorithm>
+
+#include "factorial.hpp"
+
+namespace ember::snap {
+
+SnapIndex::SnapIndex(int twojmax) : twojmax_(twojmax) {
+  EMBER_REQUIRE(twojmax >= 0 && twojmax <= 24, "twojmax out of supported range");
+
+  // U blocks.
+  u_block_.resize(twojmax + 1);
+  int off = 0;
+  for (int j = 0; j <= twojmax; ++j) {
+    u_block_[j] = off;
+    off += (j + 1) * (j + 1);
+  }
+  u_total_ = off;
+
+  // Canonical bispectrum triples: j >= j1 >= j2, paper's enumeration
+  // 0 <= 2j2 <= 2j1 <= 2j <= 2J. NB(2J=8) = 55, NB(2J=14) = 204.
+  const int n = twojmax + 1;
+  b_block_.assign(static_cast<std::size_t>(n) * n * n, -1);
+  for (int j1 = 0; j1 <= twojmax; ++j1) {
+    for (int j2 = 0; j2 <= j1; ++j2) {
+      for (int j = j1 - j2; j <= std::min(twojmax, j1 + j2); j += 2) {
+        if (j < j1) continue;
+        b_block_[(static_cast<std::size_t>(j1) * n + j2) * n + j] =
+            static_cast<int>(b_.size());
+        b_.push_back({j1, j2, j});
+      }
+    }
+  }
+
+  // Full coupling list (j1 >= j2, all product ranks), with the canonical-B
+  // mapping and multiplicity/normalization factors used by compute_yi.
+  // The factors follow from the chain rule over the three U-slots of each
+  // canonical B component (paper eq. 6); permuted slots acquire the
+  // representation-dimension ratio (2j_big+1)/(2j_target+1).
+  for (int j1 = 0; j1 <= twojmax; ++j1) {
+    for (int j2 = 0; j2 <= j1; ++j2) {
+      for (int j = j1 - j2; j <= std::min(twojmax, j1 + j2); j += 2) {
+        ZTriple t;
+        t.j1 = j1;
+        t.j2 = j2;
+        t.j = j;
+        if (j >= j1) {
+          t.idxb = b_index(j1, j2, j);
+          if (j1 == j) {
+            t.beta_scale = (j2 == j) ? 3.0 : 2.0;
+          } else {
+            t.beta_scale = 1.0;
+          }
+        } else if (j >= j2) {
+          t.idxb = b_index(j, j2, j1);
+          const double ratio = static_cast<double>(j1 + 1) / (j + 1);
+          t.beta_scale = (j2 == j) ? 2.0 * ratio : ratio;
+        } else {
+          t.idxb = b_index(j2, j, j1);
+          t.beta_scale = static_cast<double>(j1 + 1) / (j + 1);
+        }
+        EMBER_REQUIRE(t.idxb >= 0, "coupling triple has no canonical B");
+        t.idxz_u = z_total_;
+        z_total_ += (j + 1) * (j + 1);
+        if (z_block_.empty()) {
+          z_block_.assign(static_cast<std::size_t>(n) * n * n, -1);
+        }
+        z_block_[(static_cast<std::size_t>(j1) * n + j2) * n + j] =
+            static_cast<int>(z_.size());
+        z_.push_back(t);
+      }
+    }
+  }
+
+  // Clebsch-Gordan blocks, one per coupling triple.
+  for (auto& t : z_) {
+    t.idxcg = static_cast<int>(cg_.size());
+    for (int ma1 = 0; ma1 <= t.j1; ++ma1) {
+      const int twom1 = 2 * ma1 - t.j1;
+      for (int ma2 = 0; ma2 <= t.j2; ++ma2) {
+        const int twom2 = 2 * ma2 - t.j2;
+        cg_.push_back(
+            clebsch_gordan(t.j1, twom1, t.j2, twom2, t.j, twom1 + twom2));
+      }
+    }
+  }
+}
+
+int SnapIndex::z_index(int ja, int jb, int j) const {
+  if (ja < jb) std::swap(ja, jb);
+  const int n = twojmax_ + 1;
+  const int idx = z_block_[(static_cast<std::size_t>(ja) * n + jb) * n + j];
+  EMBER_REQUIRE(idx >= 0, "no coupling triple for the requested momenta");
+  return idx;
+}
+
+int SnapIndex::b_index(int j1, int j2, int j) const {
+  const int n = twojmax_ + 1;
+  EMBER_REQUIRE(j1 <= twojmax_ && j2 <= j1 && j >= j1 && j <= twojmax_,
+                "b_index arguments not canonical");
+  const int idx = b_block_[(static_cast<std::size_t>(j1) * n + j2) * n + j];
+  EMBER_REQUIRE(idx >= 0, "triple is not a valid bispectrum component");
+  return idx;
+}
+
+}  // namespace ember::snap

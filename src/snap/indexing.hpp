@@ -1,0 +1,87 @@
+#pragma once
+
+// Index bookkeeping for the flattened SNAP data structures.
+//
+// All angular momenta are doubled integers (j means twoj below). The U
+// arrays for j = 0..twojmax are stored back to back; block j holds the
+// (j+1)x(j+1) matrix row-major: element (j; ma, mb) lives at
+//     u_block[j] + ma * (j+1) + mb
+// with ma = j + 2m' (row) and mb = j + 2m (column), i.e. ma,mb = 0..j.
+//
+// The coupling list enumerates every triple (j1, j2, j) with
+//     j2 <= j1 <= twojmax,   |j1-j2| <= j <= min(twojmax, j1+j2),  step 2,
+// which covers both the canonical bispectrum triples (those with j >= j1,
+// the paper's 0 <= 2j2 <= 2j1 <= 2j <= 2J enumeration) and the permuted
+// triples needed by the adjoint accumulation (eq. 6 of the paper). Each
+// entry records which canonical B component it contributes to and with what
+// multiplicity/normalization.
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ember::snap {
+
+struct ZTriple {
+  int j1 = 0;  // first coupled momentum (doubled), j1 >= j2
+  int j2 = 0;  // second coupled momentum (doubled)
+  int j = 0;   // product momentum (doubled)
+  int idxb = -1;       // canonical B component this triple contributes to
+  double beta_scale = 1.0;  // multiplicity x normalization for compute_yi
+  int idxcg = 0;       // offset of this triple's Clebsch-Gordan block
+  int idxz_u = 0;      // offset of this triple's slot in the z value array
+};
+
+struct BTriple {
+  int j1 = 0;
+  int j2 = 0;
+  int j = 0;  // j >= j1 >= j2
+};
+
+class SnapIndex {
+ public:
+  explicit SnapIndex(int twojmax);
+
+  [[nodiscard]] int twojmax() const { return twojmax_; }
+
+  // ---- U storage ----
+  [[nodiscard]] int u_block(int j) const { return u_block_[j]; }
+  [[nodiscard]] int u_total() const { return u_total_; }
+  [[nodiscard]] int u_index(int j, int ma, int mb) const {
+    return u_block_[j] + ma * (j + 1) + mb;
+  }
+
+  // ---- coupling triples ----
+  [[nodiscard]] const std::vector<ZTriple>& z_triples() const { return z_; }
+  [[nodiscard]] const std::vector<BTriple>& b_triples() const { return b_; }
+  [[nodiscard]] int num_b() const { return static_cast<int>(b_.size()); }
+  // index of canonical triple (j1, j2, j) with j >= j1 >= j2
+  [[nodiscard]] int b_index(int j1, int j2, int j) const;
+  // total size of the per-triple z matrices ((j+1)^2 each), baseline path
+  [[nodiscard]] int z_total() const { return z_total_; }
+  // index into z_triples() of the entry coupling {ja, jb} -> rank j
+  // (argument order of the pair does not matter)
+  [[nodiscard]] int z_index(int ja, int jb, int j) const;
+
+  // ---- Clebsch-Gordan blocks ----
+  // Block for triple t holds C^{j m}_{j1 m1 j2 m2} for all (m1, m2), flat
+  // index (ma1 * (j2+1) + ma2) with ma1 = (j1+2m1)/... = 0..j1 etc.;
+  // m = m1 + m2 implied.
+  [[nodiscard]] const std::vector<double>& cg_values() const { return cg_; }
+  [[nodiscard]] double cg(const ZTriple& t, int ma1, int ma2) const {
+    return cg_[t.idxcg + ma1 * (t.j2 + 1) + ma2];
+  }
+
+ private:
+  int twojmax_;
+  std::vector<int> u_block_;
+  int u_total_ = 0;
+  std::vector<ZTriple> z_;
+  std::vector<BTriple> b_;
+  std::vector<int> b_block_;  // dense [j1][j2][j] lookup
+  std::vector<int> z_block_;  // dense [j1][j2][j] lookup (j1 >= j2)
+  int z_total_ = 0;
+  std::vector<double> cg_;
+};
+
+}  // namespace ember::snap

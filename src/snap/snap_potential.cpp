@@ -1,0 +1,173 @@
+#include "snap_potential.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ember::snap {
+
+std::vector<double> SnapModel::effective_beta(
+    std::span<const double> b) const {
+  std::vector<double> eff(beta.begin(), beta.end());
+  if (!alpha.empty()) {
+    const std::size_t n = beta.size();
+    for (std::size_t l = 0; l < n; ++l) {
+      double sum = 0.0;
+      const double* row = alpha.data() + l * n;
+      for (std::size_t m = 0; m < n; ++m) sum += row[m] * b[m];
+      eff[l] += sum;
+    }
+  }
+  return eff;
+}
+
+double SnapModel::site_energy(std::span<const double> b) const {
+  double e = beta0;
+  const std::size_t n = beta.size();
+  for (std::size_t l = 0; l < n; ++l) e += beta[l] * b[l];
+  if (!alpha.empty()) {
+    for (std::size_t l = 0; l < n; ++l) {
+      double sum = 0.0;
+      const double* row = alpha.data() + l * n;
+      for (std::size_t m = 0; m < n; ++m) sum += row[m] * b[m];
+      e += 0.5 * b[l] * sum;
+    }
+  }
+  return e;
+}
+
+void SnapModel::save(const std::string& path) const {
+  std::ofstream os(path);
+  EMBER_REQUIRE(os.good(), "cannot open " + path + " for writing");
+  os.precision(17);
+  os << "# ember SNAP model\n";
+  os << "twojmax " << params.twojmax << '\n';
+  os << "rcut " << params.rcut << '\n';
+  os << "rmin0 " << params.rmin0 << '\n';
+  os << "rfac0 " << params.rfac0 << '\n';
+  os << "wself " << params.wself << '\n';
+  os << "switch " << (params.switch_flag ? 1 : 0) << '\n';
+  os << "bzero " << (params.bzero_flag ? 1 : 0) << '\n';
+  os << "beta0 " << beta0 << '\n';
+  os << "ncoeff " << beta.size() << '\n';
+  for (const double b : beta) os << b << '\n';
+  os << "nquad " << alpha.size() << '\n';
+  for (const double a : alpha) os << a << '\n';
+  EMBER_REQUIRE(os.good(), "model write failed");
+}
+
+SnapModel SnapModel::load(const std::string& path) {
+  std::ifstream is(path);
+  EMBER_REQUIRE(is.good(), "cannot open " + path);
+  SnapModel m;
+  std::string line;
+  std::size_t ncoeff = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "twojmax") ls >> m.params.twojmax;
+    else if (key == "rcut") ls >> m.params.rcut;
+    else if (key == "rmin0") ls >> m.params.rmin0;
+    else if (key == "rfac0") ls >> m.params.rfac0;
+    else if (key == "wself") ls >> m.params.wself;
+    else if (key == "switch") { int v; ls >> v; m.params.switch_flag = v != 0; }
+    else if (key == "bzero") { int v; ls >> v; m.params.bzero_flag = v != 0; }
+    else if (key == "beta0") ls >> m.beta0;
+    else if (key == "ncoeff") {
+      ls >> ncoeff;
+      m.beta.reserve(ncoeff);
+      double v = 0.0;
+      while (m.beta.size() < ncoeff && is >> v) m.beta.push_back(v);
+    } else if (key == "nquad") {
+      std::size_t nquad = 0;
+      ls >> nquad;
+      m.alpha.reserve(nquad);
+      double v = 0.0;
+      while (m.alpha.size() < nquad && is >> v) m.alpha.push_back(v);
+    }
+  }
+  EMBER_REQUIRE(m.beta.size() == ncoeff && ncoeff > 0,
+                "model file truncated: " + path);
+  return m;
+}
+
+SnapPotential::SnapPotential(SnapModel model, Path path)
+    : model_(std::move(model)), path_(path), bi_(model_.params) {
+  EMBER_REQUIRE(static_cast<int>(model_.beta.size()) == bi_.num_b(),
+                "SNAP model has wrong number of coefficients");
+  EMBER_REQUIRE(model_.alpha.empty() ||
+                    model_.alpha.size() ==
+                        model_.beta.size() * model_.beta.size(),
+                "quadratic coefficient block must be num_b x num_b");
+}
+
+md::EnergyVirial SnapPotential::compute(md::System& sys,
+                                        const md::NeighborList& nl) {
+  md::EnergyVirial ev;
+  last_flops_ = 0.0;
+  const double rc2 = cutoff() * cutoff();
+
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    const auto [entries, count] = nl.neighbors(i);
+    rij_.clear();
+    jlist_.clear();
+    for (int m = 0; m < count; ++m) {
+      const Vec3 d = sys.x[entries[m].j] + entries[m].shift - sys.x[i];
+      if (d.norm2() < rc2) {
+        rij_.push_back(d);
+        jlist_.push_back(entries[m].j);
+      }
+    }
+
+    bi_.compute_ui(rij_, {});
+    const int nn = static_cast<int>(rij_.size());
+
+    if (path_ == Path::Adjoint) {
+      if (model_.quadratic()) {
+        // Quadratic models need the descriptors before Y: dE/dB depends
+        // on B itself, so compute B and feed the adjoint the per-atom
+        // effective coefficients beta + alpha B (LAMMPS quadraticflag).
+        bi_.compute_zi();
+        bi_.compute_bi();
+        beta_eff_ = model_.effective_beta(bi_.blist());
+        bi_.compute_yi(beta_eff_);
+        ev.energy += model_.site_energy(bi_.blist());
+      } else {
+        bi_.compute_yi(model_.beta);
+        ev.energy += bi_.energy_from_yi(model_.beta0, model_.beta);
+      }
+      for (int m = 0; m < nn; ++m) {
+        bi_.compute_duidrj(rij_[m], 1.0);
+        const Vec3 de = bi_.compute_deidrj();  // dE_i/dr_k
+        sys.f[jlist_[m]] -= de;
+        sys.f[i] += de;
+        ev.virial += -dot(rij_[m], de);
+      }
+      last_flops_ += bi_.flops_adjoint_atom(nn);
+    } else {
+      bi_.compute_zi();
+      bi_.compute_bi();
+      ev.energy += model_.site_energy(bi_.blist());
+      beta_eff_ = model_.effective_beta(bi_.blist());
+      for (int m = 0; m < nn; ++m) {
+        bi_.compute_duidrj(rij_[m], 1.0);
+        bi_.compute_dbidrj();
+        Vec3 de;
+        for (int l = 0; l < bi_.num_b(); ++l) {
+          de += beta_eff_[l] * bi_.dblist()[l];
+        }
+        sys.f[jlist_[m]] -= de;
+        sys.f[i] += de;
+        ev.virial += -dot(rij_[m], de);
+      }
+      last_flops_ += bi_.flops_ui(nn) + bi_.flops_zi() + bi_.flops_bi() +
+                     nn * (bi_.flops_duidrj() + bi_.flops_dbidrj());
+    }
+  }
+  return ev;
+}
+
+}  // namespace ember::snap

@@ -1,0 +1,80 @@
+#pragma once
+
+// SNAP as an MD PairPotential.
+//
+// Wraps the Bispectrum kernel over a neighbor list. The execution path is
+// selectable so benchmarks can contrast the paper's two algorithms:
+//   Path::Adjoint  — compute_ui -> compute_yi -> per-neighbor dE (Listing 5)
+//   Path::Baseline — compute_ui -> compute_zi -> per-neighbor dB (Listing 1)
+// Both produce identical forces (tests pin this); the adjoint path is the
+// production default.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "md/potential.hpp"
+#include "snap/bispectrum.hpp"
+
+namespace ember::snap {
+
+// A trained SNAP model:
+//   linear    E_i = beta0 + beta . B(i)
+//   quadratic E_i = beta0 + beta . B(i) + 1/2 B(i)^T alpha B(i)
+// where alpha is symmetric (stored dense, row-major num_b x num_b). The
+// quadratic extension follows the LAMMPS quadraticflag formulation: the
+// force path reuses the adjoint machinery with per-atom effective
+// coefficients beta_eff(i) = beta + alpha B(i).
+struct SnapModel {
+  SnapParams params;
+  double beta0 = 0.0;
+  std::vector<double> beta;
+  std::vector<double> alpha;  // empty = linear model
+
+  [[nodiscard]] bool quadratic() const { return !alpha.empty(); }
+  // beta + alpha * B for one atom's descriptors.
+  [[nodiscard]] std::vector<double> effective_beta(
+      std::span<const double> b) const;
+  // Energy of one atom given its descriptors.
+  [[nodiscard]] double site_energy(std::span<const double> b) const;
+
+  void save(const std::string& path) const;
+  static SnapModel load(const std::string& path);
+};
+
+class SnapPotential final : public md::PairPotential {
+ public:
+  enum class Path { Adjoint, Baseline };
+
+  explicit SnapPotential(SnapModel model, Path path = Path::Adjoint);
+
+  [[nodiscard]] double cutoff() const override {
+    return model_.params.rcut;
+  }
+  [[nodiscard]] const char* name() const override {
+    return path_ == Path::Adjoint ? "snap/adjoint" : "snap/baseline";
+  }
+
+  md::EnergyVirial compute(md::System& sys,
+                           const md::NeighborList& nl) override;
+
+  [[nodiscard]] const SnapModel& model() const { return model_; }
+  [[nodiscard]] Bispectrum& kernel() { return bi_; }
+  void set_path(Path path) { path_ = path; }
+  [[nodiscard]] Path path() const { return path_; }
+
+  // FLOPs executed by the last compute() call (analytic estimate).
+  [[nodiscard]] double last_flops() const { return last_flops_; }
+
+ private:
+  SnapModel model_;
+  Path path_;
+  Bispectrum bi_;
+  double last_flops_ = 0.0;
+  // per-call scratch (kept to avoid reallocation)
+  std::vector<Vec3> rij_;
+  std::vector<int> jlist_;
+  std::vector<double> beta_eff_;
+};
+
+}  // namespace ember::snap

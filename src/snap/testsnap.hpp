@@ -1,0 +1,100 @@
+#pragma once
+
+// TestSNAP: the standalone kernel-optimization study.
+//
+// The companion paper (Gayatri et al., arXiv:2011.12875, summarized in the
+// deck and underpinning Table I / Figs. 2-3) built a proxy app to iterate
+// on the SNAP force kernel outside of full LAMMPS. This is the CPU
+// analogue: eight variants of the same force computation, each layering
+// one optimization of the paper's narrative onto the previous:
+//
+//   V0 Baseline    Listing-1 order; jagged per-j containers allocated
+//                  inside the atom loop; Z stored (O(J^5)); per-neighbor
+//                  dB (O(J^5) work each).
+//   V1 Staged      kernel decomposition (Listing 2): per-stage sweeps over
+//                  an atom batch with pre-allocated jagged storage.
+//   V2 Flattened   jagged arrays -> flat offset-indexed buffers.
+//   V3 Adjoint     the §IV refactorization: Y instead of Z/dB; O(J^3)
+//                  storage, O(J^3) per-neighbor force work.
+//   V4 Fused       dU recursion fused with the Y contraction (no dU
+//                  store; the paper's kernel-fusion step).
+//   V5 HalfMb      conjugation symmetry halves the U/dU column range in
+//                  the contraction ("symmetrized layouts").
+//   V6 SplitSoA    split re/im arrays in the hot recursion (the paper's
+//                  data-layout/AoSoA step, in its CPU form).
+//   V7 CachedCk    Cayley-Klein mapping cached per neighbor across the
+//                  accumulation and force passes (redundant-work removal).
+//
+// Every variant produces identical per-atom force sums (pinned by tests);
+// run() reports the grind time in the paper's figure of merit.
+
+#include <memory>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "snap/bispectrum.hpp"
+
+namespace ember::snap {
+
+enum class TestSnapVariant {
+  V0_Baseline,
+  V1_Staged,
+  V2_Flattened,
+  V3_Adjoint,
+  V4_Fused,
+  V5_HalfMb,
+  V6_SplitSoA,
+  V7_CachedCk,
+};
+
+inline constexpr TestSnapVariant kAllTestSnapVariants[] = {
+    TestSnapVariant::V0_Baseline, TestSnapVariant::V1_Staged,
+    TestSnapVariant::V2_Flattened, TestSnapVariant::V3_Adjoint,
+    TestSnapVariant::V4_Fused,     TestSnapVariant::V5_HalfMb,
+    TestSnapVariant::V6_SplitSoA,  TestSnapVariant::V7_CachedCk,
+};
+
+const char* to_string(TestSnapVariant v);
+
+class TestSnap {
+ public:
+  // Synthetic workload matching the companion paper's setup: natoms
+  // neighborhoods of nnbor random neighbors each, random coefficients.
+  TestSnap(const SnapParams& params, int natoms, int nnbor,
+           std::uint64_t seed = 2021);
+
+  [[nodiscard]] const SnapParams& params() const { return params_; }
+  [[nodiscard]] int natoms() const { return natoms_; }
+  [[nodiscard]] int nnbor() const { return nnbor_; }
+
+  // Execute one full force computation with the given variant; returns
+  // elapsed seconds. Fills forces() with the per-atom sum of dE_i/dr_k.
+  double run(TestSnapVariant variant);
+
+  // Grind time [s / atom-step] averaged over `repeats` runs.
+  double grind_time(TestSnapVariant variant, int repeats = 3);
+
+  [[nodiscard]] std::span<const Vec3> forces() const { return forces_; }
+
+ private:
+  void run_baseline();                  // V0
+  void run_staged(bool flattened);      // V1 / V2
+  void run_adjoint();                   // V3
+  void run_fused(int level);            // V4 (0), V5 (1), V6 (2), V7 (3)
+
+  SnapParams params_;
+  SnapIndex idx_;
+  int natoms_;
+  int nnbor_;
+  std::vector<double> rootpq_;
+  std::vector<double> beta_;
+  std::vector<Vec3> rij_;      // natoms x nnbor displacements
+  std::vector<Vec3> forces_;   // per-atom force sums
+
+  // scratch reused across runs (variants that pre-allocate)
+  std::vector<Cplx> flat_u_;
+  std::vector<Cplx> flat_z_;
+  std::vector<Cplx> flat_y_;
+};
+
+}  // namespace ember::snap

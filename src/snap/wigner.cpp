@@ -1,0 +1,108 @@
+#include "wigner.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "snap/factorial.hpp"
+
+namespace ember::snap {
+
+CayleyKlein map_to_sphere(const Vec3& rij, double rcut, double rfac0,
+                          double rmin0, bool switch_flag) {
+  const double r = rij.norm();
+  EMBER_REQUIRE(r > 0.0 && r < rcut, "neighbor distance outside (0, rcut)");
+
+  const double rscale0 = rfac0 * M_PI / (rcut - rmin0);
+  const double theta0 = (r - rmin0) * rscale0;
+  const double z0 = r / std::tan(theta0);
+  const double dz0dr = z0 / r - rscale0 * (r * r + z0 * z0) / r;
+
+  const double r0inv = 1.0 / std::sqrt(r * r + z0 * z0);
+  const double x = rij.x;
+  const double y = rij.y;
+  const double z = rij.z;
+
+  CayleyKlein ck;
+  ck.a = {r0inv * z0, -r0inv * z};
+  ck.b = {r0inv * y, -r0inv * x};
+
+  // d(r0inv)/d alpha = -r0inv^3 * (r + z0 * dz0dr) * (x_alpha / r)
+  const double dr0invdr = -r0inv * r0inv * r0inv * (r + z0 * dz0dr) / r;
+  const double dr0inv[3] = {dr0invdr * x, dr0invdr * y, dr0invdr * z};
+  const double u[3] = {x / r, y / r, z / r};  // unit vector components
+
+  for (int d = 0; d < 3; ++d) {
+    // a = (z0 - i z) * r0inv
+    ck.da[d] = Cplx{z0, -z} * dr0inv[d] + Cplx{r0inv * dz0dr * u[d], 0.0};
+    // b = (y - i x) * r0inv
+    ck.db[d] = Cplx{y, -x} * dr0inv[d];
+  }
+  ck.da[2] += Cplx{0.0, -r0inv};  // d(-iz)/dz
+  ck.db[0] += Cplx{0.0, -r0inv};  // d(-ix)/dx
+  ck.db[1] += Cplx{r0inv, 0.0};   // d(y)/dy
+
+  if (switch_flag) {
+    if (r <= rmin0) {
+      ck.fc = 1.0;
+      ck.dfc[0] = ck.dfc[1] = ck.dfc[2] = 0.0;
+    } else {
+      const double arg = M_PI * (r - rmin0) / (rcut - rmin0);
+      ck.fc = 0.5 * (std::cos(arg) + 1.0);
+      const double dfcdr = -0.5 * M_PI / (rcut - rmin0) * std::sin(arg);
+      for (int d = 0; d < 3; ++d) ck.dfc[d] = dfcdr * u[d];
+    }
+  } else {
+    ck.fc = 1.0;
+    ck.dfc[0] = ck.dfc[1] = ck.dfc[2] = 0.0;
+  }
+  return ck;
+}
+
+Cplx wigner_element(int twoj, int kp, int k, const Cplx& a, const Cplx& b) {
+  const int J = twoj;
+  EMBER_REQUIRE(kp >= 0 && kp <= J && k >= 0 && k <= J,
+                "wigner element index out of range");
+
+  // Powers of the four Cayley-Klein quantities up to J.
+  Cplx pow_a[16], pow_b[16], pow_ac[16], pow_mbc[16];
+  pow_a[0] = pow_b[0] = pow_ac[0] = pow_mbc[0] = {1.0, 0.0};
+  const Cplx ac = conj(a);
+  const Cplx mbc = -conj(b);
+  for (int n = 1; n <= J; ++n) {
+    pow_a[n] = pow_a[n - 1] * a;
+    pow_b[n] = pow_b[n - 1] * b;
+    pow_ac[n] = pow_ac[n - 1] * ac;
+    pow_mbc[n] = pow_mbc[n - 1] * mbc;
+  }
+
+  const auto binom = [](int n, int r) -> long double {
+    return factorial(n) / (factorial(r) * factorial(n - r));
+  };
+
+  Cplx sum{0.0, 0.0};
+  const int pmin = std::max(0, k + kp - J);
+  const int pmax = std::min(k, kp);
+  for (int p = pmin; p <= pmax; ++p) {
+    const auto coeff =
+        static_cast<double>(binom(k, p) * binom(J - k, kp - p));
+    sum += coeff * (pow_a[p] * pow_b[k - p] * pow_mbc[kp - p] *
+                    pow_ac[J - k - kp + p]);
+  }
+  const auto norm = static_cast<double>(
+      std::sqrt(factorial(kp) * factorial(J - kp) /
+                (factorial(k) * factorial(J - k))));
+  return norm * sum;
+}
+
+std::vector<Cplx> wigner_matrix(int twoj, const Cplx& a, const Cplx& b) {
+  const int n = twoj + 1;
+  std::vector<Cplx> u(static_cast<std::size_t>(n) * n);
+  for (int kp = 0; kp < n; ++kp) {
+    for (int k = 0; k < n; ++k) {
+      u[static_cast<std::size_t>(kp) * n + k] = wigner_element(twoj, kp, k, a, b);
+    }
+  }
+  return u;
+}
+
+}  // namespace ember::snap

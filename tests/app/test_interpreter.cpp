@@ -1,0 +1,159 @@
+// Input-script interpreter: command parsing, state sequencing, error
+// reporting, and an end-to-end production-style protocol.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "app/interpreter.hpp"
+
+namespace ember::app {
+namespace {
+
+TEST(Interpreter, BuildsLatticeSystems) {
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.execute("mass 12.011");
+  interp.execute("lattice diamond 3.567 repeat 2 2 2");
+  EXPECT_TRUE(interp.has_system());
+  EXPECT_EQ(interp.system().nlocal(), 64);
+  EXPECT_DOUBLE_EQ(interp.system().mass(), 12.011);
+  EXPECT_NE(out.str().find("created 64 atoms"), std::string::npos);
+}
+
+TEST(Interpreter, CommentsAndBlankLinesAreNoOps) {
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.execute("");
+  interp.execute("   ");
+  interp.execute("# a comment");
+  interp.execute("lattice fcc 5.26 repeat 2 2 2  # trailing comment");
+  EXPECT_EQ(interp.system().nlocal(), 32);
+}
+
+TEST(Interpreter, RejectsUnknownCommandsWithLineNumbers) {
+  std::ostringstream out;
+  Interpreter interp(out);
+  try {
+    interp.run_script("lattice fcc 5.26\nfrobnicate 3\n");
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(Interpreter, RejectsMalformedArguments) {
+  std::ostringstream out;
+  Interpreter interp(out);
+  EXPECT_THROW(interp.execute("lattice diamond"), Error);       // missing a
+  EXPECT_THROW(interp.execute("lattice pyrite 3.0"), Error);    // bad kind
+  EXPECT_THROW(interp.execute("potential unobtainium"), Error); // bad pot
+  EXPECT_THROW(interp.execute("run 10"), Error);  // no system/potential
+}
+
+TEST(Interpreter, RunsLjDynamicsEndToEnd) {
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.run_script(R"(
+    mass 39.948
+    lattice fcc 5.26 repeat 3 3 3
+    potential lj 0.0104 3.4 6.5
+    thermalize 40 seed 7
+    timestep 0.002
+    log every 25
+    run 50
+  )");
+  EXPECT_EQ(interp.total_steps(), 50);
+  EXPECT_NE(out.str().find("step 25"), std::string::npos);
+  EXPECT_NE(out.str().find("step 50"), std::string::npos);
+}
+
+TEST(Interpreter, ThermostatAndTimestepApplyMidRun) {
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.run_script(R"(
+    mass 39.948
+    lattice fcc 5.26 repeat 2 2 2
+    potential lj 0.0104 3.4 6.5
+    thermalize 10 seed 3
+    timestep 0.002
+    run 20
+    thermostat langevin 80 0.05
+    run 300
+  )");
+  // Langevin attached after the first run must have heated the system.
+  EXPECT_GT(interp.simulation()->system().temperature(), 40.0);
+}
+
+TEST(Interpreter, DumpAndCheckpointFiles) {
+  const std::string xyz = "/tmp/ember_interp_test.xyz";
+  const std::string ckpt = "/tmp/ember_interp_test.bin";
+  std::remove(xyz.c_str());
+  std::remove(ckpt.c_str());
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.run_script("mass 39.948\n"
+                    "lattice fcc 5.26 repeat 2 2 2\n"
+                    "potential lj 0.0104 3.4 6.5\n"
+                    "timestep 0.002\n"
+                    "dump every 10 " + xyz + "\n"
+                    "checkpoint every 10 " + ckpt + "\n"
+                    "run 20\n");
+  std::ifstream xyz_in(xyz);
+  EXPECT_TRUE(xyz_in.good());
+  int frames = 0;
+  std::string line;
+  while (std::getline(xyz_in, line)) {
+    if (line == "32") ++frames;
+  }
+  EXPECT_EQ(frames, 2);  // steps 10 and 20
+
+  // Restart from the checkpoint in a fresh interpreter.
+  std::ostringstream out2;
+  Interpreter interp2(out2);
+  interp2.run_script("read_checkpoint " + ckpt + "\n"
+                     "potential lj 0.0104 3.4 6.5\n"
+                     "timestep 0.002\n"
+                     "run 5\n");
+  EXPECT_EQ(interp2.total_steps(), 5);
+  std::remove(xyz.c_str());
+  std::remove(ckpt.c_str());
+}
+
+TEST(Interpreter, AnalyzeReportsPhases) {
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.run_script(R"(
+    lattice bc8 4.46 repeat 2 2 2
+    analyze
+  )");
+  EXPECT_NE(out.str().find("bc8 100%"), std::string::npos);
+}
+
+TEST(Interpreter, ProductionStyleProtocol) {
+  // Miniature version of the paper's production input: Tersoff carbon,
+  // Langevin schedule, barostat, periodic analyze.
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.run_script(R"(
+    mass 12.011
+    lattice diamond 3.70 repeat 2 2 2
+    potential tersoff
+    thermalize 300 seed 9
+    timestep 0.0002
+    thermostat langevin 5000 0.05
+    barostat berendsen 2e6 0.1 2e-7
+    run 150
+    analyze
+  )");
+  EXPECT_EQ(interp.total_steps(), 150);
+  EXPECT_NE(out.str().find("phases:"), std::string::npos);
+  // Pressure coupling engaged: box must have shrunk from the initial 7.4.
+  EXPECT_LT(interp.simulation()->system().box().length(0), 7.4);
+}
+
+}  // namespace
+}  // namespace ember::app

@@ -1,0 +1,133 @@
+// Tests of the in-process message-passing layer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "comm/communicator.hpp"
+
+namespace ember::comm {
+namespace {
+
+TEST(Communicator, PointToPointRoundTrip) {
+  World world(2);
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      std::vector<double> data{1.0, 2.0, 3.5};
+      c.send(1, 7, data);
+      const auto back = c.recv<double>(1, 8);
+      ASSERT_EQ(back.size(), 3u);
+      EXPECT_DOUBLE_EQ(back[2], 7.0);
+    } else {
+      auto data = c.recv<double>(0, 7);
+      for (auto& v : data) v *= 2.0;
+      c.send(0, 8, data);
+    }
+  });
+}
+
+TEST(Communicator, TagsAreMatchedNotJustOrder) {
+  // Send two messages with different tags; receive them out of order.
+  World world(2);
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 1, 111);
+      c.send_value(1, 2, 222);
+    } else {
+      EXPECT_EQ(c.recv_value<int>(0, 2), 222);
+      EXPECT_EQ(c.recv_value<int>(0, 1), 111);
+    }
+  });
+}
+
+TEST(Communicator, SameTagPreservesFifoPerSource) {
+  World world(2);
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) c.send_value(1, 3, i);
+    } else {
+      for (int i = 0; i < 10; ++i) EXPECT_EQ(c.recv_value<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(Communicator, SelfSendWorks) {
+  World world(1);
+  world.run([](Communicator& c) {
+    c.send_value(0, 5, 3.25);
+    EXPECT_DOUBLE_EQ(c.recv_value<double>(0, 5), 3.25);
+  });
+}
+
+class CommCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommCollectives, AllreduceSumAndMax) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](Communicator& c) {
+    const double sum = c.allreduce_sum(static_cast<double>(c.rank() + 1));
+    EXPECT_DOUBLE_EQ(sum, n * (n + 1) / 2.0);
+    const long lsum = c.allreduce_sum(static_cast<long>(2));
+    EXPECT_EQ(lsum, 2L * n);
+    const double mx = c.allreduce_max(static_cast<double>(c.rank()));
+    EXPECT_DOUBLE_EQ(mx, n - 1.0);
+    EXPECT_TRUE(c.allreduce_or(c.rank() == n - 1));
+    EXPECT_FALSE(c.allreduce_or(false));
+  });
+}
+
+TEST_P(CommCollectives, RepeatedReductionsStayConsistent) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](Communicator& c) {
+    for (int round = 0; round < 50; ++round) {
+      const double sum = c.allreduce_sum(static_cast<double>(round));
+      EXPECT_DOUBLE_EQ(sum, static_cast<double>(round) * n);
+    }
+  });
+}
+
+TEST_P(CommCollectives, BarrierSynchronizes) {
+  const int n = GetParam();
+  World world(n);
+  std::atomic<int> phase_count{0};
+  world.run([&](Communicator& c) {
+    for (int phase = 0; phase < 5; ++phase) {
+      phase_count.fetch_add(1);
+      c.barrier();
+      // After the barrier every rank must have incremented for this phase.
+      EXPECT_GE(phase_count.load(), (phase + 1) * n);
+      c.barrier();
+    }
+  });
+}
+
+TEST_P(CommCollectives, GatherAndBroadcast) {
+  const int n = GetParam();
+  World world(n);
+  world.run([n](Communicator& c) {
+    const auto gathered = c.gather(static_cast<double>(c.rank() * 10), 0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(static_cast<int>(gathered.size()), n);
+      for (int r = 0; r < n; ++r) EXPECT_DOUBLE_EQ(gathered[r], r * 10.0);
+    }
+    const double b = c.broadcast(c.rank() == 0 ? 42.5 : -1.0, 0);
+    EXPECT_DOUBLE_EQ(b, 42.5);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CommCollectives,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Communicator, ExceptionsPropagateFromRanks) {
+  World world(2);
+  EXPECT_THROW(world.run([](Communicator& c) {
+                 if (c.rank() == 1) throw Error("rank 1 failed");
+                 // Rank 0 must not deadlock waiting: no communication here.
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace ember::comm

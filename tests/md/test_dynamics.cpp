@@ -1,0 +1,198 @@
+// Integration tests of the MD engine: energy conservation, thermostats,
+// barostat, and checkpoint round-trips, driven by the LJ potential.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "md/computes.hpp"
+#include "md/io.hpp"
+#include "md/lattice.hpp"
+#include "md/simulation.hpp"
+#include "ref/pair_lj.hpp"
+
+namespace ember::md {
+namespace {
+
+// Argon-like LJ in metal units (eps ~ 0.0104 eV, sigma 3.4 A) on an fcc
+// lattice: a classic, very stable NVE benchmark.
+Simulation make_lj_sim(double temperature, double dt, std::uint64_t seed) {
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Fcc;
+  spec.a = 5.26;
+  spec.nx = spec.ny = spec.nz = 4;
+  System sys = build_lattice(spec, 39.948);
+  Rng rng(seed);
+  sys.thermalize(temperature, rng);
+  auto pot = std::make_shared<ref::PairLJ>(0.0104, 3.4, 8.0);
+  return Simulation(std::move(sys), pot, dt, 0.4, seed);
+}
+
+TEST(Dynamics, NveConservesEnergy) {
+  Simulation sim = make_lj_sim(40.0, 0.002, 11);
+  sim.setup();
+  const double e0 = sim.total_energy();
+  sim.run(400);
+  const double drift = std::abs(sim.total_energy() - e0);
+  // eV per atom drift over 0.8 ps must be tiny.
+  EXPECT_LT(drift / sim.system().nlocal(), 2e-6) << "e0=" << e0;
+}
+
+TEST(Dynamics, NveTimeStepConvergence) {
+  // Halving dt must reduce energy drift (2nd-order integrator).
+  auto drift_for = [](double dt) {
+    Simulation sim = make_lj_sim(40.0, dt, 13);
+    sim.setup();
+    const double e0 = sim.total_energy();
+    sim.run(static_cast<long>(0.4 / dt));
+    return std::abs(sim.total_energy() - e0);
+  };
+  const double d_coarse = drift_for(0.008);
+  const double d_fine = drift_for(0.002);
+  EXPECT_LT(d_fine, d_coarse);
+}
+
+TEST(Dynamics, LangevinReachesTargetTemperature) {
+  Simulation sim = make_lj_sim(10.0, 0.002, 17);
+  sim.integrator().set_langevin(LangevinParams{60.0, 0.1});
+  sim.run(600);
+  // Average over a window to beat fluctuations.
+  double tsum = 0.0;
+  int samples = 0;
+  sim.run(600, [&](Simulation& s) {
+    tsum += s.system().temperature();
+    ++samples;
+  });
+  const double tavg = tsum / samples;
+  EXPECT_NEAR(tavg, 60.0, 8.0);
+}
+
+TEST(Dynamics, BerendsenThermostatRelaxes) {
+  Simulation sim = make_lj_sim(100.0, 0.002, 19);
+  sim.integrator().set_berendsen_t(BerendsenTParams{30.0, 0.05});
+  sim.run(500);
+  EXPECT_NEAR(sim.system().temperature(), 30.0, 6.0);
+}
+
+TEST(Dynamics, MomentumIsConservedInNve) {
+  Simulation sim = make_lj_sim(40.0, 0.002, 23);
+  sim.run(200);
+  Vec3 p;
+  const System& sys = sim.system();
+  for (int i = 0; i < sys.nlocal(); ++i) p += sys.v[i];
+  EXPECT_NEAR(p.norm(), 0.0, 1e-9);
+}
+
+TEST(Dynamics, BarostatMovesVolumeTowardTarget) {
+  Simulation sim = make_lj_sim(30.0, 0.002, 29);
+  sim.setup();
+  const double p0 = sim.pressure();
+  const double v0 = sim.system().box().volume();
+  // Target far above current pressure: box must shrink.
+  sim.integrator().set_berendsen_p(
+      BerendsenPParams{p0 + 5000.0, 0.5, 1e-6});
+  sim.integrator().set_langevin(LangevinParams{30.0, 0.1});
+  sim.run(400);
+  EXPECT_LT(sim.system().box().volume(), v0);
+}
+
+TEST(Dynamics, TimersCoverTheRun) {
+  Simulation sim = make_lj_sim(40.0, 0.002, 31);
+  sim.run(50);
+  const auto& t = sim.timers();
+  EXPECT_GT(t.total("Pair"), 0.0);
+  EXPECT_GT(t.total("Other"), 0.0);
+  EXPECT_GT(t.grand_total(), 0.0);
+  EXPECT_NEAR(t.fraction("Pair") + t.fraction("Neigh") + t.fraction("Other"),
+              1.0, 1e-12);
+}
+
+TEST(Io, CheckpointRoundTrip) {
+  Simulation sim = make_lj_sim(40.0, 0.002, 37);
+  sim.run(20);
+  const std::string path = "/tmp/ember_test_ckpt.bin";
+  write_checkpoint(sim.system(), path);
+  System restored = read_checkpoint(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(restored.nlocal(), sim.system().nlocal());
+  EXPECT_DOUBLE_EQ(restored.box().length(0), sim.system().box().length(0));
+  EXPECT_DOUBLE_EQ(restored.mass(), sim.system().mass());
+  for (int i = 0; i < restored.nlocal(); ++i) {
+    const Vec3 w = sim.system().box().wrap(sim.system().x[i]);
+    EXPECT_DOUBLE_EQ(restored.x[i].x, w.x);
+    EXPECT_DOUBLE_EQ(restored.v[i].z, sim.system().v[i].z);
+    EXPECT_EQ(restored.id[i], sim.system().id[i]);
+  }
+}
+
+TEST(Io, CheckpointContinuationIsExact) {
+  // Running 10 steps, checkpointing, and continuing must equal a straight
+  // 20-step run (deterministic NVE path).
+  Simulation a = make_lj_sim(40.0, 0.002, 41);
+  a.run(20);
+
+  Simulation b = make_lj_sim(40.0, 0.002, 41);
+  b.run(10);
+  const std::string path = "/tmp/ember_test_ckpt2.bin";
+  write_checkpoint(b.system(), path);
+  System restored = read_checkpoint(path);
+  std::remove(path.c_str());
+  Simulation c(std::move(restored), std::make_shared<ref::PairLJ>(0.0104, 3.4, 8.0),
+               0.002, 0.4, 999);
+  c.run(10);
+
+  for (int i = 0; i < a.system().nlocal(); ++i) {
+    // Positions may differ by an exact box period (wrapping happens at
+    // reneighboring, whose schedule differs across the restart).
+    const Vec3 d = a.system().box().minimum_image(a.system().x[i],
+                                                  c.system().x[i]);
+    EXPECT_NEAR(d.norm(), 0.0, 1e-10);
+    EXPECT_NEAR(a.system().v[i].y, c.system().v[i].y, 1e-10);
+  }
+}
+
+TEST(Computes, RdfFirstPeakOnFcc) {
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Fcc;
+  spec.a = 5.26;
+  spec.nx = spec.ny = spec.nz = 3;
+  System sys = build_lattice(spec, 39.948);
+  Rdf rdf;
+  rdf.rmax = 6.0;
+  rdf.compute(sys);
+  // fcc nearest neighbor at a/sqrt(2) = 3.72 A.
+  EXPECT_NEAR(rdf.first_peak(), 5.26 / std::sqrt(2.0), 0.1);
+}
+
+TEST(Computes, MsdGrowsInLiquidAndNotInSolid) {
+  Simulation hot = make_lj_sim(200.0, 0.002, 43);
+  hot.integrator().set_langevin(LangevinParams{200.0, 0.1});
+  Msd msd;
+  msd.set_reference(hot.system());
+  hot.run(300);
+  const double msd_hot = msd.compute(hot.system());
+
+  Simulation cold = make_lj_sim(5.0, 0.002, 47);
+  Msd msd2;
+  msd2.set_reference(cold.system());
+  cold.run(300);
+  const double msd_cold = msd2.compute(cold.system());
+  EXPECT_GT(msd_hot, 5.0 * msd_cold);
+}
+
+TEST(Computes, CoordinationOnDiamond) {
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Diamond;
+  spec.a = 3.567;
+  spec.nx = spec.ny = spec.nz = 2;
+  System sys = build_lattice(spec, 12.011);
+  NeighborList nl(2.2, 0.2);
+  nl.build(sys);
+  const auto coord = coordination_numbers(sys, nl, 1.8);
+  for (const int c : coord) EXPECT_EQ(c, 4);
+}
+
+}  // namespace
+}  // namespace ember::md

@@ -1,0 +1,154 @@
+// Nose-Hoover thermostat and FIRE minimizer validation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "md/lattice.hpp"
+#include "md/minimize.hpp"
+#include "md/simulation.hpp"
+#include "ref/pair_lj.hpp"
+#include "ref/pair_tersoff.hpp"
+
+namespace ember::md {
+namespace {
+
+Simulation lj_sim(double temperature, std::uint64_t seed) {
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Fcc;
+  spec.a = 5.26;
+  spec.nx = spec.ny = spec.nz = 3;
+  System sys = build_lattice(spec, 39.948);
+  Rng rng(seed);
+  sys.thermalize(temperature, rng);
+  return Simulation(std::move(sys),
+                    std::make_shared<ref::PairLJ>(0.0104, 3.4, 6.5), 0.002,
+                    0.4, seed);
+}
+
+TEST(NoseHoover, EquilibratesAtTheTarget) {
+  Simulation sim = lj_sim(20.0, 3);
+  sim.integrator().set_nose_hoover(NoseHooverParams{60.0, 0.1});
+  sim.run(1500);
+  double tsum = 0.0;
+  int n = 0;
+  sim.run(1000, [&](Simulation& s) {
+    tsum += s.system().temperature();
+    ++n;
+  });
+  EXPECT_NEAR(tsum / n, 60.0, 8.0);
+}
+
+TEST(NoseHoover, ConservedQuantityIsConserved) {
+  // H' = E + 1/2 Q xi^2 + g kB T0 eta must stay flat while T and E
+  // fluctuate — the signature distinguishing Nose-Hoover from crude
+  // velocity rescaling.
+  Simulation sim = lj_sim(50.0, 7);
+  sim.integrator().set_nose_hoover(NoseHooverParams{50.0, 0.2});
+  sim.setup();
+  const int dof = 3 * sim.system().nlocal() - 3;
+  sim.run(200);  // settle the thermostat
+  const double h0 =
+      sim.total_energy() + sim.integrator().nose_hoover_energy(dof);
+
+  double h_max_dev = 0.0;
+  double e_max_dev = 0.0;
+  const double e0 = sim.total_energy();
+  sim.run(1500, [&](Simulation& s) {
+    const double h =
+        s.total_energy() + s.integrator().nose_hoover_energy(dof);
+    h_max_dev = std::max(h_max_dev, std::abs(h - h0));
+    e_max_dev = std::max(e_max_dev, std::abs(s.total_energy() - e0));
+  });
+  // The bare energy fluctuates (thermostat pumps energy); the augmented
+  // quantity does not.
+  EXPECT_GT(e_max_dev, 5.0 * h_max_dev);
+  EXPECT_LT(h_max_dev / sim.system().nlocal(), 5e-5);
+}
+
+TEST(NoseHoover, DeterministicUnlikeLangevin) {
+  auto run_once = [](std::uint64_t integrator_seed) {
+    Simulation sim = lj_sim(40.0, 11);
+    (void)integrator_seed;
+    sim.integrator().set_nose_hoover(NoseHooverParams{40.0, 0.1});
+    sim.run(100);
+    return sim.system().x[7];
+  };
+  const Vec3 a = run_once(1);
+  const Vec3 b = run_once(2);
+  EXPECT_DOUBLE_EQ(a.x, b.x);
+  EXPECT_DOUBLE_EQ(a.z, b.z);
+}
+
+TEST(Fire, RelaxesPerturbedCrystalBackToTheMinimum) {
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Fcc;
+  spec.a = 5.26;
+  spec.nx = spec.ny = spec.nz = 2;
+  System perfect = build_lattice(spec, 39.948);
+  ref::PairLJ pot(0.0104, 3.4, 6.5);
+
+  NeighborList nl(pot.cutoff(), 0.4);
+  nl.build(perfect);
+  perfect.zero_forces();
+  const double e_perfect = pot.compute(perfect, nl).energy;
+
+  System sys = perfect;
+  Rng rng(5);
+  perturb(sys, 0.12, rng);
+  const auto result = fire_minimize(sys, pot, {});
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.max_force, 1e-4);
+  // Back to (a translate of) the crystal energy.
+  EXPECT_NEAR(result.energy, e_perfect, 1e-4 * std::abs(e_perfect));
+}
+
+TEST(Fire, QuenchedEnergyNeverExceedsTheStart) {
+  Rng rng(9);
+  Box box(11, 11, 11);
+  System sys = random_packing(box, 60, 1.6, 39.948, rng);
+  ref::PairLJ pot(0.0104, 3.4, 6.5);
+
+  NeighborList nl(pot.cutoff(), 0.4);
+  nl.build(sys);
+  sys.zero_forces();
+  const double e0 = pot.compute(sys, nl).energy;
+  const auto result = fire_minimize(sys, pot, {});
+  EXPECT_LT(result.energy, e0);
+  EXPECT_GT(result.steps, 0);
+}
+
+TEST(Fire, WorksWithManyBodyTersoff) {
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Diamond;
+  spec.a = 3.567;
+  spec.nx = spec.ny = spec.nz = 2;
+  System sys = build_lattice(spec, 12.011);
+  Rng rng(13);
+  perturb(sys, 0.1, rng);
+
+  ref::PairTersoff pot;
+  FireParams p;
+  p.dt_initial = 2e-4;
+  p.dt_max = 2e-3;
+  const auto result = fire_minimize(sys, pot, p);
+  EXPECT_TRUE(result.converged);
+  // Tersoff diamond minimum: ~ -7.37 eV/atom.
+  EXPECT_NEAR(result.energy / sys.nlocal(), -7.37, 0.05);
+}
+
+TEST(Fire, RespectsTheStepBudget) {
+  Rng rng(17);
+  Box box(10, 10, 10);
+  System sys = random_packing(box, 50, 1.4, 12.011, rng);
+  ref::PairTersoff pot;
+  FireParams p;
+  p.max_steps = 3;
+  p.force_tolerance = 1e-12;  // unreachable
+  const auto result = fire_minimize(sys, pot, p);
+  EXPECT_FALSE(result.converged);
+  EXPECT_LE(result.steps, 3);
+}
+
+}  // namespace
+}  // namespace ember::md

@@ -1,0 +1,172 @@
+// Wider MD property suites: time reversibility, thermostat sweeps,
+// barostat targets, non-cubic boxes, BC8 internal-coordinate sweeps.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "md/computes.hpp"
+#include "md/lattice.hpp"
+#include "md/simulation.hpp"
+#include "ref/pair_lj.hpp"
+
+namespace ember::md {
+namespace {
+
+Simulation lj_sim(double temperature, std::uint64_t seed, int reps = 3) {
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Fcc;
+  spec.a = 5.26;
+  spec.nx = spec.ny = spec.nz = reps;
+  System sys = build_lattice(spec, 39.948);
+  Rng rng(seed);
+  sys.thermalize(temperature, rng);
+  return Simulation(std::move(sys),
+                    std::make_shared<ref::PairLJ>(0.0104, 3.4, 6.5), 0.002,
+                    0.4, seed);
+}
+
+TEST(Reversibility, VelocityFlipRetracesTheTrajectory) {
+  // Velocity Verlet is time-reversible: run N steps, flip velocities,
+  // run N more — the system must return to its start (to roundoff,
+  // which stays tiny over a short horizon).
+  Simulation sim = lj_sim(30.0, 3);
+  sim.setup();
+  const std::vector<Vec3> x0(sim.system().x.begin(), sim.system().x.end());
+  sim.run(50);
+  for (int i = 0; i < sim.system().nlocal(); ++i) sim.system().v[i] *= -1.0;
+  sim.run(50);
+  for (int i = 0; i < sim.system().nlocal(); ++i) {
+    const Vec3 d = sim.system().box().minimum_image(x0[i], sim.system().x[i]);
+    EXPECT_NEAR(d.norm(), 0.0, 1e-8) << "atom " << i;
+  }
+}
+
+class ThermostatSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThermostatSweep, LangevinEquilibratesAtEveryTarget) {
+  const double target = GetParam();
+  Simulation sim = lj_sim(target, 11, 3);
+  sim.integrator().set_langevin(LangevinParams{target, 0.05});
+  sim.run(400);
+  double tsum = 0.0;
+  int n = 0;
+  sim.run(400, [&](Simulation& s) {
+    tsum += s.system().temperature();
+    ++n;
+  });
+  EXPECT_NEAR(tsum / n, target, 0.15 * target + 2.0) << "T=" << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, ThermostatSweep,
+                         ::testing::Values(20.0, 60.0, 120.0));
+
+TEST(Barostat, ReachesTargetPressure) {
+  Simulation sim = lj_sim(30.0, 17);
+  sim.setup();
+  sim.integrator().set_langevin(LangevinParams{30.0, 0.1});
+  sim.integrator().set_berendsen_p(BerendsenPParams{3000.0, 0.2, 2e-5});
+  sim.run(1500);
+  double psum = 0.0;
+  int n = 0;
+  sim.run(500, [&](Simulation& s) {
+    psum += s.pressure();
+    ++n;
+  });
+  EXPECT_NEAR(psum / n, 3000.0, 900.0);
+}
+
+TEST(NonCubicBox, NeighborListAndDynamicsWork) {
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Fcc;
+  spec.a = 5.26;
+  spec.nx = 2;
+  spec.ny = 3;
+  spec.nz = 5;
+  System sys = build_lattice(spec, 39.948);
+  Rng rng(23);
+  sys.thermalize(30.0, rng);
+  Simulation sim(std::move(sys),
+                 std::make_shared<ref::PairLJ>(0.0104, 3.4, 6.5), 0.002,
+                 0.4, 23);
+  sim.setup();
+  const double e0 = sim.total_energy();
+  sim.run(200);
+  EXPECT_LT(std::abs(sim.total_energy() - e0) / sim.system().nlocal(), 5e-6);
+}
+
+class Bc8InternalCoordinate : public ::testing::TestWithParam<double> {};
+
+TEST_P(Bc8InternalCoordinate, StaysFourfoldCoordinated) {
+  // The BC8 16c site remains fourfold coordinated across the physically
+  // relevant x range (Si-III x = 0.1003; predicted carbon ~ 0.0937).
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Bc8;
+  spec.a = 4.46;
+  spec.x_bc8 = GetParam();
+  spec.nx = spec.ny = spec.nz = 2;
+  System sys = build_lattice(spec, 12.011);
+  NeighborList nl(2.3, 0.0);
+  nl.build(sys);
+  const auto coord = coordination_numbers(sys, nl, 2.1);
+  for (const int c : coord) EXPECT_EQ(c, 4) << "x=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(XRange, Bc8InternalCoordinate,
+                         ::testing::Values(0.09, 0.0937, 0.1003, 0.105));
+
+TEST(Lattice, DiamondDensityIsCorrect) {
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Diamond;
+  spec.a = 3.567;
+  spec.nx = spec.ny = spec.nz = 3;
+  System sys = build_lattice(spec, 12.011);
+  // Diamond: 8 atoms / a^3 -> 3.515 g/cc for carbon.
+  const double atoms_per_a3 = sys.nlocal() / sys.box().volume();
+  const double g_per_cc = atoms_per_a3 * 12.011 / 6.02214076e23 * 1e24;
+  EXPECT_NEAR(g_per_cc, 3.515, 0.01);
+}
+
+TEST(Thermalize, SetsTargetTemperatureAndZeroMomentum) {
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Fcc;
+  spec.a = 5.26;
+  spec.nx = spec.ny = spec.nz = 4;
+  System sys = build_lattice(spec, 39.948);
+  Rng rng(29);
+  sys.thermalize(85.0, rng);
+  EXPECT_NEAR(sys.temperature(), 85.0, 8.0);  // finite-N fluctuation
+  Vec3 p;
+  for (int i = 0; i < sys.nlocal(); ++i) p += sys.v[i];
+  EXPECT_NEAR(p.norm(), 0.0, 1e-10);
+}
+
+TEST(Rdf, LiquidLosesLongRangeOrder) {
+  Simulation sim = lj_sim(300.0, 31, 3);
+  sim.integrator().set_langevin(LangevinParams{300.0, 0.05});
+  sim.run(800);
+  Rdf rdf;
+  rdf.rmax = 7.5;
+  rdf.compute(sim.system());
+  // g(r) -> 1 at large r for a liquid; crystalline peaks would overshoot.
+  double tail = 0.0;
+  int n = 0;
+  for (int b = 0; b < rdf.nbins; ++b) {
+    if (rdf.r[b] > 6.0) {
+      tail += rdf.g[b];
+      ++n;
+    }
+  }
+  EXPECT_NEAR(tail / n, 1.0, 0.25);
+}
+
+TEST(Timers, NeighborRebuildsAreCounted) {
+  Simulation sim = lj_sim(120.0, 37, 3);
+  sim.integrator().set_langevin(LangevinParams{120.0, 0.05});
+  sim.run(300);
+  // A hot liquid must have reneighbored at least once.
+  EXPECT_GT(sim.timers().total("Neigh"), 0.0);
+}
+
+}  // namespace
+}  // namespace ember::md

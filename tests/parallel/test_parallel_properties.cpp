@@ -1,0 +1,187 @@
+// Wider domain-decomposition coverage: odd rank counts, asymmetric
+// grids, halo accounting, thermostatted parallel dynamics, and repeated
+// migration stress.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "comm/communicator.hpp"
+#include "md/lattice.hpp"
+#include "md/simulation.hpp"
+#include "parallel/parallel_sim.hpp"
+#include "ref/pair_lj.hpp"
+
+namespace ember::parallel {
+namespace {
+
+md::System make_argon(int nx, int ny, int nz, double temperature,
+                      std::uint64_t seed) {
+  md::LatticeSpec spec;
+  spec.kind = md::LatticeKind::Fcc;
+  spec.a = 5.26;
+  spec.nx = nx;
+  spec.ny = ny;
+  spec.nz = nz;
+  md::System sys = md::build_lattice(spec, 39.948);
+  Rng rng(seed);
+  sys.thermalize(temperature, rng);
+  return sys;
+}
+
+std::shared_ptr<md::PairPotential> lj() {
+  return std::make_shared<ref::PairLJ>(0.0104, 3.4, 6.5);
+}
+
+class OddRankCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(OddRankCounts, EnergyMatchesSerial) {
+  // Odd / prime counts force slab decompositions (n x 1 x 1): the box
+  // must be long enough that every slab still exceeds the ghost shell.
+  const int nranks = GetParam();
+  md::System global = make_argon(6, 6, 6, 30.0, 5);
+  auto shortlj = [] {
+    return std::make_shared<ref::PairLJ>(0.0104, 3.4, 4.0);
+  };
+  md::Simulation serial(global, shortlj(), 0.002, 0.4, 5);
+  serial.setup();
+  const double e_serial = serial.potential_energy();
+
+  comm::World world(nranks);
+  world.run([&](comm::Communicator& c) {
+    ParallelSimulation psim(c, global, shortlj(), 0.002, 0.4, 5);
+    psim.setup();
+    const auto g = psim.global_state();
+    EXPECT_NEAR(g.potential_energy, e_serial, 1e-9 * std::abs(e_serial));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, OddRankCounts, ::testing::Values(3, 5, 6, 7));
+
+TEST(OddRankGuard, RejectsSubdomainsSmallerThanTheHalo) {
+  // The constructor must refuse configurations whose one-shell halo
+  // cannot be satisfied, rather than silently computing wrong forces.
+  md::System global = make_argon(3, 3, 3, 30.0, 5);
+  comm::World world(7);  // prime -> 15.8/7 = 2.3 A slabs << rghost
+  EXPECT_THROW(world.run([&](comm::Communicator& c) {
+                 ParallelSimulation psim(c, global, lj(), 0.002, 0.5, 5);
+               }),
+               Error);
+}
+
+TEST(AsymmetricGrid, NonCubicBoxGetsMatchingDecomposition) {
+  // A 4x2x1-cell box on 8 ranks: choose() must favor cutting the long
+  // dimension more.
+  md::Box box(40.0, 20.0, 10.0);
+  const auto grid = RankGrid::choose(8, box.lengths());
+  EXPECT_EQ(grid.size(), 8);
+  EXPECT_GE(grid.nx, grid.ny);
+  EXPECT_GE(grid.ny, grid.nz);
+
+  md::LatticeSpec spec;
+  spec.kind = md::LatticeKind::Fcc;
+  spec.a = 5.26;
+  spec.nx = 8;  // large enough that every sub-domain exceeds the halo
+  spec.ny = 4;
+  spec.nz = 4;
+  md::System global = md::build_lattice(spec, 39.948);
+  Rng rng(7);
+  global.thermalize(40.0, rng);
+
+  md::Simulation serial(global, lj(), 0.002, 0.5, 7);
+  serial.run(40);
+
+  comm::World world(8);
+  world.run([&](comm::Communicator& c) {
+    ParallelSimulation psim(c, global, lj(), 0.002, 0.5, 7);
+    psim.run(40);
+    md::System gathered = psim.gather_global();
+    for (int i = 0; i < gathered.nlocal(); ++i) {
+      const long id = gathered.id[i];
+      const Vec3 d = serial.system().box().minimum_image(
+          serial.system().x[static_cast<std::size_t>(id)], gathered.x[i]);
+      EXPECT_NEAR(d.norm(), 0.0, 1e-8);
+    }
+  });
+}
+
+TEST(Halo, GhostCountMatchesShellEstimate) {
+  // For a homogeneous crystal the ghost count per rank should be close to
+  // the analytic shell estimate rho * ((L+2g)^3 - L^3) for its sub-domain.
+  md::System global = make_argon(4, 4, 4, 0.0, 1);
+  const double rho = global.nlocal() / global.box().volume();
+
+  comm::World world(8);
+  world.run([&](comm::Communicator& c) {
+    ParallelSimulation psim(c, global, lj(), 0.002, 0.5, 1);
+    psim.setup();
+    const Vec3 sub = psim.domain().lengths();
+    const double g = 7.0;  // rcut + skin
+    const double expected =
+        rho * ((sub.x + 2 * g) * (sub.y + 2 * g) * (sub.z + 2 * g) -
+               sub.x * sub.y * sub.z);
+    EXPECT_NEAR(psim.local().nghost(), expected, 0.35 * expected);
+  });
+}
+
+TEST(ParallelDynamics, LangevinHeatsInParallel) {
+  md::System global = make_argon(3, 3, 3, 10.0, 9);
+  comm::World world(4);
+  world.run([&](comm::Communicator& c) {
+    ParallelSimulation psim(c, global, lj(), 0.002, 0.5, 9);
+    psim.integrator().set_langevin(md::LangevinParams{120.0, 0.05});
+    psim.run(400);
+    const auto g = psim.global_state();
+    EXPECT_NEAR(g.temperature, 120.0, 25.0);
+    EXPECT_EQ(g.natoms, global.nlocal());
+  });
+}
+
+TEST(MigrationStress, HotLiquidManyRebuildsConservesEverything) {
+  md::System global = make_argon(3, 3, 3, 400.0, 13);
+  comm::World world(8);
+  world.run([&](comm::Communicator& c) {
+    ParallelSimulation psim(c, global, lj(), 0.004, 0.25, 13);
+    psim.integrator().set_langevin(md::LangevinParams{400.0, 0.1});
+    psim.run(300);
+    const auto g = psim.global_state();
+    EXPECT_EQ(g.natoms, global.nlocal());
+    // Between reneighborings atoms may drift up to skin/2 past their
+    // domain face; anything further means migration is broken.
+    const Vec3 lo = psim.domain().lo();
+    const Vec3 hi = psim.domain().hi();
+    const double slack = 0.5 * 0.25 + 1e-12;
+    for (int i = 0; i < psim.local().nlocal(); ++i) {
+      const Vec3 w = psim.local().box().wrap(psim.local().x[i]);
+      for (int d = 0; d < 3; ++d) {
+        const double L = psim.local().box().length(d);
+        // Distance outside [lo, hi) along d, periodic-aware.
+        double outside = 0.0;
+        if (w[d] < lo[d]) outside = std::min(lo[d] - w[d], w[d] + L - hi[d]);
+        if (w[d] >= hi[d]) outside = std::min(w[d] - hi[d], lo[d] + L - w[d]);
+        EXPECT_LE(outside, slack) << "atom " << i << " dim " << d;
+      }
+    }
+  });
+}
+
+TEST(GatherGlobal, VelocitiesSurviveTheRoundTrip) {
+  md::System global = make_argon(4, 4, 4, 55.0, 17);
+  comm::World world(4);
+  world.run([&](comm::Communicator& c) {
+    ParallelSimulation psim(c, global, lj(), 0.002, 0.5, 17);
+    psim.setup();
+    md::System gathered = psim.gather_global();
+    ASSERT_EQ(gathered.nlocal(), global.nlocal());
+    for (int i = 0; i < gathered.nlocal(); ++i) {
+      const long id = gathered.id[i];
+      EXPECT_DOUBLE_EQ(gathered.v[i].x,
+                       global.v[static_cast<std::size_t>(id)].x);
+      EXPECT_DOUBLE_EQ(gathered.v[i].y,
+                       global.v[static_cast<std::size_t>(id)].y);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ember::parallel

@@ -1,0 +1,202 @@
+// Domain-decomposition validation: the parallel driver must reproduce the
+// serial engine — same energies and forces at setup, equivalent
+// trajectories over many steps, conservation across migrations.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "comm/communicator.hpp"
+#include "md/lattice.hpp"
+#include "md/simulation.hpp"
+#include "parallel/parallel_sim.hpp"
+#include "ref/pair_lj.hpp"
+#include "snap/snap_potential.hpp"
+
+namespace ember::parallel {
+namespace {
+
+md::System make_argon(int reps, double temperature, std::uint64_t seed) {
+  md::LatticeSpec spec;
+  spec.kind = md::LatticeKind::Fcc;
+  spec.a = 5.26;
+  spec.nx = spec.ny = spec.nz = reps;
+  md::System sys = md::build_lattice(spec, 39.948);
+  Rng rng(seed);
+  sys.thermalize(temperature, rng);
+  return sys;
+}
+
+std::shared_ptr<md::PairPotential> make_lj() {
+  return std::make_shared<ref::PairLJ>(0.0104, 3.4, 6.5);
+}
+
+TEST(RankGrid, ChoosesBalancedFactorization) {
+  const auto g8 = RankGrid::choose(8);
+  EXPECT_EQ(g8.nx * g8.ny * g8.nz, 8);
+  EXPECT_EQ(g8.nx, 2);
+  EXPECT_EQ(g8.ny, 2);
+  EXPECT_EQ(g8.nz, 2);
+  const auto g12 = RankGrid::choose(12);
+  EXPECT_EQ(g12.nx * g12.ny * g12.nz, 12);
+  // 3x2x2 in some order beats 12x1x1.
+  EXPECT_LE(std::max({g12.nx, g12.ny, g12.nz}), 3);
+  // The paper's full-Summit grid: 27,900 ranks factor into 30x30x31.
+  const auto summit = RankGrid::choose(27900);
+  std::array<int, 3> dims{summit.nx, summit.ny, summit.nz};
+  std::sort(dims.begin(), dims.end());
+  EXPECT_EQ(dims[0], 30);
+  EXPECT_EQ(dims[1], 30);
+  EXPECT_EQ(dims[2], 31);
+}
+
+TEST(Domain, OwnershipPartitionsTheBox) {
+  md::Box box(12, 14, 16);
+  const RankGrid grid{2, 2, 1};
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec3 p{rng.uniform(0, 12), rng.uniform(0, 14), rng.uniform(0, 16)};
+    int owners = 0;
+    for (int r = 0; r < grid.size(); ++r) {
+      Domain dom(box, grid, r);
+      if (dom.owns(p)) ++owners;
+    }
+    EXPECT_EQ(owners, 1) << "point " << p.x << ',' << p.y << ',' << p.z;
+  }
+}
+
+class ParallelVsSerial : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelVsSerial, SetupEnergyMatchesSerial) {
+  const int nranks = GetParam();
+  md::System global = make_argon(3, 30.0, 7);
+
+  md::Simulation serial(global, make_lj(), 0.002, 0.5, 7);
+  serial.setup();
+  const double e_serial = serial.potential_energy();
+
+  comm::World world(nranks);
+  world.run([&](comm::Communicator& c) {
+    ParallelSimulation psim(c, global, make_lj(), 0.002, 0.5, 7);
+    psim.setup();
+    const auto g = psim.global_state();
+    EXPECT_EQ(g.natoms, global.nlocal());
+    EXPECT_NEAR(g.potential_energy, e_serial,
+                1e-9 * std::abs(e_serial));
+  });
+}
+
+TEST_P(ParallelVsSerial, TrajectoriesMatchOverManySteps) {
+  const int nranks = GetParam();
+  md::System global = make_argon(3, 30.0, 13);
+
+  md::Simulation serial(global, make_lj(), 0.002, 0.5, 13);
+  serial.run(120);
+
+  comm::World world(nranks);
+  world.run([&](comm::Communicator& c) {
+    ParallelSimulation psim(c, global, make_lj(), 0.002, 0.5, 13);
+    psim.run(120);
+    md::System gathered = psim.gather_global();
+    ASSERT_EQ(gathered.nlocal(), serial.system().nlocal());
+
+    // Match atoms by id (serial ids are 0..N-1 in order).
+    for (int i = 0; i < gathered.nlocal(); ++i) {
+      const long id = gathered.id[i];
+      const Vec3 d = serial.system().box().minimum_image(
+          serial.system().x[static_cast<std::size_t>(id)], gathered.x[i]);
+      EXPECT_NEAR(d.norm(), 0.0, 1e-7) << "atom " << id;
+      EXPECT_NEAR(gathered.v[i].x,
+                  serial.system().v[static_cast<std::size_t>(id)].x, 1e-7);
+    }
+  });
+}
+
+TEST_P(ParallelVsSerial, MigrationConservesAtoms) {
+  const int nranks = GetParam();
+  // Hot enough to force atoms across sub-domain boundaries.
+  md::System global = make_argon(3, 300.0, 17);
+
+  comm::World world(nranks);
+  world.run([&](comm::Communicator& c) {
+    ParallelSimulation psim(c, global, make_lj(), 0.004, 0.3, 17);
+    psim.run(200);
+    const auto g = psim.global_state();
+    EXPECT_EQ(g.natoms, global.nlocal());
+
+    md::System gathered = psim.gather_global();
+    // Ids must remain a permutation of the originals.
+    std::map<long, int> seen;
+    for (int i = 0; i < gathered.nlocal(); ++i) ++seen[gathered.id[i]];
+    EXPECT_EQ(static_cast<int>(seen.size()), global.nlocal());
+    for (const auto& [id, count] : seen) EXPECT_EQ(count, 1) << "id " << id;
+
+    // Every local atom must actually live in its owner's domain.
+    EXPECT_TRUE(psim.domain().owns(
+        psim.local().box().wrap(psim.local().x[0])));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ParallelVsSerial, ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelSnap, EnergyAndForcesMatchSerial) {
+  // SNAP is the paper's potential: validate the many-body force path
+  // (including reverse ghost-force communication) against serial.
+  snap::SnapParams p;
+  p.twojmax = 4;
+  p.rcut = 2.6;
+  snap::SnapModel model;
+  model.params = p;
+  Rng rng(23);
+  model.beta.resize(snap::SnapIndex(p.twojmax).num_b());
+  for (auto& b : model.beta) b = 0.02 * rng.uniform(-1, 1);
+
+  md::LatticeSpec spec;
+  spec.kind = md::LatticeKind::Diamond;
+  spec.a = 3.567;
+  spec.nx = spec.ny = spec.nz = 3;
+  md::System global = md::build_lattice(spec, 12.011);
+  md::perturb(global, 0.08, rng);
+  Rng vel_rng(29);
+  global.thermalize(300.0, vel_rng);
+
+  md::Simulation serial(global,
+                        std::make_shared<snap::SnapPotential>(model), 5e-4,
+                        0.4, 5);
+  serial.run(25);
+
+  comm::World world(4);
+  world.run([&](comm::Communicator& c) {
+    ParallelSimulation psim(c, global,
+                            std::make_shared<snap::SnapPotential>(model),
+                            5e-4, 0.4, 5);
+    psim.run(25);
+    const auto g = psim.global_state();
+    EXPECT_NEAR(g.potential_energy, serial.potential_energy(),
+                1e-7 * std::max(1.0, std::abs(serial.potential_energy())));
+    md::System gathered = psim.gather_global();
+    for (int i = 0; i < gathered.nlocal(); ++i) {
+      const long id = gathered.id[i];
+      const Vec3 d = serial.system().box().minimum_image(
+          serial.system().x[static_cast<std::size_t>(id)], gathered.x[i]);
+      EXPECT_NEAR(d.norm(), 0.0, 1e-8);
+    }
+  });
+}
+
+TEST(ParallelTimers, BreakdownCoversCategories) {
+  md::System global = make_argon(3, 30.0, 31);
+  comm::World world(4);
+  world.run([&](comm::Communicator& c) {
+    ParallelSimulation psim(c, global, make_lj(), 0.002, 0.5, 31);
+    psim.run(30);
+    const auto& t = psim.timers();
+    EXPECT_GT(t.total("SNAP"), 0.0);
+    EXPECT_GT(t.total("MPI Comm"), 0.0);
+    EXPECT_GT(t.total("Other"), 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace ember::parallel

@@ -1,0 +1,205 @@
+// ParSplice validation: landscape mechanics, segment invariants, QSD
+// escape statistics, splicing correctness, and statistical equivalence
+// with direct MD.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "parsplice/parsplice.hpp"
+
+namespace ember::parsplice {
+namespace {
+
+TEST(Landscape, GradientMatchesFiniteDifference) {
+  Landscape land(4, 1.0, 0.08, 3);
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 r{rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+    const Vec2 g = land.gradient(r);
+    const double h = 1e-6;
+    const double gx = (land.energy({r.x + h, r.y}) -
+                       land.energy({r.x - h, r.y})) /
+                      (2 * h);
+    const double gy = (land.energy({r.x, r.y + h}) -
+                       land.energy({r.x, r.y - h})) /
+                      (2 * h);
+    EXPECT_NEAR(g.x, gx, 1e-6);
+    EXPECT_NEAR(g.y, gy, 1e-6);
+  }
+}
+
+TEST(Landscape, WellsAreMinima) {
+  Landscape land(4, 1.0, 0.05, 5);
+  for (int s = 0; s < land.num_states(); ++s) {
+    const Vec2 c = land.well_center(s);
+    const double e0 = land.energy(c);
+    // The disorder is weak: lattice points remain below their immediate
+    // surroundings at the saddle scale.
+    EXPECT_LT(e0, land.energy({c.x + 0.5, c.y}));
+    EXPECT_LT(e0, land.energy({c.x, c.y + 0.5}));
+    EXPECT_EQ(land.state_of(c), s);
+  }
+}
+
+TEST(Landscape, StateIndexingIsPeriodic) {
+  Landscape land(4, 1.0, 0.0, 7);
+  EXPECT_EQ(land.state_of({0.0, 0.0}), land.state_of({4.0, 4.0}));
+  EXPECT_EQ(land.state_of({-1.0, 0.0}), land.state_of({3.0, 0.0}));
+  EXPECT_EQ(land.num_states(), 16);
+}
+
+TEST(Segment, InvariantsHold) {
+  Landscape land(4, 1.0, 0.05, 11);
+  ParSpliceConfig cfg;
+  cfg.temperature = 0.15;
+  Rng rng(3);
+  for (int s : {0, 5, 10}) {
+    const Segment seg = generate_segment(land, s, cfg, rng);
+    EXPECT_EQ(seg.start_state, s);
+    EXPECT_GE(seg.end_state, 0);
+    EXPECT_LT(seg.end_state, land.num_states());
+    EXPECT_GE(seg.duration, cfg.t_segment - 1e-9);
+    EXPECT_GE(seg.wall_cost, seg.duration);
+  }
+}
+
+TEST(Segment, EscapeTimesFromQsdAreExponential) {
+  // From the QSD the first-escape time is exponentially distributed; a
+  // strong signature is mean ~ std (coefficient of variation ~ 1), very
+  // unlike the sharply-peaked escape-time law from the well bottom.
+  Landscape land(3, 1.0, 0.0, 13);
+  ParSpliceConfig cfg;
+  cfg.temperature = 0.22;
+  cfg.t_corr = 0.6;
+  Rng rng(7);
+
+  std::vector<double> escapes;
+  const int state = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Dephase, then measure the time to first escape.
+    Vec2 r = land.well_center(state);
+    double hold = 0.0;
+    while (hold < cfg.t_corr) {
+      land.step(r, cfg.temperature, cfg.dt, rng);
+      if (land.state_of(r) == state) {
+        hold += cfg.dt;
+      } else {
+        r = land.well_center(state);
+        hold = 0.0;
+      }
+    }
+    double t = 0.0;
+    while (land.state_of(r) == state && t < 500.0) {
+      land.step(r, cfg.temperature, cfg.dt, rng);
+      t += cfg.dt;
+    }
+    escapes.push_back(t);
+  }
+  double mean = 0.0;
+  for (const double t : escapes) mean += t;
+  mean /= static_cast<double>(escapes.size());
+  double var = 0.0;
+  for (const double t : escapes) var += (t - mean) * (t - mean);
+  var /= static_cast<double>(escapes.size() - 1);
+  const double cv = std::sqrt(var) / mean;
+  EXPECT_NEAR(cv, 1.0, 0.25);
+}
+
+TEST(SegmentDatabase, FifoPerState) {
+  SegmentDatabase db;
+  db.deposit({3, 4, 1.0, 1.0});
+  db.deposit({3, 5, 2.0, 2.0});
+  db.deposit({7, 7, 3.0, 3.0});
+  EXPECT_TRUE(db.available(3));
+  EXPECT_FALSE(db.available(4));
+  EXPECT_EQ(db.banked(), 3u);
+  EXPECT_EQ(db.take(3).end_state, 4);
+  EXPECT_EQ(db.take(3).end_state, 5);
+  EXPECT_FALSE(db.available(3));
+}
+
+TEST(Oracle, LearnsTransitionStructure) {
+  Oracle oracle;
+  for (int i = 0; i < 90; ++i) oracle.observe(0, 1);
+  for (int i = 0; i < 10; ++i) oracle.observe(0, 2);
+  for (int i = 0; i < 100; ++i) oracle.observe(1, 0);
+  const auto one = oracle.predict(0, 1);
+  EXPECT_NEAR(one.at(1), 0.9, 1e-12);
+  EXPECT_NEAR(one.at(2), 0.1, 1e-12);
+  // Two hops: 0 -> 1 -> 0 dominates.
+  const auto two = oracle.predict(0, 2);
+  EXPECT_NEAR(two.at(0), 0.9, 1e-12);
+  // Unknown states predict themselves.
+  EXPECT_NEAR(oracle.predict(42, 3).at(42), 1.0, 1e-12);
+}
+
+TEST(ParSplice, EasyCaseUtilizationIsHigh) {
+  // Rare events: nearly every generated segment gets spliced and the
+  // speedup approaches the worker count (deck, "An Easy Case").
+  Landscape land(4, 1.0, 0.04, 21);
+  ParSpliceConfig cfg;
+  cfg.temperature = 0.09;  // barrier / T ~ 11: escapes are rare
+  cfg.nworkers = 8;
+  cfg.wall_budget = 120.0;
+  const auto res = run_parsplice(land, cfg);
+
+  EXPECT_GT(res.utilization(), 0.9);
+  EXPECT_GT(res.speedup(), 0.6 * cfg.nworkers);
+  EXPECT_GT(res.spliced_time, 0.0);
+}
+
+TEST(ParSplice, HardCaseDegradesTowardMd) {
+  // Fast, unpredictable events: utilization collapses and the speedup
+  // shrinks (deck, "Hard Cases": reduces to MD when everything is new).
+  Landscape land(4, 1.0, 0.04, 23);
+  ParSpliceConfig easy;
+  easy.temperature = 0.09;
+  easy.nworkers = 8;
+  easy.wall_budget = 80.0;
+  ParSpliceConfig hard = easy;
+  hard.temperature = 0.5;
+
+  const auto res_easy = run_parsplice(land, easy);
+  const auto res_hard = run_parsplice(land, hard);
+  EXPECT_LT(res_hard.utilization(), res_easy.utilization());
+  EXPECT_LT(res_hard.speedup(), res_easy.speedup());
+}
+
+TEST(ParSplice, TransitionStatisticsMatchDirectMd) {
+  // The spliced trajectory must be statistically equivalent to direct MD:
+  // compare the transition rate (transitions per unit physical time).
+  Landscape land(3, 1.0, 0.0, 29);
+  ParSpliceConfig cfg;
+  cfg.temperature = 0.28;  // frequent enough for statistics
+  cfg.nworkers = 6;
+  cfg.wall_budget = 300.0;
+  cfg.t_segment = 1.0;
+  cfg.t_corr = 0.5;
+
+  const auto ps = run_parsplice(land, cfg);
+  const auto md = run_md_reference(land, cfg);
+
+  ASSERT_GT(ps.spliced_time, 50.0);
+  ASSERT_GT(md.transitions, 50);
+  const double rate_ps = ps.transitions / ps.spliced_time;
+  const double rate_md = md.transitions / md.physical_time;
+  EXPECT_NEAR(rate_ps, rate_md, 0.35 * rate_md);
+}
+
+TEST(ParSplice, MoreWorkersMoreThroughput) {
+  Landscape land(4, 1.0, 0.04, 31);
+  ParSpliceConfig small;
+  small.temperature = 0.10;
+  small.nworkers = 2;
+  small.wall_budget = 60.0;
+  ParSpliceConfig big = small;
+  big.nworkers = 12;
+
+  const auto res_small = run_parsplice(land, small);
+  const auto res_big = run_parsplice(land, big);
+  EXPECT_GT(res_big.spliced_time, 2.0 * res_small.spliced_time);
+}
+
+}  // namespace
+}  // namespace ember::parsplice

@@ -1,0 +1,99 @@
+// Task-farm simulation: conservation laws, the saturation cliff of the
+// flat topology, and the deck's hierarchical pull-model claims.
+
+#include <gtest/gtest.h>
+
+#include "parsplice/taskmgr.hpp"
+
+namespace ember::parsplice {
+namespace {
+
+TaskFarmConfig flat(int workers) {
+  TaskFarmConfig cfg;
+  cfg.n_task_managers = workers;  // every worker talks to the WM itself
+  cfg.workers_per_tm = 1;
+  cfg.batch = 1;
+  cfg.low_water = 0;
+  cfg.tm_latency = 0.0;
+  return cfg;
+}
+
+TaskFarmConfig hierarchical(int tms, int per_tm) {
+  TaskFarmConfig cfg;
+  cfg.n_task_managers = tms;
+  cfg.workers_per_tm = per_tm;
+  return cfg;
+}
+
+TEST(TaskFarm, UnsaturatedThroughputMatchesLittlesLaw) {
+  // Few workers, long tasks: throughput ~ workers / task time and the
+  // workers stay essentially fully busy.
+  auto cfg = hierarchical(2, 16);
+  cfg.task_seconds = 2.0;
+  cfg.sim_seconds = 500.0;
+  const auto r = simulate_task_farm(cfg);
+  EXPECT_NEAR(r.tasks_per_second, 32 / 2.0, 1.0);
+  EXPECT_GT(r.worker_utilization, 0.95);
+  EXPECT_LE(r.worker_utilization, 1.0);
+}
+
+TEST(TaskFarm, FlatTopologySaturatesTheWorkManager) {
+  // Flat: per-request overhead caps the WM near 1/(overhead+service)
+  // tasks/s; far past that demand the workers starve.
+  auto cfg = flat(4096);
+  cfg.task_seconds = 0.1;  // demand: 40,960 tasks/s >> ~8,300 cap
+  cfg.sim_seconds = 100.0;
+  const auto r = simulate_task_farm(cfg);
+  const double cap = 1.0 / (cfg.wm_request_overhead + cfg.wm_service_seconds);
+  EXPECT_NEAR(r.tasks_per_second, cap, 0.15 * cap);
+  EXPECT_LT(r.worker_utilization, 0.35);
+  EXPECT_GT(r.wm_busy_fraction, 0.95);
+}
+
+TEST(TaskFarm, HierarchyRestoresUtilizationAtScale) {
+  // Same worker count and task length, but TMs batch the WM traffic.
+  // Operating point well past the flat topology's WM cap (~8.3k tasks/s):
+  // 4096 workers x 0.1 s tasks demand ~41k tasks/s.
+  auto cfg_flat = flat(4096);
+  cfg_flat.task_seconds = 0.1;
+  cfg_flat.sim_seconds = 100.0;
+  auto cfg_hier = hierarchical(64, 64);
+  cfg_hier.task_seconds = 0.1;
+  cfg_hier.sim_seconds = 100.0;
+
+  const auto flat_r = simulate_task_farm(cfg_flat);
+  const auto hier_r = simulate_task_farm(cfg_hier);
+  EXPECT_GT(hier_r.worker_utilization, 0.9);
+  EXPECT_GT(hier_r.tasks_per_second, 3.0 * flat_r.tasks_per_second);
+  // Aggregation: far fewer WM requests for the same completed work.
+  EXPECT_LT(hier_r.wm_requests, flat_r.wm_requests / 10);
+}
+
+TEST(TaskFarm, ReachesDeckScaleTaskRates) {
+  // Deck: ~50,000 tasks/s through the WM with batched managers.
+  auto cfg = hierarchical(256, 128);  // 32k workers
+  cfg.task_seconds = 1.0;
+  cfg.batch = 256;
+  cfg.low_water = 128;
+  cfg.sim_seconds = 30.0;
+  const auto r = simulate_task_farm(cfg);
+  EXPECT_GT(r.tasks_per_second, 25000.0);
+  EXPECT_GT(r.worker_utilization, 0.75);
+}
+
+TEST(TaskFarm, LargerBatchesReduceWmLoad) {
+  double prev_busy = 1.1;
+  for (const int batch : {8, 64, 512}) {
+    auto cfg = hierarchical(32, 64);
+    cfg.batch = batch;
+    cfg.low_water = batch / 2;
+    cfg.task_seconds = 0.2;
+    cfg.sim_seconds = 60.0;
+    const auto r = simulate_task_farm(cfg);
+    EXPECT_LT(r.wm_busy_fraction, prev_busy);
+    prev_busy = r.wm_busy_fraction;
+  }
+}
+
+}  // namespace
+}  // namespace ember::parsplice

@@ -1,0 +1,127 @@
+// Structural properties of the performance model, independent of the
+// calibration anchors: monotonicity, limits, and internal consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/production.hpp"
+#include "perf/scaling.hpp"
+
+namespace ember::perf {
+namespace {
+
+TEST(PerfProperties, StepTimeDecreasesWithNodes) {
+  ScalingModel m(MachineModel::summit());
+  double prev = 1e300;
+  for (const int nodes : {64, 128, 256, 512, 1024, 2048, 4650}) {
+    const double t = m.predict(1e9, nodes).step_time();
+    EXPECT_LT(t, prev) << nodes;
+    prev = t;
+  }
+}
+
+TEST(PerfProperties, StepTimeIncreasesWithAtoms) {
+  ScalingModel m(MachineModel::summit());
+  double prev = 0.0;
+  for (const double n : {1e8, 3e8, 1e9, 3e9, 1e10}) {
+    const double t = m.predict(n, 1024).step_time();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PerfProperties, PerNodeRateIsBoundedBySaturation) {
+  ScalingModel m(MachineModel::summit());
+  const auto& node = m.machine().node;
+  const double cap = node.gpus_per_node * node.rate_max;
+  for (const double n : {1e7, 1e9, 2e10}) {
+    for (const int nodes : {8, 512, 4650}) {
+      EXPECT_LT(m.predict(n, nodes).matom_steps_per_node_s(), cap);
+    }
+  }
+}
+
+TEST(PerfProperties, FractionsSumToOne) {
+  ScalingModel m(MachineModel::summit());
+  for (const double n : {1e7, 1e9, 2e10}) {
+    const auto run = m.predict(n, 972);
+    EXPECT_NEAR(run.compute_fraction() + run.comm_fraction() +
+                    run.other_fraction(),
+                1.0, 1e-12);
+  }
+}
+
+TEST(PerfProperties, PflopsScalesWithThroughput) {
+  ScalingModel m(MachineModel::summit(), 2.0e6);
+  const auto a = m.predict(1e9, 512);
+  const auto b = m.predict(1e9, 1024);
+  const double thr_a = a.natoms / a.step_time();
+  const double thr_b = b.natoms / b.step_time();
+  EXPECT_NEAR(m.pflops(b) / m.pflops(a), thr_b / thr_a, 1e-12);
+}
+
+TEST(PerfProperties, RackBoundaryIsVisibleInCommTime) {
+  ScalingModel m(MachineModel::summit());
+  const double per_node = 373248;
+  const auto below = m.predict(per_node * 18, 18);
+  const auto above = m.predict(per_node * 19, 19);
+  // Crossing the rack boundary raises comm time (bandwidth drop).
+  EXPECT_GT(above.t_comm, 1.5 * below.t_comm);
+  // But compute is untouched.
+  EXPECT_NEAR(above.t_compute, below.t_compute, 1e-12);
+}
+
+TEST(PerfProperties, MinNodesIsMonotoneInAtoms) {
+  ScalingModel m(MachineModel::summit());
+  int prev = 0;
+  for (const double n : {1e6, 1e8, 1e9, 1e10, 2e10}) {
+    const int mn = m.min_nodes(n);
+    EXPECT_GE(mn, prev);
+    prev = mn;
+  }
+  EXPECT_EQ(m.min_nodes(1.0), 1);
+}
+
+TEST(PerfProperties, AllMachinesProduceFiniteSanePredictions) {
+  for (const auto& mm :
+       {MachineModel::summit(), MachineModel::selene(),
+        MachineModel::perlmutter(), MachineModel::frontera()}) {
+    ScalingModel m(mm);
+    const auto run = m.predict(1e9, 256);
+    EXPECT_TRUE(std::isfinite(run.step_time()));
+    EXPECT_GT(run.step_time(), 0.0);
+    EXPECT_GT(m.fraction_of_peak(run), 0.0);
+    EXPECT_LT(m.fraction_of_peak(run), 1.0);
+  }
+}
+
+TEST(ProductionProperties, Bc8FractionIsMonotoneAndBounded) {
+  ScalingModel m(MachineModel::summit());
+  ProductionModel prod(m, ProductionConfig{});
+  double prev = -1.0;
+  for (double t = 0.0; t <= 1.2; t += 0.05) {
+    const double f = prod.bc8_fraction(t);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(prod.bc8_fraction(0.1), 0.0);  // before onset
+}
+
+TEST(ProductionProperties, CheckpointCadenceMatchesConfig) {
+  ScalingModel m(MachineModel::summit());
+  ProductionConfig cfg;
+  cfg.checkpoint_every_hours = 3.0;
+  ProductionModel prod(m, cfg);
+  const auto trace = prod.trace();
+  int checkpoints = 0;
+  for (const auto& s : trace) {
+    if (s.checkpoint) ++checkpoints;
+  }
+  EXPECT_NEAR(checkpoints, 8, 1);  // 24 h / 3 h
+}
+
+}  // namespace
+}  // namespace ember::perf

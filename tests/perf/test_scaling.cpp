@@ -1,0 +1,161 @@
+// The machine model must reproduce the paper's stated anchor points
+// (headline rate, strong/weak scaling efficiencies, Fig. 4 breakdowns,
+// Fig. 6 cross-machine ratios) within calibration tolerances.
+
+#include <gtest/gtest.h>
+
+#include "perf/production.hpp"
+#include "perf/scaling.hpp"
+
+namespace ember::perf {
+namespace {
+
+TEST(ScalingModel, HeadlineTwentyBillionAtomRun) {
+  ScalingModel m(MachineModel::summit(), 1.73e6);
+  const auto run = m.predict(20e9, 4650);
+  // Paper: 6.21 Matom-steps/node-s, 50.0 PFLOPS, 24.9% of peak,
+  // 1.47 steps/s.
+  EXPECT_NEAR(run.matom_steps_per_node_s(), 6.21, 0.25);
+  EXPECT_NEAR(m.pflops(run), 50.0, 4.0);
+  EXPECT_NEAR(m.fraction_of_peak(run), 0.249, 0.025);
+  EXPECT_NEAR(1.0 / run.step_time(), 1.47, 0.12);
+}
+
+TEST(ScalingModel, StrongScalingEfficiencies) {
+  ScalingModel m(MachineModel::summit());
+  // Paper Fig. 3: 97% (20 G, 972->4650), 82% (1 G, 64->4650),
+  // 41% (10 M, 1->512).
+  EXPECT_NEAR(m.parallel_efficiency(20e9, 972, 4650), 0.97, 0.04);
+  EXPECT_NEAR(m.parallel_efficiency(1e9, 64, 4650), 0.82, 0.05);
+  EXPECT_NEAR(m.parallel_efficiency(10e6, 1, 512), 0.41, 0.07);
+}
+
+TEST(ScalingModel, Figure4Breakdowns) {
+  ScalingModel m(MachineModel::summit());
+  const auto b20 = m.predict(20e9, 4650);
+  EXPECT_NEAR(b20.compute_fraction(), 0.95, 0.02);
+  EXPECT_NEAR(b20.comm_fraction(), 0.04, 0.02);
+
+  const auto b1 = m.predict(1e9, 4650);
+  EXPECT_NEAR(b1.compute_fraction(), 0.86, 0.05);
+  EXPECT_NEAR(b1.comm_fraction(), 0.12, 0.05);
+
+  const auto b01 = m.predict(1e8, 4650);
+  EXPECT_NEAR(b01.compute_fraction(), 0.60, 0.06);
+  EXPECT_NEAR(b01.comm_fraction(), 0.35, 0.06);
+}
+
+TEST(ScalingModel, WeakScalingShape) {
+  ScalingModel m(MachineModel::summit());
+  const double per_node = 373248;
+  const auto one = m.predict(per_node, 1);
+  const auto eight = m.predict(per_node * 8, 8);
+  const auto sixty_four = m.predict(per_node * 64, 64);
+  const auto big = m.predict(per_node * 4096, 4096);
+  // Paper Fig. 5: flat until the rack boundary, small dip 8 -> 64, then
+  // ~90% at 4096 vs 1 node.
+  EXPECT_NEAR(eight.matom_steps_per_node_s(), one.matom_steps_per_node_s(),
+              0.05 * one.matom_steps_per_node_s());
+  EXPECT_LT(sixty_four.matom_steps_per_node_s(),
+            eight.matom_steps_per_node_s());
+  const double eff =
+      big.matom_steps_per_node_s() / one.matom_steps_per_node_s();
+  EXPECT_NEAR(eff, 0.90, 0.05);
+}
+
+TEST(ScalingModel, Figure6MachineRatios) {
+  ScalingModel summit(MachineModel::summit());
+  ScalingModel frontera(MachineModel::frontera());
+  ScalingModel selene(MachineModel::selene());
+  ScalingModel perlmutter(MachineModel::perlmutter());
+
+  // Summit ~52x Frontera per node on the 1 G-atom benchmark.
+  const double ratio_f = summit.predict(1e9, 256).matom_steps_per_node_s() /
+                         frontera.predict(1e9, 256).matom_steps_per_node_s();
+  EXPECT_NEAR(ratio_f, 52.0, 6.0);
+
+  // Selene ~1.9x Summit per node.
+  const double ratio_s = selene.predict(1e9, 128).matom_steps_per_node_s() /
+                         summit.predict(1e9, 128).matom_steps_per_node_s();
+  EXPECT_NEAR(ratio_s, 1.9, 0.15);
+
+  // Selene 20 G atoms on 512 nodes: 12.72 Matom-steps/node-s, ~11 PFLOPS.
+  const auto sel = selene.predict(20e9, 512);
+  EXPECT_NEAR(sel.matom_steps_per_node_s(), 12.72, 0.8);
+  EXPECT_NEAR(selene.pflops(sel), 11.1, 1.0);
+
+  // Perlmutter 20 G on 1024 nodes: 6.42 Matom-steps/node-s (~node parity
+  // with Summit despite two fewer GPUs).
+  const auto perl = perlmutter.predict(20e9, 1024);
+  EXPECT_NEAR(perl.matom_steps_per_node_s(), 6.42, 0.5);
+}
+
+TEST(ScalingModel, DeepMdComparison) {
+  // Paper: 6.21 Matom-steps/node-s is 22.9x the DeepMD record of 0.271.
+  ScalingModel m(MachineModel::summit());
+  const auto run = m.predict(20e9, 4650);
+  EXPECT_NEAR(run.matom_steps_per_node_s() / 0.271, 22.9, 1.5);
+}
+
+TEST(ScalingModel, MinNodesMatchesPaperChoices) {
+  ScalingModel m(MachineModel::summit());
+  // Paper: 1 G atoms first fits on 64 nodes, 20 G on 972 nodes.
+  EXPECT_NEAR(m.min_nodes(1.024192512e9), 64, 16);
+  EXPECT_NEAR(m.min_nodes(19.683e9), 972, 250);
+}
+
+TEST(ScalingModel, CommunicationFractionGrowsUnderStrongScaling) {
+  ScalingModel m(MachineModel::summit());
+  double prev = 0.0;
+  for (int nodes : {64, 256, 1024, 4650}) {
+    const double frac = m.predict(1e9, nodes).comm_fraction();
+    EXPECT_GE(frac, prev * 0.8);  // monotone growth modulo rack steps
+    prev = frac;
+  }
+  EXPECT_GT(m.predict(1e9, 4650).comm_fraction(),
+            m.predict(1e9, 64).comm_fraction());
+}
+
+TEST(ProductionModel, TraceMatchesFigure7Shape) {
+  ScalingModel m(MachineModel::summit());
+  ProductionModel prod(m, ProductionConfig{});
+  const auto trace = prod.trace();
+  ASSERT_GT(trace.size(), 100u);
+
+  // 24 h of wall time covering ~1 ns of physical time.
+  EXPECT_NEAR(trace.back().wall_hours, 24.0, 0.5);
+  EXPECT_NEAR(trace.back().sim_ns, 1.0, 0.25);
+
+  // Checkpoint dips: the minimum sampled rate is far below the median.
+  double median_rate;
+  {
+    std::vector<double> rates;
+    for (const auto& s : trace) rates.push_back(s.perf_matom_steps_node_s);
+    std::sort(rates.begin(), rates.end());
+    median_rate = rates[rates.size() / 2];
+    EXPECT_LT(rates.front(), 0.5 * median_rate);
+  }
+
+  // Temperature schedule: starts at 5000 K and ends at 5500 K.
+  EXPECT_DOUBLE_EQ(trace.front().temperature, 5000.0);
+  EXPECT_DOUBLE_EQ(trace.back().temperature, 5500.0);
+
+  // Performance rises within the run as BC8 order emerges.
+  double early = 0.0, late = 0.0;
+  int n_early = 0, n_late = 0;
+  for (const auto& s : trace) {
+    if (s.checkpoint) continue;
+    if (s.wall_hours < 4.0) {
+      early += s.perf_matom_steps_node_s;
+      ++n_early;
+    } else if (s.wall_hours > 20.0) {
+      late += s.perf_matom_steps_node_s;
+      ++n_late;
+    }
+  }
+  EXPECT_GT(late / n_late, early / n_early);
+  EXPECT_GT(trace.back().bc8_fraction, 0.8);
+}
+
+}  // namespace
+}  // namespace ember::perf

@@ -1,0 +1,269 @@
+// Reference-potential validation: finite-difference forces for LJ, Morse
+// and Tersoff, plus physical sanity of the Tersoff carbon parameterization.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "md/lattice.hpp"
+#include "md/neighbor.hpp"
+#include "ref/pair_eam.hpp"
+#include "ref/pair_lj.hpp"
+#include "ref/pair_morse.hpp"
+#include "ref/pair_tersoff.hpp"
+
+namespace ember::ref {
+namespace {
+
+using md::Box;
+using md::LatticeKind;
+using md::LatticeSpec;
+using md::NeighborList;
+using md::System;
+
+double energy_of(md::PairPotential& pot, System& sys) {
+  NeighborList nl(pot.cutoff(), 0.3);
+  nl.build(sys);
+  sys.zero_forces();
+  return pot.compute(sys, nl).energy;
+}
+
+void check_fd_forces(md::PairPotential& pot, System& sys, double tol) {
+  NeighborList nl(pot.cutoff(), 0.3);
+  nl.build(sys);
+  sys.zero_forces();
+  pot.compute(sys, nl);
+  std::vector<Vec3> f(sys.f.begin(), sys.f.begin() + sys.nlocal());
+
+  const double h = 1e-6;
+  for (int i = 0; i < std::min(6, sys.nlocal()); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      const double orig = sys.x[i][d];
+      sys.x[i][d] = orig + h;
+      const double ep = energy_of(pot, sys);
+      sys.x[i][d] = orig - h;
+      const double em = energy_of(pot, sys);
+      sys.x[i][d] = orig;
+      const double fd = -(ep - em) / (2 * h);
+      EXPECT_NEAR(f[i][d], fd, tol * std::max(1.0, std::abs(fd)))
+          << pot.name() << " atom " << i << " dim " << d;
+    }
+  }
+}
+
+System random_carbonish(std::uint64_t seed, int n = 40) {
+  Rng rng(seed);
+  Box box(9.0, 9.5, 10.0);
+  return md::random_packing(box, n, 1.25, 12.011, rng);
+}
+
+TEST(PairLJ, ForcesMatchFiniteDifference) {
+  PairLJ pot(0.01, 3.0, 7.0);
+  auto sys = random_carbonish(1);
+  check_fd_forces(pot, sys, 1e-5);
+}
+
+TEST(PairLJ, DimerMinimumAtR0) {
+  // LJ minimum at 2^(1/6) sigma.
+  PairLJ pot(0.01, 3.0, 9.0);
+  Box box(30, 30, 30, {false, false, false});
+  const double rmin = std::pow(2.0, 1.0 / 6.0) * 3.0;
+  for (double dr : {-0.2, 0.2}) {
+    System at_min(box, 12.011);
+    at_min.add_atom({10, 10, 10});
+    at_min.add_atom({10 + rmin, 10, 10});
+    System off(box, 12.011);
+    off.add_atom({10, 10, 10});
+    off.add_atom({10 + rmin + dr, 10, 10});
+    EXPECT_LT(energy_of(pot, at_min), energy_of(pot, off));
+  }
+}
+
+TEST(PairMorse, ForcesMatchFiniteDifference) {
+  PairMorse pot(0.3, 1.5, 2.2, 6.5);
+  auto sys = random_carbonish(2);
+  check_fd_forces(pot, sys, 1e-5);
+}
+
+TEST(PairMorse, DimerBindingEnergy) {
+  PairMorse pot(0.35, 1.4, 2.2, 9.0);
+  Box box(30, 30, 30, {false, false, false});
+  System dimer(box, 12.011);
+  dimer.add_atom({10, 10, 10});
+  dimer.add_atom({12.2, 10, 10});
+  // At r0 the well depth is -D0 (minus the cutoff shift, small here).
+  EXPECT_NEAR(energy_of(pot, dimer), -0.35, 0.01);
+}
+
+TEST(PairTersoff, ScalarIngredients) {
+  PairTersoff pot;
+  const auto& p = pot.params();
+  EXPECT_DOUBLE_EQ(pot.fc(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(pot.fc(p.R + p.D + 0.01), 0.0);
+  EXPECT_NEAR(pot.fc(p.R), 0.5, 1e-12);
+  // g has its minimum at cos(theta) = h.
+  EXPECT_LT(pot.g_theta(p.h), pot.g_theta(p.h + 0.2));
+  EXPECT_LT(pot.g_theta(p.h), pot.g_theta(p.h - 0.2));
+  EXPECT_NEAR(pot.g_theta_d(p.h), 0.0, 1e-10);
+  // b decreases with zeta (more neighbors weaken each bond).
+  EXPECT_DOUBLE_EQ(pot.bij(0.0), 1.0);
+  EXPECT_GT(pot.bij(0.5), pot.bij(2.0));
+  // db/dzeta matches finite differences.
+  const double z = 0.8;
+  const double h = 1e-7;
+  EXPECT_NEAR(pot.bij_d(z), (pot.bij(z + h) - pot.bij(z - h)) / (2 * h),
+              1e-6);
+}
+
+TEST(PairTersoff, ForcesMatchFiniteDifferenceDense) {
+  PairTersoff pot;
+  // Thermally-perturbed diamond: realistic bonded environment.
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Diamond;
+  spec.a = 3.567;
+  spec.nx = spec.ny = spec.nz = 2;
+  System sys = md::build_lattice(spec, 12.011);
+  Rng rng(3);
+  md::perturb(sys, 0.08, rng);
+  check_fd_forces(pot, sys, 2e-5);
+}
+
+TEST(PairTersoff, ForcesMatchFiniteDifferenceDisordered) {
+  PairTersoff pot;
+  auto sys = random_carbonish(4, 30);
+  check_fd_forces(pot, sys, 2e-5);
+}
+
+TEST(PairTersoff, DiamondCohesiveEnergy) {
+  // Tersoff (1988) carbon: diamond cohesive energy ~ -7.37 eV/atom near
+  // a0 = 3.566 A.
+  PairTersoff pot;
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Diamond;
+  spec.a = 3.5656;
+  spec.nx = spec.ny = spec.nz = 2;
+  System sys = md::build_lattice(spec, 12.011);
+  const double e_per_atom = energy_of(pot, sys) / sys.nlocal();
+  EXPECT_NEAR(e_per_atom, -7.37, 0.08);
+}
+
+TEST(PairTersoff, DiamondLatticeConstantIsAMinimum) {
+  PairTersoff pot;
+  auto energy_at = [&](double a) {
+    LatticeSpec spec;
+    spec.kind = LatticeKind::Diamond;
+    spec.a = a;
+    spec.nx = spec.ny = spec.nz = 2;
+    System sys = md::build_lattice(spec, 12.011);
+    return energy_of(pot, sys);
+  };
+  const double e0 = energy_at(3.5656);
+  EXPECT_LT(e0, energy_at(3.48));
+  EXPECT_LT(e0, energy_at(3.65));
+}
+
+TEST(PairTersoff, VirialMatchesEnergyVolumeDerivative) {
+  // W = -3V dE/dV under uniform scaling: verify against finite
+  // differences of the energy of a scaled configuration.
+  PairTersoff pot;
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Diamond;
+  spec.a = 3.45;  // compressed: non-zero pressure
+  spec.nx = spec.ny = spec.nz = 2;
+  System sys = md::build_lattice(spec, 12.011);
+
+  NeighborList nl(pot.cutoff(), 0.3);
+  nl.build(sys);
+  sys.zero_forces();
+  const auto ev = pot.compute(sys, nl);
+
+  auto energy_scaled = [&](double s) {
+    LatticeSpec sp = spec;
+    sp.a = spec.a * s;
+    System scaled = md::build_lattice(sp, 12.011);
+    return energy_of(pot, scaled);
+  };
+  const double h = 1e-5;
+  const double dEds = (energy_scaled(1 + h) - energy_scaled(1 - h)) / (2 * h);
+  // E(s) with V = s^3 V0: dE/ds = 3 V0 s^2 dE/dV -> at s=1, W = -dE/ds.
+  EXPECT_NEAR(ev.virial, -dEds, 5e-3 * std::abs(dEds));
+}
+
+TEST(PairEam, ScalarIngredientsAreSmoothAtCutoffs) {
+  PairEam pot;
+  const auto& p = pot.params();
+  EXPECT_DOUBLE_EQ(pot.density_fn(p.d), 0.0);
+  EXPECT_DOUBLE_EQ(pot.pair_fn(p.c), 0.0);
+  // Quadratic cutoff factors: first derivatives vanish too.
+  const double h = 1e-7;
+  EXPECT_NEAR((pot.density_fn(p.d - h) - pot.density_fn(p.d)) / h, 0.0, 1e-5);
+  EXPECT_NEAR((pot.pair_fn(p.c - h) - pot.pair_fn(p.c)) / h, 0.0, 1e-4);
+  EXPECT_LT(pot.embed_fn(4.0), pot.embed_fn(1.0));  // deeper embedding
+}
+
+TEST(PairEam, ForcesMatchFiniteDifference) {
+  PairEam pot;
+  // Iron-like bcc with thermal disorder (FS iron parameterization).
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Bcc;
+  spec.a = 2.8665;
+  spec.nx = spec.ny = spec.nz = 3;
+  System sys = md::build_lattice(spec, 55.845);
+  Rng rng(7);
+  md::perturb(sys, 0.1, rng);
+  check_fd_forces(pot, sys, 2e-5);
+}
+
+TEST(PairEam, BccIronCohesionAndLatticeConstant) {
+  PairEam pot;
+  auto energy_at = [&](double a) {
+    LatticeSpec spec;
+    spec.kind = LatticeKind::Bcc;
+    spec.a = a;
+    spec.nx = spec.ny = spec.nz = 3;
+    System sys = md::build_lattice(spec, 55.845);
+    return energy_of(pot, sys) / sys.nlocal();
+  };
+  // Finnis-Sinclair iron: cohesive energy ~ -4.28 eV/atom at a0 = 2.8665.
+  const double e0 = energy_at(2.8665);
+  EXPECT_NEAR(e0, -4.28, 0.1);
+  EXPECT_LT(e0, energy_at(2.75));
+  EXPECT_LT(e0, energy_at(3.0));
+}
+
+TEST(PairEam, EmbeddingIsManyBody) {
+  // The defining EAM property: energy is NOT pairwise additive. Compare
+  // a trimer against the sum of its three isolated dimers.
+  PairEam pot;
+  Box box(30, 30, 30, {false, false, false});
+  const double r = 2.6;
+  auto energy_of_atoms = [&](const std::vector<Vec3>& pos) {
+    System sys(box, 55.845);
+    for (const auto& p : pos) sys.add_atom(p);
+    return energy_of(pot, sys);
+  };
+  const Vec3 a{10, 10, 10}, b{10 + r, 10, 10}, c{10 + r / 2, 10 + r * 0.866, 10};
+  const double trimer = energy_of_atoms({a, b, c});
+  const double dimers = energy_of_atoms({a, b}) +
+                        energy_of_atoms({b, c}) +
+                        energy_of_atoms({a, c});
+  EXPECT_GT(std::abs(trimer - dimers), 0.05);
+}
+
+TEST(PairEam, RejectsGhostedSystems) {
+  PairEam pot;
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Bcc;
+  spec.a = 2.8665;
+  spec.nx = spec.ny = spec.nz = 2;
+  System sys = md::build_lattice(spec, 55.845);
+  sys.add_ghost({0.1, 0.1, 0.1}, 999);
+  NeighborList nl(pot.cutoff(), 0.3);
+  nl.build(sys, true);
+  sys.zero_forces();
+  EXPECT_THROW(pot.compute(sys, nl), Error);
+}
+
+}  // namespace
+}  // namespace ember::ref

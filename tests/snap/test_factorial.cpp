@@ -1,0 +1,89 @@
+// Tests for the factorial table and Clebsch-Gordan coefficients.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snap/factorial.hpp"
+
+namespace ember::snap {
+namespace {
+
+TEST(Factorial, SmallValues) {
+  EXPECT_EQ(factorial(0), 1.0L);
+  EXPECT_EQ(factorial(1), 1.0L);
+  EXPECT_EQ(factorial(5), 120.0L);
+  EXPECT_EQ(factorial(12), 479001600.0L);
+}
+
+TEST(Factorial, LargeValueMatchesStirlingOrder) {
+  // 170! ~ 7.26e306; table must not overflow long double.
+  EXPECT_GT(factorial(170), 1e306L);
+  EXPECT_TRUE(std::isfinite(static_cast<double>(factorial(150))));
+}
+
+TEST(ClebschGordan, KnownHalfIntegerValues) {
+  // C^{0 0}_{1/2 1/2, 1/2 -1/2} = 1/sqrt(2), singlet combination.
+  EXPECT_NEAR(clebsch_gordan(1, 1, 1, -1, 0, 0), 1.0 / std::sqrt(2.0), 1e-14);
+  // C^{1 1}_{1/2 1/2, 1/2 1/2} = 1 (stretched state).
+  EXPECT_NEAR(clebsch_gordan(1, 1, 1, 1, 2, 2), 1.0, 1e-14);
+  // C^{1 0}_{1/2 1/2, 1/2 -1/2} = 1/sqrt(2).
+  EXPECT_NEAR(clebsch_gordan(1, 1, 1, -1, 2, 0), 1.0 / std::sqrt(2.0), 1e-14);
+}
+
+TEST(ClebschGordan, KnownIntegerValues) {
+  // Coupling 1 x 1 -> 2: C^{2 0}_{1 0, 1 0} = sqrt(2/3).
+  EXPECT_NEAR(clebsch_gordan(2, 0, 2, 0, 4, 0), std::sqrt(2.0 / 3.0), 1e-14);
+  // Coupling 1 x 1 -> 0: C^{0 0}_{1 0, 1 0} = -1/sqrt(3).
+  EXPECT_NEAR(clebsch_gordan(2, 0, 2, 0, 0, 0), -1.0 / std::sqrt(3.0), 1e-14);
+  // Coupling 1 x 1 -> 1: C^{1 0}_{1 0, 1 0} = 0 by symmetry.
+  EXPECT_NEAR(clebsch_gordan(2, 0, 2, 0, 2, 0), 0.0, 1e-14);
+}
+
+TEST(ClebschGordan, SelectionRules) {
+  // Projection mismatch.
+  EXPECT_EQ(clebsch_gordan(2, 2, 2, 0, 4, 0), 0.0);
+  // Triangle violation.
+  EXPECT_EQ(clebsch_gordan(2, 0, 2, 0, 8, 0), 0.0);
+  // |m| > j.
+  EXPECT_EQ(clebsch_gordan(2, 4, 2, 0, 4, 4), 0.0);
+}
+
+// Orthogonality: sum_{m1,m2} C^{j m}_{j1 m1 j2 m2} C^{j' m'}_{j1 m1 j2 m2}
+// = delta_{j j'} delta_{m m'}.
+class CgOrthogonality
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CgOrthogonality, RowsAreOrthonormal) {
+  const auto [twoj1, twoj2] = GetParam();
+  for (int twoj = std::abs(twoj1 - twoj2); twoj <= twoj1 + twoj2; twoj += 2) {
+    for (int twojp = std::abs(twoj1 - twoj2); twojp <= twoj1 + twoj2;
+         twojp += 2) {
+      for (int twom = -twoj; twom <= twoj; twom += 2) {
+        for (int twomp = -twojp; twomp <= twojp; twomp += 2) {
+          double sum = 0.0;
+          for (int twom1 = -twoj1; twom1 <= twoj1; twom1 += 2) {
+            for (int twom2 = -twoj2; twom2 <= twoj2; twom2 += 2) {
+              sum += clebsch_gordan(twoj1, twom1, twoj2, twom2, twoj, twom) *
+                     clebsch_gordan(twoj1, twom1, twoj2, twom2, twojp, twomp);
+            }
+          }
+          const double expected =
+              (twoj == twojp && twom == twomp) ? 1.0 : 0.0;
+          EXPECT_NEAR(sum, expected, 1e-12)
+              << "j1=" << twoj1 / 2.0 << " j2=" << twoj2 / 2.0
+              << " j=" << twoj / 2.0 << " j'=" << twojp / 2.0;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Couplings, CgOrthogonality,
+                         ::testing::Values(std::tuple{1, 1}, std::tuple{2, 1},
+                                           std::tuple{2, 2}, std::tuple{3, 2},
+                                           std::tuple{4, 3}, std::tuple{6, 4},
+                                           std::tuple{8, 8}, std::tuple{7, 5}));
+
+}  // namespace
+}  // namespace ember::snap

@@ -1,0 +1,117 @@
+// Tests for the SNAP index tables: block offsets, component counts, and the
+// canonical-triple bookkeeping used by the adjoint accumulation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "snap/factorial.hpp"
+#include "snap/indexing.hpp"
+
+namespace ember::snap {
+namespace {
+
+TEST(SnapIndex, UBlockOffsets) {
+  SnapIndex idx(8);
+  // Block j holds (j+1)^2 entries: offsets are partial sums of squares.
+  EXPECT_EQ(idx.u_block(0), 0);
+  EXPECT_EQ(idx.u_block(1), 1);
+  EXPECT_EQ(idx.u_block(2), 5);
+  EXPECT_EQ(idx.u_block(3), 14);
+  EXPECT_EQ(idx.u_total(), 285);  // sum_{j=0..8} (j+1)^2
+}
+
+TEST(SnapIndex, ComponentCountsMatchThePaper) {
+  // The paper: 2J = 8 -> 55 bispectrum components, 2J = 14 -> 204.
+  EXPECT_EQ(SnapIndex(8).num_b(), 55);
+  EXPECT_EQ(SnapIndex(14).num_b(), 204);
+  EXPECT_EQ(SnapIndex(0).num_b(), 1);
+  EXPECT_EQ(SnapIndex(2).num_b(), 5);
+}
+
+TEST(SnapIndex, CanonicalTriplesAreOrdered) {
+  SnapIndex idx(8);
+  for (const auto& bt : idx.b_triples()) {
+    EXPECT_LE(bt.j2, bt.j1);
+    EXPECT_LE(bt.j1, bt.j);
+    EXPECT_LE(bt.j, 8);
+    EXPECT_GE(bt.j, bt.j1 - bt.j2);
+    EXPECT_LE(bt.j, bt.j1 + bt.j2);
+    EXPECT_EQ((bt.j1 + bt.j2 + bt.j) % 2, 0);
+    // Round-trip through the dense lookup.
+    const int l = idx.b_index(bt.j1, bt.j2, bt.j);
+    EXPECT_EQ(idx.b_triples()[l].j1, bt.j1);
+    EXPECT_EQ(idx.b_triples()[l].j2, bt.j2);
+    EXPECT_EQ(idx.b_triples()[l].j, bt.j);
+  }
+}
+
+TEST(SnapIndex, EveryCouplingTripleMapsToACanonicalB) {
+  SnapIndex idx(8);
+  for (const auto& t : idx.z_triples()) {
+    ASSERT_GE(t.idxb, 0);
+    ASSERT_LT(t.idxb, idx.num_b());
+    const auto& bt = idx.b_triples()[t.idxb];
+    // The canonical triple must contain the same multiset of momenta.
+    int a[3] = {t.j1, t.j2, t.j};
+    int b[3] = {bt.j1, bt.j2, bt.j};
+    std::sort(a, a + 3);
+    std::sort(b, b + 3);
+    EXPECT_EQ(a[0], b[0]);
+    EXPECT_EQ(a[1], b[1]);
+    EXPECT_EQ(a[2], b[2]);
+    EXPECT_GT(t.beta_scale, 0.0);
+  }
+}
+
+TEST(SnapIndex, BetaScaleMultiplicitySumsToThree) {
+  // Every canonical B has exactly three U-slot dependencies (eq. 6), so
+  // summing beta_scale * (target dimension ratio correction)^-1 ... the
+  // simplest invariant: for each canonical triple, the total multiplicity
+  // of entries pointing at it, weighting permuted entries by
+  // (j_target+1)/(j_big+1) to undo the dimension ratio, must be 3.
+  SnapIndex idx(8);
+  std::vector<double> mult(idx.num_b(), 0.0);
+  for (const auto& t : idx.z_triples()) {
+    const auto& bt = idx.b_triples()[t.idxb];
+    // beta_scale already includes the (big+1)/(target+1) ratio for permuted
+    // entries; undo it so each dependency slot counts as 1.
+    double count = t.beta_scale;
+    if (t.j < bt.j) {
+      count *= static_cast<double>(t.j + 1) / static_cast<double>(bt.j + 1);
+    }
+    mult[t.idxb] += count;
+  }
+  for (int l = 0; l < idx.num_b(); ++l) {
+    EXPECT_NEAR(mult[l], 3.0, 1e-12) << "triple " << l;
+  }
+}
+
+TEST(SnapIndex, ZLookupFindsAllPermutations) {
+  SnapIndex idx(8);
+  for (const auto& bt : idx.b_triples()) {
+    EXPECT_NO_THROW((void)idx.z_index(bt.j1, bt.j2, bt.j));
+    EXPECT_NO_THROW((void)idx.z_index(bt.j, bt.j2, bt.j1));
+    EXPECT_NO_THROW((void)idx.z_index(bt.j, bt.j1, bt.j2));
+    // Argument order within the pair must not matter.
+    EXPECT_EQ(idx.z_index(bt.j2, bt.j1, bt.j), idx.z_index(bt.j1, bt.j2, bt.j));
+  }
+}
+
+TEST(SnapIndex, CgBlocksMatchDirectEvaluation) {
+  SnapIndex idx(6);
+  for (const auto& t : idx.z_triples()) {
+    for (int ma1 = 0; ma1 <= t.j1; ++ma1) {
+      for (int ma2 = 0; ma2 <= t.j2; ++ma2) {
+        const int twom1 = 2 * ma1 - t.j1;
+        const int twom2 = 2 * ma2 - t.j2;
+        EXPECT_DOUBLE_EQ(
+            idx.cg(t, ma1, ma2),
+            clebsch_gordan(t.j1, twom1, t.j2, twom2, t.j, twom1 + twom2));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ember::snap

@@ -1,0 +1,158 @@
+// Tests for the closed-form Wigner matrices and the Cayley-Klein mapping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "snap/wigner.hpp"
+
+namespace ember::snap {
+namespace {
+
+// Random unit-norm Cayley-Klein pair.
+std::pair<Cplx, Cplx> random_cayley_klein(Rng& rng) {
+  const Cplx a{rng.gaussian(), rng.gaussian()};
+  const Cplx b{rng.gaussian(), rng.gaussian()};
+  const double norm =
+      std::sqrt(a.re * a.re + a.im * a.im + b.re * b.re + b.im * b.im);
+  return {{a.re / norm, a.im / norm}, {b.re / norm, b.im / norm}};
+}
+
+// Matrix multiply for row-major (n x n) Cplx arrays.
+std::vector<Cplx> matmul(const std::vector<Cplx>& A, const std::vector<Cplx>& B,
+                         int n) {
+  std::vector<Cplx> C(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      const Cplx aik = A[i * n + k];
+      for (int j = 0; j < n; ++j) C[i * n + j] += aik * B[k * n + j];
+    }
+  }
+  return C;
+}
+
+TEST(Wigner, SpinHalfIsTheGroupElement) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto [a, b] = random_cayley_klein(rng);
+    const auto u = wigner_matrix(1, a, b);
+    // Expected g = [[a, -b*], [b, a*]] in (row k', col k) with k=0 -> v.
+    // Basis f_0 = v, f_1 = u: column k=1 transforms u -> a u + b v, giving
+    // element [1][1] = a, [0][1] = b; column k=0: v -> -b* u + a* v.
+    EXPECT_NEAR(u[1 * 2 + 1].re, a.re, 1e-14);
+    EXPECT_NEAR(u[1 * 2 + 1].im, a.im, 1e-14);
+    EXPECT_NEAR(u[0 * 2 + 1].re, b.re, 1e-14);
+    EXPECT_NEAR(u[0 * 2 + 1].im, b.im, 1e-14);
+    EXPECT_NEAR(u[1 * 2 + 0].re, -b.re, 1e-14);
+    EXPECT_NEAR(u[1 * 2 + 0].im, b.im, 1e-14);  // -conj(b)
+    EXPECT_NEAR(u[0 * 2 + 0].re, a.re, 1e-14);
+    EXPECT_NEAR(u[0 * 2 + 0].im, -a.im, 1e-14);  // conj(a)
+  }
+}
+
+class WignerUnitarity : public ::testing::TestWithParam<int> {};
+
+TEST_P(WignerUnitarity, UUdaggerIsIdentity) {
+  const int twoj = GetParam();
+  Rng rng(100 + twoj);
+  const auto [a, b] = random_cayley_klein(rng);
+  const auto u = wigner_matrix(twoj, a, b);
+  const int n = twoj + 1;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      Cplx sum{};
+      for (int k = 0; k < n; ++k) sum += u[i * n + k] * conj(u[j * n + k]);
+      EXPECT_NEAR(sum.re, i == j ? 1.0 : 0.0, 1e-11);
+      EXPECT_NEAR(sum.im, 0.0, 1e-11);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllJ, WignerUnitarity,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 11, 14));
+
+TEST(Wigner, CompositionHomomorphism) {
+  // U(g1) U(g2) = U(g1 g2) with the SU(2) product of Cayley-Klein pairs:
+  // g = [[a, -b*],[b, a*]]; product (a,b) * (c,d) has
+  //   a' = a c - b* d, b' = b c + a* d.
+  Rng rng(7);
+  for (int twoj : {2, 5, 8}) {
+    const auto [a1, b1] = random_cayley_klein(rng);
+    const auto [a2, b2] = random_cayley_klein(rng);
+    const Cplx a12 = a1 * a2 - conj(b1) * b2;
+    const Cplx b12 = b1 * a2 + conj(a1) * b2;
+    const auto u1 = wigner_matrix(twoj, a1, b1);
+    const auto u2 = wigner_matrix(twoj, a2, b2);
+    const auto u12 = wigner_matrix(twoj, a12, b12);
+    const auto prod = matmul(u1, u2, twoj + 1);
+    const int n = twoj + 1;
+    for (int e = 0; e < n * n; ++e) {
+      EXPECT_NEAR(prod[e].re, u12[e].re, 1e-11) << "twoj=" << twoj;
+      EXPECT_NEAR(prod[e].im, u12[e].im, 1e-11);
+    }
+  }
+}
+
+TEST(Wigner, ConjugationSymmetry) {
+  // conj(U[k',k]) = (-1)^(k+k') U[J-k', J-k] — the symmetry that SNAP's
+  // symmetrized layouts exploit.
+  Rng rng(23);
+  for (int twoj : {1, 3, 6, 9}) {
+    const auto [a, b] = random_cayley_klein(rng);
+    const auto u = wigner_matrix(twoj, a, b);
+    const int n = twoj + 1;
+    for (int kp = 0; kp < n; ++kp) {
+      for (int k = 0; k < n; ++k) {
+        const Cplx lhs = conj(u[kp * n + k]);
+        const double sign = ((k + kp) % 2 == 0) ? 1.0 : -1.0;
+        const Cplx rhs = sign * u[(twoj - kp) * n + (twoj - k)];
+        EXPECT_NEAR(lhs.re, rhs.re, 1e-12);
+        EXPECT_NEAR(lhs.im, rhs.im, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(MapToSphere, UnitNormAndSwitching) {
+  Rng rng(3);
+  const double rcut = 4.7;
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec3 rij{rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0),
+             rng.uniform(-2.0, 2.0)};
+    if (rij.norm() < 0.3 || rij.norm() >= rcut) continue;
+    const auto ck = map_to_sphere(rij, rcut, 0.99363, 0.0, true);
+    const double norm2 = ck.a.re * ck.a.re + ck.a.im * ck.a.im +
+                         ck.b.re * ck.b.re + ck.b.im * ck.b.im;
+    EXPECT_NEAR(norm2, 1.0, 1e-12);
+    EXPECT_GE(ck.fc, 0.0);
+    EXPECT_LE(ck.fc, 1.0);
+  }
+  // fc -> 0 smoothly at the cutoff.
+  const auto near_cut =
+      map_to_sphere({rcut - 1e-6, 0.0, 0.0}, rcut, 0.99363, 0.0, true);
+  EXPECT_NEAR(near_cut.fc, 0.0, 1e-10);
+}
+
+TEST(MapToSphere, DerivativesMatchFiniteDifferences) {
+  const double rcut = 4.7;
+  const Vec3 r0{1.1, -0.7, 1.9};
+  const double h = 1e-6;
+  const auto ck = map_to_sphere(r0, rcut, 0.99363, 0.0, true);
+  for (int d = 0; d < 3; ++d) {
+    Vec3 rp = r0;
+    Vec3 rm = r0;
+    rp[d] += h;
+    rm[d] -= h;
+    const auto ckp = map_to_sphere(rp, rcut, 0.99363, 0.0, true);
+    const auto ckm = map_to_sphere(rm, rcut, 0.99363, 0.0, true);
+    EXPECT_NEAR(ck.da[d].re, (ckp.a.re - ckm.a.re) / (2 * h), 1e-6);
+    EXPECT_NEAR(ck.da[d].im, (ckp.a.im - ckm.a.im) / (2 * h), 1e-6);
+    EXPECT_NEAR(ck.db[d].re, (ckp.b.re - ckm.b.re) / (2 * h), 1e-6);
+    EXPECT_NEAR(ck.db[d].im, (ckp.b.im - ckm.b.im) / (2 * h), 1e-6);
+    EXPECT_NEAR(ck.dfc[d], (ckp.fc - ckm.fc) / (2 * h), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace ember::snap
