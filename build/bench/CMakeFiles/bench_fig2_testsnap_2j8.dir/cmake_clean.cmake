@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_testsnap_2j8.dir/bench_fig2_testsnap_2j8.cpp.o"
+  "CMakeFiles/bench_fig2_testsnap_2j8.dir/bench_fig2_testsnap_2j8.cpp.o.d"
+  "bench_fig2_testsnap_2j8"
+  "bench_fig2_testsnap_2j8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_testsnap_2j8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig2_testsnap_2j8.
+# This may be replaced when dependencies are built.

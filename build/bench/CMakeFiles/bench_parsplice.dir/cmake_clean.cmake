@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parsplice.dir/bench_parsplice.cpp.o"
+  "CMakeFiles/bench_parsplice.dir/bench_parsplice.cpp.o.d"
+  "bench_parsplice"
+  "bench_parsplice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parsplice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sc_fig3_strong.dir/bench_sc_fig3_strong.cpp.o"
+  "CMakeFiles/bench_sc_fig3_strong.dir/bench_sc_fig3_strong.cpp.o.d"
+  "bench_sc_fig3_strong"
+  "bench_sc_fig3_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sc_fig3_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

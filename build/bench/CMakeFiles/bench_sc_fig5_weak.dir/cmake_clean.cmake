@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sc_fig5_weak.dir/bench_sc_fig5_weak.cpp.o"
+  "CMakeFiles/bench_sc_fig5_weak.dir/bench_sc_fig5_weak.cpp.o.d"
+  "bench_sc_fig5_weak"
+  "bench_sc_fig5_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sc_fig5_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sc_fig6_machines.dir/bench_sc_fig6_machines.cpp.o"
+  "CMakeFiles/bench_sc_fig6_machines.dir/bench_sc_fig6_machines.cpp.o.d"
+  "bench_sc_fig6_machines"
+  "bench_sc_fig6_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sc_fig6_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

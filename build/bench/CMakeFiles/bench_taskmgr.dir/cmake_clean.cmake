@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_taskmgr.dir/bench_taskmgr.cpp.o"
+  "CMakeFiles/bench_taskmgr.dir/bench_taskmgr.cpp.o.d"
+  "bench_taskmgr"
+  "bench_taskmgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_taskmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

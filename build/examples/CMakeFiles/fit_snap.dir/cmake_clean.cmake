@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_snap.dir/fit_snap.cpp.o"
+  "CMakeFiles/fit_snap.dir/fit_snap.cpp.o.d"
+  "fit_snap"
+  "fit_snap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_snap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

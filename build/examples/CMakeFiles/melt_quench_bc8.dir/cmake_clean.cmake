@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melt_quench_bc8.dir/melt_quench_bc8.cpp.o"
+  "CMakeFiles/melt_quench_bc8.dir/melt_quench_bc8.cpp.o.d"
+  "melt_quench_bc8"
+  "melt_quench_bc8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melt_quench_bc8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for melt_quench_bc8.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsplice_demo.dir/parsplice_demo.cpp.o"
+  "CMakeFiles/parsplice_demo.dir/parsplice_demo.cpp.o.d"
+  "parsplice_demo"
+  "parsplice_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsplice_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ember_analysis.dir/classify.cpp.o"
+  "CMakeFiles/ember_analysis.dir/classify.cpp.o.d"
+  "libember_analysis.a"
+  "libember_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ember_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

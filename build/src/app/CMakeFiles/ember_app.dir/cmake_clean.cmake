@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ember_app.dir/interpreter.cpp.o"
+  "CMakeFiles/ember_app.dir/interpreter.cpp.o.d"
+  "libember_app.a"
+  "libember_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ember_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

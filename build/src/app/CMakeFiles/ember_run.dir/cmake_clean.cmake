@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ember_run.dir/ember_run.cpp.o"
+  "CMakeFiles/ember_run.dir/ember_run.cpp.o.d"
+  "ember_run"
+  "ember_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ember_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ember_comm.dir/communicator.cpp.o"
+  "CMakeFiles/ember_comm.dir/communicator.cpp.o.d"
+  "libember_comm.a"
+  "libember_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ember_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ember_common.dir/error.cpp.o"
+  "CMakeFiles/ember_common.dir/error.cpp.o.d"
+  "CMakeFiles/ember_common.dir/rng.cpp.o"
+  "CMakeFiles/ember_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ember_common.dir/vec3.cpp.o"
+  "CMakeFiles/ember_common.dir/vec3.cpp.o.d"
+  "libember_common.a"
+  "libember_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ember_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

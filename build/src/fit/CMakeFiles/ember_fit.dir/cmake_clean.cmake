@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ember_fit.dir/linalg.cpp.o"
+  "CMakeFiles/ember_fit.dir/linalg.cpp.o.d"
+  "CMakeFiles/ember_fit.dir/trainer.cpp.o"
+  "CMakeFiles/ember_fit.dir/trainer.cpp.o.d"
+  "libember_fit.a"
+  "libember_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ember_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/batched.cpp" "src/md/CMakeFiles/ember_md.dir/batched.cpp.o" "gcc" "src/md/CMakeFiles/ember_md.dir/batched.cpp.o.d"
+  "/root/repo/src/md/computes.cpp" "src/md/CMakeFiles/ember_md.dir/computes.cpp.o" "gcc" "src/md/CMakeFiles/ember_md.dir/computes.cpp.o.d"
+  "/root/repo/src/md/integrate.cpp" "src/md/CMakeFiles/ember_md.dir/integrate.cpp.o" "gcc" "src/md/CMakeFiles/ember_md.dir/integrate.cpp.o.d"
+  "/root/repo/src/md/io.cpp" "src/md/CMakeFiles/ember_md.dir/io.cpp.o" "gcc" "src/md/CMakeFiles/ember_md.dir/io.cpp.o.d"
+  "/root/repo/src/md/lattice.cpp" "src/md/CMakeFiles/ember_md.dir/lattice.cpp.o" "gcc" "src/md/CMakeFiles/ember_md.dir/lattice.cpp.o.d"
+  "/root/repo/src/md/minimize.cpp" "src/md/CMakeFiles/ember_md.dir/minimize.cpp.o" "gcc" "src/md/CMakeFiles/ember_md.dir/minimize.cpp.o.d"
+  "/root/repo/src/md/neighbor.cpp" "src/md/CMakeFiles/ember_md.dir/neighbor.cpp.o" "gcc" "src/md/CMakeFiles/ember_md.dir/neighbor.cpp.o.d"
+  "/root/repo/src/md/potential.cpp" "src/md/CMakeFiles/ember_md.dir/potential.cpp.o" "gcc" "src/md/CMakeFiles/ember_md.dir/potential.cpp.o.d"
+  "/root/repo/src/md/simulation.cpp" "src/md/CMakeFiles/ember_md.dir/simulation.cpp.o" "gcc" "src/md/CMakeFiles/ember_md.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ember_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

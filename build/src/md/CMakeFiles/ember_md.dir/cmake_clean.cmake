@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ember_md.dir/batched.cpp.o"
+  "CMakeFiles/ember_md.dir/batched.cpp.o.d"
+  "CMakeFiles/ember_md.dir/computes.cpp.o"
+  "CMakeFiles/ember_md.dir/computes.cpp.o.d"
+  "CMakeFiles/ember_md.dir/integrate.cpp.o"
+  "CMakeFiles/ember_md.dir/integrate.cpp.o.d"
+  "CMakeFiles/ember_md.dir/io.cpp.o"
+  "CMakeFiles/ember_md.dir/io.cpp.o.d"
+  "CMakeFiles/ember_md.dir/lattice.cpp.o"
+  "CMakeFiles/ember_md.dir/lattice.cpp.o.d"
+  "CMakeFiles/ember_md.dir/minimize.cpp.o"
+  "CMakeFiles/ember_md.dir/minimize.cpp.o.d"
+  "CMakeFiles/ember_md.dir/neighbor.cpp.o"
+  "CMakeFiles/ember_md.dir/neighbor.cpp.o.d"
+  "CMakeFiles/ember_md.dir/potential.cpp.o"
+  "CMakeFiles/ember_md.dir/potential.cpp.o.d"
+  "CMakeFiles/ember_md.dir/simulation.cpp.o"
+  "CMakeFiles/ember_md.dir/simulation.cpp.o.d"
+  "libember_md.a"
+  "libember_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ember_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

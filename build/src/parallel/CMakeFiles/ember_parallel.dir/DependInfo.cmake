@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/domain.cpp" "src/parallel/CMakeFiles/ember_parallel.dir/domain.cpp.o" "gcc" "src/parallel/CMakeFiles/ember_parallel.dir/domain.cpp.o.d"
+  "/root/repo/src/parallel/parallel_sim.cpp" "src/parallel/CMakeFiles/ember_parallel.dir/parallel_sim.cpp.o" "gcc" "src/parallel/CMakeFiles/ember_parallel.dir/parallel_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/ember_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/ember_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ember_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

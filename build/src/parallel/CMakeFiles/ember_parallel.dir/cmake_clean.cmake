@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ember_parallel.dir/domain.cpp.o"
+  "CMakeFiles/ember_parallel.dir/domain.cpp.o.d"
+  "CMakeFiles/ember_parallel.dir/parallel_sim.cpp.o"
+  "CMakeFiles/ember_parallel.dir/parallel_sim.cpp.o.d"
+  "libember_parallel.a"
+  "libember_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ember_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parsplice/landscape.cpp" "src/parsplice/CMakeFiles/ember_parsplice.dir/landscape.cpp.o" "gcc" "src/parsplice/CMakeFiles/ember_parsplice.dir/landscape.cpp.o.d"
+  "/root/repo/src/parsplice/parsplice.cpp" "src/parsplice/CMakeFiles/ember_parsplice.dir/parsplice.cpp.o" "gcc" "src/parsplice/CMakeFiles/ember_parsplice.dir/parsplice.cpp.o.d"
+  "/root/repo/src/parsplice/taskmgr.cpp" "src/parsplice/CMakeFiles/ember_parsplice.dir/taskmgr.cpp.o" "gcc" "src/parsplice/CMakeFiles/ember_parsplice.dir/taskmgr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ember_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

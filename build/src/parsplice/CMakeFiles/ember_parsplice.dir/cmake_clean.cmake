@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ember_parsplice.dir/landscape.cpp.o"
+  "CMakeFiles/ember_parsplice.dir/landscape.cpp.o.d"
+  "CMakeFiles/ember_parsplice.dir/parsplice.cpp.o"
+  "CMakeFiles/ember_parsplice.dir/parsplice.cpp.o.d"
+  "CMakeFiles/ember_parsplice.dir/taskmgr.cpp.o"
+  "CMakeFiles/ember_parsplice.dir/taskmgr.cpp.o.d"
+  "libember_parsplice.a"
+  "libember_parsplice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ember_parsplice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libember_parsplice.a"
+)

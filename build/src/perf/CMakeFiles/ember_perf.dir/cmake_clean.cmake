@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ember_perf.dir/production.cpp.o"
+  "CMakeFiles/ember_perf.dir/production.cpp.o.d"
+  "CMakeFiles/ember_perf.dir/scaling.cpp.o"
+  "CMakeFiles/ember_perf.dir/scaling.cpp.o.d"
+  "libember_perf.a"
+  "libember_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ember_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

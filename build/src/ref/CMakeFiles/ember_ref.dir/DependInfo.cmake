@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ref/pair_eam.cpp" "src/ref/CMakeFiles/ember_ref.dir/pair_eam.cpp.o" "gcc" "src/ref/CMakeFiles/ember_ref.dir/pair_eam.cpp.o.d"
+  "/root/repo/src/ref/pair_lj.cpp" "src/ref/CMakeFiles/ember_ref.dir/pair_lj.cpp.o" "gcc" "src/ref/CMakeFiles/ember_ref.dir/pair_lj.cpp.o.d"
+  "/root/repo/src/ref/pair_morse.cpp" "src/ref/CMakeFiles/ember_ref.dir/pair_morse.cpp.o" "gcc" "src/ref/CMakeFiles/ember_ref.dir/pair_morse.cpp.o.d"
+  "/root/repo/src/ref/pair_tersoff.cpp" "src/ref/CMakeFiles/ember_ref.dir/pair_tersoff.cpp.o" "gcc" "src/ref/CMakeFiles/ember_ref.dir/pair_tersoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/ember_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ember_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ember_ref.dir/pair_eam.cpp.o"
+  "CMakeFiles/ember_ref.dir/pair_eam.cpp.o.d"
+  "CMakeFiles/ember_ref.dir/pair_lj.cpp.o"
+  "CMakeFiles/ember_ref.dir/pair_lj.cpp.o.d"
+  "CMakeFiles/ember_ref.dir/pair_morse.cpp.o"
+  "CMakeFiles/ember_ref.dir/pair_morse.cpp.o.d"
+  "CMakeFiles/ember_ref.dir/pair_tersoff.cpp.o"
+  "CMakeFiles/ember_ref.dir/pair_tersoff.cpp.o.d"
+  "libember_ref.a"
+  "libember_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ember_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

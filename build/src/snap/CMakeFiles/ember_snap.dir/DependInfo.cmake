@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snap/bispectrum.cpp" "src/snap/CMakeFiles/ember_snap.dir/bispectrum.cpp.o" "gcc" "src/snap/CMakeFiles/ember_snap.dir/bispectrum.cpp.o.d"
+  "/root/repo/src/snap/factorial.cpp" "src/snap/CMakeFiles/ember_snap.dir/factorial.cpp.o" "gcc" "src/snap/CMakeFiles/ember_snap.dir/factorial.cpp.o.d"
+  "/root/repo/src/snap/indexing.cpp" "src/snap/CMakeFiles/ember_snap.dir/indexing.cpp.o" "gcc" "src/snap/CMakeFiles/ember_snap.dir/indexing.cpp.o.d"
+  "/root/repo/src/snap/snap_potential.cpp" "src/snap/CMakeFiles/ember_snap.dir/snap_potential.cpp.o" "gcc" "src/snap/CMakeFiles/ember_snap.dir/snap_potential.cpp.o.d"
+  "/root/repo/src/snap/testsnap.cpp" "src/snap/CMakeFiles/ember_snap.dir/testsnap.cpp.o" "gcc" "src/snap/CMakeFiles/ember_snap.dir/testsnap.cpp.o.d"
+  "/root/repo/src/snap/wigner.cpp" "src/snap/CMakeFiles/ember_snap.dir/wigner.cpp.o" "gcc" "src/snap/CMakeFiles/ember_snap.dir/wigner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ember_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/ember_md.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

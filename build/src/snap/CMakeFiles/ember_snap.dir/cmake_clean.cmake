@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ember_snap.dir/bispectrum.cpp.o"
+  "CMakeFiles/ember_snap.dir/bispectrum.cpp.o.d"
+  "CMakeFiles/ember_snap.dir/factorial.cpp.o"
+  "CMakeFiles/ember_snap.dir/factorial.cpp.o.d"
+  "CMakeFiles/ember_snap.dir/indexing.cpp.o"
+  "CMakeFiles/ember_snap.dir/indexing.cpp.o.d"
+  "CMakeFiles/ember_snap.dir/snap_potential.cpp.o"
+  "CMakeFiles/ember_snap.dir/snap_potential.cpp.o.d"
+  "CMakeFiles/ember_snap.dir/testsnap.cpp.o"
+  "CMakeFiles/ember_snap.dir/testsnap.cpp.o.d"
+  "CMakeFiles/ember_snap.dir/wigner.cpp.o"
+  "CMakeFiles/ember_snap.dir/wigner.cpp.o.d"
+  "libember_snap.a"
+  "libember_snap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ember_snap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libember_snap.a"
+)

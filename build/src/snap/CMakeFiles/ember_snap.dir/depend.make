@@ -1,0 +1,2 @@
+# Empty dependencies file for ember_snap.
+# This may be replaced when dependencies are built.

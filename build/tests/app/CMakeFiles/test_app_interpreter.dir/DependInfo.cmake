@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app/test_interpreter.cpp" "tests/app/CMakeFiles/test_app_interpreter.dir/test_interpreter.cpp.o" "gcc" "tests/app/CMakeFiles/test_app_interpreter.dir/test_interpreter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/ember_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/ember_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/snap/CMakeFiles/ember_snap.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ember_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/ember_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ember_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_interpreter.dir/test_interpreter.cpp.o"
+  "CMakeFiles/test_app_interpreter.dir/test_interpreter.cpp.o.d"
+  "test_app_interpreter"
+  "test_app_interpreter.pdb"
+  "test_app_interpreter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

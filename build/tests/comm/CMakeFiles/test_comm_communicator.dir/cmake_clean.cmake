@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_communicator.dir/test_communicator.cpp.o"
+  "CMakeFiles/test_comm_communicator.dir/test_communicator.cpp.o.d"
+  "test_comm_communicator"
+  "test_comm_communicator.pdb"
+  "test_comm_communicator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_communicator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/comm
+# Build directory: /root/repo/build/tests/comm
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/comm/test_comm_communicator[1]_include.cmake")
+include("/root/repo/build/tests/comm/test_comm_stress[1]_include.cmake")

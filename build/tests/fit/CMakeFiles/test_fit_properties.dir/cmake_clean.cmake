@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fit_properties.dir/test_fit_properties.cpp.o"
+  "CMakeFiles/test_fit_properties.dir/test_fit_properties.cpp.o.d"
+  "test_fit_properties"
+  "test_fit_properties.pdb"
+  "test_fit_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fit_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fit/test_trainer.cpp" "tests/fit/CMakeFiles/test_fit_trainer.dir/test_trainer.cpp.o" "gcc" "tests/fit/CMakeFiles/test_fit_trainer.dir/test_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fit/CMakeFiles/ember_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/snap/CMakeFiles/ember_snap.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/ember_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/ember_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ember_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

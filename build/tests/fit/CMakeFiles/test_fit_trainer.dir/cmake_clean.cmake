@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fit_trainer.dir/test_trainer.cpp.o"
+  "CMakeFiles/test_fit_trainer.dir/test_trainer.cpp.o.d"
+  "test_fit_trainer"
+  "test_fit_trainer.pdb"
+  "test_fit_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fit_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fit
+# Build directory: /root/repo/build/tests/fit
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fit/test_fit_trainer[1]_include.cmake")
+include("/root/repo/build/tests/fit/test_fit_properties[1]_include.cmake")

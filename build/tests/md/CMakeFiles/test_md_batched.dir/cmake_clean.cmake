@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_batched.dir/test_batched.cpp.o"
+  "CMakeFiles/test_md_batched.dir/test_batched.cpp.o.d"
+  "test_md_batched"
+  "test_md_batched.pdb"
+  "test_md_batched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

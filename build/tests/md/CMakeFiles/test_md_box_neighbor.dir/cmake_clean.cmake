@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_box_neighbor.dir/test_box_neighbor.cpp.o"
+  "CMakeFiles/test_md_box_neighbor.dir/test_box_neighbor.cpp.o.d"
+  "test_md_box_neighbor"
+  "test_md_box_neighbor.pdb"
+  "test_md_box_neighbor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_box_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_properties.dir/test_md_properties.cpp.o"
+  "CMakeFiles/test_md_properties.dir/test_md_properties.cpp.o.d"
+  "test_md_properties"
+  "test_md_properties.pdb"
+  "test_md_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

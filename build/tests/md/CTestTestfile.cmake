@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/md
+# Build directory: /root/repo/build/tests/md
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/md/test_md_box_neighbor[1]_include.cmake")
+include("/root/repo/build/tests/md/test_md_dynamics[1]_include.cmake")
+include("/root/repo/build/tests/md/test_md_batched[1]_include.cmake")
+include("/root/repo/build/tests/md/test_md_properties[1]_include.cmake")
+include("/root/repo/build/tests/md/test_md_integrators[1]_include.cmake")

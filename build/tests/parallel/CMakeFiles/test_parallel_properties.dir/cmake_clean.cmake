@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_properties.dir/test_parallel_properties.cpp.o"
+  "CMakeFiles/test_parallel_properties.dir/test_parallel_properties.cpp.o.d"
+  "test_parallel_properties"
+  "test_parallel_properties.pdb"
+  "test_parallel_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parsplice.dir/test_parsplice.cpp.o"
+  "CMakeFiles/test_parsplice.dir/test_parsplice.cpp.o.d"
+  "test_parsplice"
+  "test_parsplice.pdb"
+  "test_parsplice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parsplice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taskmgr.dir/test_taskmgr.cpp.o"
+  "CMakeFiles/test_taskmgr.dir/test_taskmgr.cpp.o.d"
+  "test_taskmgr"
+  "test_taskmgr.pdb"
+  "test_taskmgr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taskmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/parsplice
+# Build directory: /root/repo/build/tests/parsplice
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/parsplice/test_parsplice[1]_include.cmake")
+include("/root/repo/build/tests/parsplice/test_taskmgr[1]_include.cmake")

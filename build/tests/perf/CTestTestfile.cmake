@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/perf
+# Build directory: /root/repo/build/tests/perf
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/perf/test_perf_scaling[1]_include.cmake")
+include("/root/repo/build/tests/perf/test_perf_properties[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ref_potentials.dir/test_potentials.cpp.o"
+  "CMakeFiles/test_ref_potentials.dir/test_potentials.cpp.o.d"
+  "test_ref_potentials"
+  "test_ref_potentials.pdb"
+  "test_ref_potentials[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ref_potentials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snap_bispectrum.dir/test_bispectrum.cpp.o"
+  "CMakeFiles/test_snap_bispectrum.dir/test_bispectrum.cpp.o.d"
+  "test_snap_bispectrum"
+  "test_snap_bispectrum.pdb"
+  "test_snap_bispectrum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snap_bispectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snap_factorial.dir/test_factorial.cpp.o"
+  "CMakeFiles/test_snap_factorial.dir/test_factorial.cpp.o.d"
+  "test_snap_factorial"
+  "test_snap_factorial.pdb"
+  "test_snap_factorial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snap_factorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_snap_factorial.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snap_indexing.dir/test_indexing.cpp.o"
+  "CMakeFiles/test_snap_indexing.dir/test_indexing.cpp.o.d"
+  "test_snap_indexing"
+  "test_snap_indexing.pdb"
+  "test_snap_indexing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snap_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

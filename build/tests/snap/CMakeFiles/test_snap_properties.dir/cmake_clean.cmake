@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snap_properties.dir/test_properties.cpp.o"
+  "CMakeFiles/test_snap_properties.dir/test_properties.cpp.o.d"
+  "test_snap_properties"
+  "test_snap_properties.pdb"
+  "test_snap_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snap_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

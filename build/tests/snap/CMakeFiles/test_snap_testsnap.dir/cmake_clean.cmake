@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snap_testsnap.dir/test_testsnap.cpp.o"
+  "CMakeFiles/test_snap_testsnap.dir/test_testsnap.cpp.o.d"
+  "test_snap_testsnap"
+  "test_snap_testsnap.pdb"
+  "test_snap_testsnap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snap_testsnap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

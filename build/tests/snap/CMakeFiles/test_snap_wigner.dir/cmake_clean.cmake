@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snap_wigner.dir/test_wigner.cpp.o"
+  "CMakeFiles/test_snap_wigner.dir/test_wigner.cpp.o.d"
+  "test_snap_wigner"
+  "test_snap_wigner.pdb"
+  "test_snap_wigner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snap_wigner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

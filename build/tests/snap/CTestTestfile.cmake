@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/snap
+# Build directory: /root/repo/build/tests/snap
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/snap/test_snap_factorial[1]_include.cmake")
+include("/root/repo/build/tests/snap/test_snap_wigner[1]_include.cmake")
+include("/root/repo/build/tests/snap/test_snap_indexing[1]_include.cmake")
+include("/root/repo/build/tests/snap/test_snap_bispectrum[1]_include.cmake")
+include("/root/repo/build/tests/snap/test_snap_forces[1]_include.cmake")
+include("/root/repo/build/tests/snap/test_snap_potential[1]_include.cmake")
+include("/root/repo/build/tests/snap/test_snap_testsnap[1]_include.cmake")
+include("/root/repo/build/tests/snap/test_snap_properties[1]_include.cmake")
