@@ -6,11 +6,47 @@
 //   * 22.9x the DeepMD record of 0.271 Matom-steps/node-s
 //   * ~1.7 MFLOP per atom-step, cross-checked against the analytic FLOP
 //     count of the ember SNAP kernel at the production problem size.
+//
+// Plus a *measured* node-level thread-scaling column: the TestSNAP
+// adjoint kernel (2J=8, 26 neighbors — the production workload of
+// bench_fig2) ground through the thread pool at 1/2/4/8 threads,
+// emitted as JSON for the scaling-curve table in README.
 
 #include <cstdio>
 
 #include "perf/scaling.hpp"
 #include "snap/bispectrum.hpp"
+#include "snap/testsnap.hpp"
+
+namespace {
+
+// threads -> grind time [s/atom-step] for the V3 adjoint variant.
+void print_thread_scaling_json() {
+  using namespace ember;
+  snap::SnapParams p;
+  p.twojmax = 8;
+  p.rcut = 4.7;
+  snap::TestSnap ts(p, 2000, 26, 2021);
+  const auto v = snap::TestSnapVariant::V3_Adjoint;
+
+  std::printf("\n== Thread scaling (measured, TestSNAP %s, 2J=8) ==\n\n",
+              snap::to_string(v));
+  const double serial = ts.grind_time(v, 2);
+  std::printf("{\"variant\": \"%s\", \"twojmax\": %d, \"natoms\": %d, "
+              "\"nnbor\": %d, \"grind_time\": [",
+              snap::to_string(v), p.twojmax, ts.natoms(), ts.nnbor());
+  bool first = true;
+  for (const int nth : {1, 2, 4, 8}) {
+    const double g = nth == 1 ? serial : ts.grind_time(v, 2, {nth});
+    std::printf("%s{\"threads\": %d, \"s_per_atom_step\": %.4g, "
+                "\"speedup\": %.2f}",
+                first ? "" : ", ", nth, g, serial / g);
+    first = false;
+  }
+  std::printf("]}\n");
+}
+
+}  // namespace
 
 int main() {
   using namespace ember;
@@ -46,5 +82,7 @@ int main() {
       "sustains ~1 ns/day; model: %.2f ns/day at 0.5 fs/step.\n",
       model.predict(373248.0 * 4650, 4650).matom_steps_per_node_s() * 1e6 /
           373248.0 * 0.5e-6 * 86400.0);
+
+  print_thread_scaling_json();
   return 0;
 }

@@ -31,9 +31,8 @@ std::vector<Phase> classify_atoms(const md::System& sys,
   std::vector<double> angles;
   for (int i = 0; i < sys.nlocal(); ++i) {
     bonds.clear();
-    const auto [entries, count] = nl.neighbors(i);
-    for (int m = 0; m < count; ++m) {
-      const Vec3 d = sys.x[entries[m].j] + entries[m].shift - sys.x[i];
+    for (const auto& en : nl.neighbors(i)) {
+      const Vec3 d = sys.x[en.j] + en.shift - sys.x[i];
       if (d.norm2() < c2) bonds.push_back(d);
     }
     if (bonds.size() < 4) {

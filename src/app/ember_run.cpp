@@ -7,6 +7,7 @@
 // See src/app/interpreter.hpp for the command language and
 // examples/inputs/ for ready-made protocols.
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 
@@ -32,6 +33,11 @@ commands:
   checkpoint every <n> <file.bin>
   run <steps>
   analyze
+  threads <n|auto>
+
+environment:
+  EMBER_NUM_THREADS=<n>   default thread count (0 = auto); a script's
+                          own 'threads' command overrides it
 )";
 
 }  // namespace
@@ -43,6 +49,14 @@ int main(int argc, char** argv) {
   }
   ember::app::Interpreter interp(std::cout);
   try {
+    // Environment fallback: scripts that say nothing about threads run
+    // with EMBER_NUM_THREADS workers (0 = hardware count). An explicit
+    // 'threads' command inside the script wins, since it executes later.
+    if (const char* env = std::getenv("EMBER_NUM_THREADS")) {
+      const int n = std::atoi(env);
+      interp.execute(n == 0 ? "threads auto"
+                            : "threads " + std::to_string(n));
+    }
     if (std::string(argv[1]) == "-") {
       std::ostringstream buffer;
       buffer << std::cin.rdbuf();

@@ -44,6 +44,7 @@ struct Interpreter::Pending {
   std::string dump_path;
   long checkpoint_every = 0;
   std::string checkpoint_path;
+  int nthreads = 1;
 };
 
 Interpreter::Interpreter(std::ostream& out)
@@ -102,6 +103,7 @@ void Interpreter::execute(const std::string& line) {
       {"run", &Interpreter::cmd_run},
       {"analyze", &Interpreter::cmd_analyze},
       {"read_checkpoint", &Interpreter::cmd_read_checkpoint},
+      {"threads", &Interpreter::cmd_threads},
   };
   const auto it = handlers.find(cmd);
   EMBER_REQUIRE(it != handlers.end(), "unknown command: " + cmd);
@@ -278,13 +280,29 @@ void Interpreter::cmd_read_checkpoint(std::istream& args) {
   out_ << "restored " << system_->nlocal() << " atoms from " << path << "\n";
 }
 
+void Interpreter::cmd_threads(std::istream& args) {
+  const auto word = need<std::string>(args, "thread count or 'auto'");
+  int n = 1;
+  if (word == "auto") {
+    n = ExecutionPolicy::hardware().nthreads;
+  } else {
+    std::istringstream ws(word);
+    EMBER_REQUIRE(static_cast<bool>(ws >> n) && n >= 1,
+                  "thread count must be a positive integer or 'auto'");
+  }
+  pending_->nthreads = n;
+  if (sim_) sim_->set_execution_policy(ExecutionPolicy{n});
+  out_ << "threads " << n << "\n";
+}
+
 void Interpreter::ensure_simulation() {
   EMBER_REQUIRE(system_.has_value(), "no system: use 'lattice' or 'random'");
   EMBER_REQUIRE(potential_ != nullptr, "no potential defined");
   if (sim_) return;
   sim_ = std::make_unique<md::Simulation>(std::move(*system_), potential_,
                                           pending_->dt, pending_->skin,
-                                          pending_->seed);
+                                          pending_->seed,
+                                          ExecutionPolicy{pending_->nthreads});
   system_.emplace(md::Box(1, 1, 1), mass_);  // moved-from placeholder
   sim_->integrator().set_langevin(pending_->langevin);
   sim_->integrator().set_berendsen_t(pending_->berendsen_t);

@@ -66,6 +66,7 @@ class Interpreter {
   void cmd_run(std::istream& args);
   void cmd_analyze(std::istream& args);
   void cmd_read_checkpoint(std::istream& args);
+  void cmd_threads(std::istream& args);
 
   void ensure_simulation();
 

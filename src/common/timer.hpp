@@ -6,8 +6,10 @@
 // Other), which SC Fig. 4 is built from; TimerSet accumulates named
 // categories and computes percentages.
 
+#include <algorithm>
 #include <chrono>
 #include <map>
+#include <span>
 #include <string>
 
 namespace ember {
@@ -54,10 +56,50 @@ class TimerSet {
     return totals_;
   }
 
-  void clear() { totals_.clear(); }
+  // Per-thread load-balance bookkeeping: drivers feed the pool's busy
+  // seconds of each parallel sweep here, and the Fig.-4-style tables
+  // report max/avg as the imbalance ratio (1.0 = perfectly balanced).
+  struct ThreadStats {
+    double min_total = 0.0;  // sum over sweeps of the fastest worker
+    double max_total = 0.0;  // sum over sweeps of the slowest worker
+    double sum_total = 0.0;  // sum over sweeps and workers
+    long sweeps = 0;
+    int nthreads = 0;
+  };
+
+  void add_thread_times(const std::string& category,
+                        std::span<const double> busy_seconds) {
+    if (busy_seconds.empty()) return;
+    ThreadStats& st = thread_stats_[category];
+    st.min_total += *std::min_element(busy_seconds.begin(), busy_seconds.end());
+    st.max_total += *std::max_element(busy_seconds.begin(), busy_seconds.end());
+    for (const double s : busy_seconds) st.sum_total += s;
+    st.sweeps += 1;
+    st.nthreads = static_cast<int>(busy_seconds.size());
+  }
+
+  // max/avg busy time across workers; 1.0 means perfect balance, 0.0
+  // means no threaded sweeps were recorded for the category.
+  [[nodiscard]] double imbalance(const std::string& category) const {
+    auto it = thread_stats_.find(category);
+    if (it == thread_stats_.end() || it->second.nthreads == 0) return 0.0;
+    const double avg = it->second.sum_total / it->second.nthreads;
+    return avg > 0.0 ? it->second.max_total / avg : 0.0;
+  }
+
+  [[nodiscard]] const std::map<std::string, ThreadStats>& thread_stats()
+      const {
+    return thread_stats_;
+  }
+
+  void clear() {
+    totals_.clear();
+    thread_stats_.clear();
+  }
 
  private:
   std::map<std::string, double> totals_;
+  std::map<std::string, ThreadStats> thread_stats_;
 };
 
 // RAII helper: adds the scope's elapsed time to a TimerSet bucket.

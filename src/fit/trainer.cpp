@@ -54,14 +54,13 @@ void Trainer::assemble_rows(const TrainingConfig& cfg,
   std::vector<Vec3> rij;
   std::vector<int> jlist;
   for (int i = 0; i < n; ++i) {
-    const auto [entries, count] = nl.neighbors(i);
     rij.clear();
     jlist.clear();
-    for (int m = 0; m < count; ++m) {
-      const Vec3 d = sys.x[entries[m].j] + entries[m].shift - sys.x[i];
+    for (const auto& en : nl.neighbors(i)) {
+      const Vec3 d = sys.x[en.j] + en.shift - sys.x[i];
       if (d.norm2() < rc2) {
         rij.push_back(d);
-        jlist.push_back(entries[m].j);
+        jlist.push_back(en.j);
       }
     }
     bi.compute_ui(rij, {});

@@ -7,10 +7,12 @@ namespace ember::md {
 BatchedSimulation::BatchedSimulation(std::vector<System> replicas,
                                      std::shared_ptr<PairPotential> pot,
                                      double dt_ps, double skin,
-                                     std::uint64_t seed)
+                                     std::uint64_t seed,
+                                     ExecutionPolicy policy)
     : combined_(replicas.empty() ? Box(1, 1, 1) : replicas.front().box(),
                 replicas.empty() ? 1.0 : replicas.front().mass()),
       pot_(std::move(pot)),
+      ctx_(policy),
       integrator_(dt_ps),
       nl_(pot_->cutoff(), skin),
       rng_(seed) {
@@ -65,12 +67,12 @@ void BatchedSimulation::wrap_replicas() {
 
 void BatchedSimulation::compute_forces() {
   combined_.zero_forces();
-  ev_ = pot_->compute(combined_, nl_);
+  ev_ = pot_->compute(ctx_, combined_, nl_);
 }
 
 void BatchedSimulation::setup() {
   wrap_replicas();
-  nl_.build_batched(combined_, boxes_, offsets_);
+  nl_.build_batched(combined_, boxes_, offsets_, &ctx_);
   compute_forces();
   ready_ = true;
 }
@@ -79,13 +81,13 @@ void BatchedSimulation::run(long nsteps) {
   if (!ready_) setup();
   for (long s = 0; s < nsteps; ++s) {
     // One sweep over the concatenated arrays advances every replica.
-    integrator_.initial_integrate(combined_);
+    integrator_.initial_integrate(combined_, &ctx_);
     if (nl_.needs_rebuild(combined_)) {
       wrap_replicas();
-      nl_.build_batched(combined_, boxes_, offsets_);
+      nl_.build_batched(combined_, boxes_, offsets_, &ctx_);
     }
     compute_forces();
-    integrator_.final_integrate(combined_, ev_, rng_);
+    integrator_.final_integrate(combined_, ev_, rng_, &ctx_);
     ++step_;
   }
 }

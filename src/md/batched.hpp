@@ -29,7 +29,15 @@ class BatchedSimulation {
  public:
   BatchedSimulation(std::vector<System> replicas,
                     std::shared_ptr<PairPotential> pot, double dt_ps,
-                    double skin = 0.5, std::uint64_t seed = 12345);
+                    double skin = 0.5, std::uint64_t seed = 12345,
+                    ExecutionPolicy policy = {});
+
+  // Threading for the combined force/neighbor/integration sweeps; the
+  // default (serial) policy preserves the pre-threading trajectory.
+  void set_execution_policy(ExecutionPolicy policy) {
+    ctx_ = ComputeContext(policy);
+  }
+  [[nodiscard]] const ComputeContext& context() const { return ctx_; }
 
   [[nodiscard]] int num_replicas() const {
     return static_cast<int>(boxes_.size());
@@ -59,6 +67,7 @@ class BatchedSimulation {
   std::vector<Box> boxes_;
   std::vector<int> offsets_;
   std::shared_ptr<PairPotential> pot_;
+  ComputeContext ctx_;
   Integrator integrator_;
   NeighborList nl_;
   Rng rng_;

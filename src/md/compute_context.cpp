@@ -1,0 +1,49 @@
+#include "compute_context.hpp"
+
+#include "md/system.hpp"
+
+namespace ember::md {
+
+void ComputeContext::prepare_scatter(int ntotal) const {
+  if (serial()) return;
+  // parallel_for(0, T, 1): chunk t -> worker t, so every worker clears
+  // (and first-touches) its own slot.
+  pool().parallel_for(0, nthreads(), 1, [&](int /*tid*/, int b, int e) {
+    for (int t = b; t < e; ++t) {
+      if (t == 0) continue;  // worker 0 writes System::f directly
+      scratch_[t].f.assign(static_cast<std::size_t>(ntotal), Vec3{});
+    }
+  });
+}
+
+void ComputeContext::merge_forces(System& sys) const {
+  if (serial()) return;
+  const int ntotal = sys.ntotal();
+  const int nth = nthreads();
+  // Each atom is owned by exactly one block and its slot contributions
+  // are added in ascending worker order — deterministic for a fixed
+  // thread count no matter how the OS schedules the workers.
+  pool().parallel_blocks(0, ntotal, [&](int /*tid*/, int b, int e) {
+    for (int t = 1; t < nth; ++t) {
+      const auto& ft = scratch_[t].f;
+      if (ft.empty()) continue;
+      for (int i = b; i < e; ++i) sys.f[i] += ft[i];
+    }
+  });
+}
+
+ComputeContext::Reduced ComputeContext::reduce_ev() const {
+  std::vector<Reduced> slots(scratch_.size());
+  for (std::size_t t = 0; t < scratch_.size(); ++t) {
+    slots[t] = {scratch_[t].energy, scratch_[t].virial, scratch_[t].flops};
+  }
+  return parallel::ThreadPool::reduce_tree(
+      std::span<Reduced>(slots), [](Reduced a, const Reduced& b) {
+        a.energy += b.energy;
+        a.virial += b.virial;
+        a.flops += b.flops;
+        return a;
+      });
+}
+
+}  // namespace ember::md

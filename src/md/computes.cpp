@@ -51,9 +51,8 @@ std::vector<int> coordination_numbers(const System& sys,
   const double c2 = bond_cutoff * bond_cutoff;
   std::vector<int> coord(sys.nlocal(), 0);
   for (int i = 0; i < sys.nlocal(); ++i) {
-    const auto [entries, count] = nl.neighbors(i);
-    for (int m = 0; m < count; ++m) {
-      const Vec3 d = sys.x[entries[m].j] + entries[m].shift - sys.x[i];
+    for (const auto& en : nl.neighbors(i)) {
+      const Vec3 d = sys.x[en.j] + en.shift - sys.x[i];
       if (d.norm2() < c2) ++coord[i];
     }
   }

@@ -7,24 +7,39 @@
 
 namespace ember::md {
 
-void Integrator::initial_integrate(System& sys) {
+namespace {
+// Element-wise sweep over the local atoms: threaded when a non-serial
+// context is supplied, the plain loop otherwise. Both orders touch each
+// atom exactly once, so the results are bitwise identical.
+template <typename Fn>
+void atom_sweep(System& sys, const ComputeContext* ctx, const Fn& fn) {
+  const auto body = [&](int /*tid*/, int b, int e) {
+    for (int i = b; i < e; ++i) fn(i);
+  };
+  if (ctx != nullptr && !ctx->serial()) {
+    ctx->pool().parallel_for(0, sys.nlocal(), 4096, body);
+  } else {
+    body(0, 0, sys.nlocal());
+  }
+}
+}  // namespace
+
+void Integrator::initial_integrate(System& sys, const ComputeContext* ctx) {
   if (nose_hoover_) apply_nose_hoover_half(sys);
   const double dtf = 0.5 * dt_ * units::FORCE_TO_ACCEL / sys.mass();
-  for (int i = 0; i < sys.nlocal(); ++i) {
+  atom_sweep(sys, ctx, [&](int i) {
     sys.v[i] += dtf * sys.f[i];
     // Positions are NOT wrapped here: the neighbor list's shift vectors
     // reference the coordinates at build time, and wrapping mid-lifetime
     // silently breaks those images. The driver wraps at reneighboring.
     sys.x[i] += dt_ * sys.v[i];
-  }
+  });
 }
 
 void Integrator::final_integrate(System& sys, const EnergyVirial& ev,
-                                 Rng& rng) {
+                                 Rng& rng, const ComputeContext* ctx) {
   const double dtf = 0.5 * dt_ * units::FORCE_TO_ACCEL / sys.mass();
-  for (int i = 0; i < sys.nlocal(); ++i) {
-    sys.v[i] += dtf * sys.f[i];
-  }
+  atom_sweep(sys, ctx, [&](int i) { sys.v[i] += dtf * sys.f[i]; });
   if (langevin_) apply_langevin(sys, rng);
   if (berendsen_t_) apply_berendsen_t(sys);
   if (nose_hoover_) apply_nose_hoover_half(sys);

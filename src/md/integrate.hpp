@@ -62,12 +62,17 @@ class Integrator {
   // degrees of freedom (3N - 3).
   [[nodiscard]] double nose_hoover_energy(int dof) const;
 
-  // First Verlet half-kick + drift. Forces must be current.
-  void initial_integrate(System& sys);
+  // First Verlet half-kick + drift. Forces must be current. The optional
+  // context distributes the sweep over its thread pool (element-wise, so
+  // threaded and serial sweeps are bitwise identical).
+  void initial_integrate(System& sys, const ComputeContext* ctx = nullptr);
 
   // Second half-kick; call after forces were recomputed. ev is used by the
-  // barostat (pressure), rng by the Langevin thermostat.
-  void final_integrate(System& sys, const EnergyVirial& ev, Rng& rng);
+  // barostat (pressure), rng by the Langevin thermostat. Thermostat loops
+  // that consume the RNG stream or kinetic-energy sums stay serial so the
+  // trajectory is independent of the thread count.
+  void final_integrate(System& sys, const EnergyVirial& ev, Rng& rng,
+                       const ComputeContext* ctx = nullptr);
 
  private:
   void apply_langevin(System& sys, Rng& rng);

@@ -4,10 +4,17 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "md/compute_context.hpp"
 
 namespace ember::md {
 
-void NeighborList::build(const System& sys, bool use_ghosts) {
+namespace {
+// Threaded builds only engage for a non-serial context.
+bool threaded(const ComputeContext* ctx) { return ctx != nullptr && !ctx->serial(); }
+}  // namespace
+
+void NeighborList::build(const System& sys, bool use_ghosts,
+                         const ComputeContext* ctx) {
   EMBER_REQUIRE(cutoff_ > 0.0, "neighbor list cutoff not set");
   first_.assign(sys.nlocal() + 1, 0);
   entries_.clear();
@@ -15,9 +22,9 @@ void NeighborList::build(const System& sys, bool use_ghosts) {
   if (use_ghosts) {
     // Parallel path: ghosts are explicit pre-shifted copies; bin every atom
     // into cells over the joint bounding box, no periodic wrapping.
-    build_cells(sys);
+    build_cells(sys, ctx);
   } else {
-    build_periodic_range(sys, sys.box(), 0, sys.nlocal());
+    build_periodic_range(sys, sys.box(), 0, sys.nlocal(), ctx);
   }
 
   x_at_build_.assign(sys.x.begin(), sys.x.begin() + sys.nlocal());
@@ -26,7 +33,8 @@ void NeighborList::build(const System& sys, bool use_ghosts) {
 
 void NeighborList::build_batched(const System& combined,
                                  std::span<const Box> boxes,
-                                 std::span<const int> offsets) {
+                                 std::span<const int> offsets,
+                                 const ComputeContext* ctx) {
   EMBER_REQUIRE(cutoff_ > 0.0, "neighbor list cutoff not set");
   EMBER_REQUIRE(offsets.size() == boxes.size() + 1 &&
                     offsets.front() == 0 &&
@@ -35,7 +43,7 @@ void NeighborList::build_batched(const System& combined,
   first_.assign(combined.nlocal() + 1, 0);
   entries_.clear();
   for (std::size_t r = 0; r < boxes.size(); ++r) {
-    build_periodic_range(combined, boxes[r], offsets[r], offsets[r + 1]);
+    build_periodic_range(combined, boxes[r], offsets[r], offsets[r + 1], ctx);
   }
   x_at_build_.assign(combined.x.begin(),
                      combined.x.begin() + combined.nlocal());
@@ -43,15 +51,16 @@ void NeighborList::build_batched(const System& combined,
 }
 
 void NeighborList::build_periodic_range(const System& sys, const Box& box,
-                                        int begin, int end) {
+                                        int begin, int end,
+                                        const ComputeContext* ctx) {
   const double rlist = cutoff_ + skin_;
   const bool cells_ok = box.length(0) / rlist >= 3.0 &&
                         box.length(1) / rlist >= 3.0 &&
                         box.length(2) / rlist >= 3.0;
   if (cells_ok) {
-    build_cells_range(sys, box, begin, end);
+    build_cells_range(sys, box, begin, end, ctx);
   } else {
-    build_brute_force_range(sys, box, begin, end);
+    build_brute_force_range(sys, box, begin, end, ctx);
   }
 }
 
@@ -69,8 +78,54 @@ bool NeighborList::needs_rebuild(const System& sys) const {
   return false;
 }
 
+void NeighborList::emit_rows(int begin, int end, const ComputeContext* ctx,
+                             const RowSearch& search) {
+  if (!threaded(ctx)) {
+    // Serial: append rows directly in atom order, exactly like the
+    // pre-threading builders did.
+    std::vector<Entry> row;
+    for (int i = begin; i < end; ++i) {
+      row.clear();
+      search(i, row);
+      entries_.insert(entries_.end(), row.begin(), row.end());
+      first_[i + 1] = static_cast<int>(entries_.size());
+    }
+    return;
+  }
+
+  // Threaded: each worker searches one contiguous atom block into a
+  // private buffer (parallel_blocks partitions deterministically from
+  // (range, nthreads) alone), then a serial prefix sum sizes the CSR
+  // arrays and the same partition copies the buffers into place. The
+  // resulting list is identical to the serial one entry for entry.
+  const int nth = ctx->nthreads();
+  std::vector<std::vector<Entry>> bufs(nth);
+  std::vector<int> rowlen(end - begin, 0);
+  ctx->pool().parallel_blocks(begin, end, [&](int tid, int b, int e) {
+    auto& buf = bufs[tid];
+    buf.clear();
+    std::vector<Entry> row;
+    for (int i = b; i < e; ++i) {
+      row.clear();
+      search(i, row);
+      rowlen[i - begin] = static_cast<int>(row.size());
+      buf.insert(buf.end(), row.begin(), row.end());
+    }
+  });
+  for (int i = begin; i < end; ++i) {
+    first_[i + 1] = first_[i] + rowlen[i - begin];
+  }
+  entries_.resize(static_cast<std::size_t>(first_[end]));
+  ctx->pool().parallel_blocks(begin, end, [&](int tid, int b, int e) {
+    if (b >= e) return;
+    std::copy(bufs[tid].begin(), bufs[tid].end(),
+              entries_.begin() + first_[b]);
+  });
+}
+
 void NeighborList::build_brute_force_range(const System& sys, const Box& box,
-                                           int begin, int end) {
+                                           int begin, int end,
+                                           const ComputeContext* ctx) {
   const double rlist = cutoff_ + skin_;
   const double r2 = rlist * rlist;
   // Number of periodic images to search per dimension.
@@ -80,7 +135,7 @@ void NeighborList::build_brute_force_range(const System& sys, const Box& box,
                   ? static_cast<int>(std::ceil(rlist / box.length(d)))
                   : 0;
   }
-  for (int i = begin; i < end; ++i) {
+  emit_rows(begin, end, ctx, [&](int i, std::vector<Entry>& out) {
     for (int j = begin; j < end; ++j) {
       for (int sx = -span[0]; sx <= span[0]; ++sx) {
         for (int sy = -span[1]; sy <= span[1]; ++sy) {
@@ -90,18 +145,18 @@ void NeighborList::build_brute_force_range(const System& sys, const Box& box,
                              sz * box.length(2)};
             const Vec3 d = sys.x[j] + shift - sys.x[i];
             if (d.norm2() < r2) {
-              entries_.push_back({j, shift});
+              out.push_back({j, shift});
             }
           }
         }
       }
     }
-    first_[i + 1] = static_cast<int>(entries_.size());
-  }
+  });
 }
 
 void NeighborList::build_cells_range(const System& sys, const Box& box,
-                                     int begin, int end) {
+                                     int begin, int end,
+                                     const ComputeContext* ctx) {
   const double rlist = cutoff_ + skin_;
   const double r2 = rlist * rlist;
   const int n = end - begin;
@@ -117,16 +172,25 @@ void NeighborList::build_cells_range(const System& sys, const Box& box,
     }
   };
 
-  // Bucket atoms of the range into cells (counting sort).
+  // Bucket atoms of the range into cells (counting sort). Assigning cell
+  // indices is the FP-heavy part of binning and parallelizes over atoms;
+  // the histogram + scatter stay serial (write conflicts).
   const int ncells = nc[0] * nc[1] * nc[2];
   std::vector<int> count(ncells + 1, 0);
   std::vector<int> cell_idx(n);
-  for (int i = 0; i < n; ++i) {
-    int c[3];
-    cell_of(sys.x[begin + i], c);
-    cell_idx[i] = (c[2] * nc[1] + c[1]) * nc[0] + c[0];
-    ++count[cell_idx[i] + 1];
+  const auto assign_cells = [&](int /*tid*/, int b, int e) {
+    for (int i = b; i < e; ++i) {
+      int c[3];
+      cell_of(sys.x[begin + i], c);
+      cell_idx[i] = (c[2] * nc[1] + c[1]) * nc[0] + c[0];
+    }
+  };
+  if (threaded(ctx)) {
+    ctx->pool().parallel_for(0, n, 4096, assign_cells);
+  } else {
+    assign_cells(0, 0, n);
   }
+  for (int i = 0; i < n; ++i) ++count[cell_idx[i] + 1];
   for (int c = 0; c < ncells; ++c) count[c + 1] += count[c];
   std::vector<int> order(n);
   {
@@ -134,7 +198,7 @@ void NeighborList::build_cells_range(const System& sys, const Box& box,
     for (int i = 0; i < n; ++i) order[cursor[cell_idx[i]]++] = begin + i;
   }
 
-  for (int i = begin; i < end; ++i) {
+  emit_rows(begin, end, ctx, [&](int i, std::vector<Entry>& out) {
     int ci[3];
     cell_of(sys.x[i], ci);
     for (int dz = -1; dz <= 1; ++dz) {
@@ -166,16 +230,15 @@ void NeighborList::build_cells_range(const System& sys, const Box& box,
             const int j = order[s];
             if (j == i && shift.norm2() == 0.0) continue;
             const Vec3 d = sys.x[j] + shift - sys.x[i];
-            if (d.norm2() < r2) entries_.push_back({j, shift});
+            if (d.norm2() < r2) out.push_back({j, shift});
           }
         }
       }
     }
-    first_[i + 1] = static_cast<int>(entries_.size());
-  }
+  });
 }
 
-void NeighborList::build_cells(const System& sys) {
+void NeighborList::build_cells(const System& sys, const ComputeContext* ctx) {
   const double rlist = cutoff_ + skin_;
   const double r2 = rlist * rlist;
   const int ntotal = sys.ntotal();
@@ -207,12 +270,19 @@ void NeighborList::build_cells(const System& sys) {
   const int ncells = nc[0] * nc[1] * nc[2];
   std::vector<int> count(ncells + 1, 0);
   std::vector<int> cell_idx(ntotal);
-  for (int i = 0; i < ntotal; ++i) {
-    int c[3];
-    cell_of(sys.x[i], c);
-    cell_idx[i] = (c[2] * nc[1] + c[1]) * nc[0] + c[0];
-    ++count[cell_idx[i] + 1];
+  const auto assign_cells = [&](int /*tid*/, int b, int e) {
+    for (int i = b; i < e; ++i) {
+      int c[3];
+      cell_of(sys.x[i], c);
+      cell_idx[i] = (c[2] * nc[1] + c[1]) * nc[0] + c[0];
+    }
+  };
+  if (threaded(ctx)) {
+    ctx->pool().parallel_for(0, ntotal, 4096, assign_cells);
+  } else {
+    assign_cells(0, 0, ntotal);
   }
+  for (int i = 0; i < ntotal; ++i) ++count[cell_idx[i] + 1];
   for (int c = 0; c < ncells; ++c) count[c + 1] += count[c];
   std::vector<int> order(ntotal);
   {
@@ -220,8 +290,7 @@ void NeighborList::build_cells(const System& sys) {
     for (int i = 0; i < ntotal; ++i) order[cursor[cell_idx[i]]++] = i;
   }
 
-  const int nlocal = sys.nlocal();
-  for (int i = 0; i < nlocal; ++i) {
+  emit_rows(0, sys.nlocal(), ctx, [&](int i, std::vector<Entry>& out) {
     int ci[3];
     cell_of(sys.x[i], ci);
     for (int dz = -1; dz <= 1; ++dz) {
@@ -239,13 +308,12 @@ void NeighborList::build_cells(const System& sys) {
             const int j = order[s];
             if (j == i) continue;
             const Vec3 d = sys.x[j] - sys.x[i];
-            if (d.norm2() < r2) entries_.push_back({j, Vec3{}});
+            if (d.norm2() < r2) out.push_back({j, Vec3{}});
           }
         }
       }
     }
-    first_[i + 1] = static_cast<int>(entries_.size());
-  }
+  });
 }
 
 }  // namespace ember::md

@@ -9,7 +9,14 @@
 //
 // A skin distance is added so the list stays valid while atoms move less
 // than skin/2; needs_rebuild() tracks the displacement criterion.
+//
+// Builds accept an optional ComputeContext: cell binning and the per-atom
+// neighbor searches are then distributed over the context's thread pool
+// (contiguous atom blocks into per-thread row buffers, stitched into the
+// CSR arrays by a serial prefix sum + parallel copy). The emitted list is
+// identical to the serial one entry for entry.
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -17,6 +24,8 @@
 #include "md/system.hpp"
 
 namespace ember::md {
+
+class ComputeContext;
 
 class NeighborList {
  public:
@@ -35,7 +44,8 @@ class NeighborList {
   // true, atoms beyond nlocal are treated as pre-shifted ghost copies and
   // no periodic wrapping is applied (parallel path); otherwise neighbors
   // are found through periodic images of the local atoms (serial path).
-  void build(const System& sys, bool use_ghosts = false);
+  void build(const System& sys, bool use_ghosts = false,
+             const ComputeContext* ctx = nullptr);
 
   // Batched build over several independent replicas laid out back to back
   // in one System: replica r occupies atoms [offsets[r], offsets[r+1])
@@ -43,14 +53,16 @@ class NeighborList {
   // appear as neighbors of each other (the deck's multi-replica lockstep
   // scheme: one combined list, one force pass, zero cross-talk).
   void build_batched(const System& combined, std::span<const Box> boxes,
-                     std::span<const int> offsets);
+                     std::span<const int> offsets,
+                     const ComputeContext* ctx = nullptr);
 
   [[nodiscard]] bool needs_rebuild(const System& sys) const;
 
   // Neighbors of local atom i.
-  [[nodiscard]] std::pair<const Entry*, int> neighbors(int i) const {
+  [[nodiscard]] std::span<const Entry> neighbors(int i) const {
     const int begin = first_[i];
-    return {entries_.data() + begin, first_[i + 1] - begin};
+    return {entries_.data() + begin,
+            static_cast<std::size_t>(first_[i + 1] - begin)};
   }
 
   [[nodiscard]] int num_atoms() const {
@@ -63,15 +75,22 @@ class NeighborList {
   }
 
  private:
-  void build_cells(const System& sys);
+  // Per-atom neighbor search: appends the row of atom i to `out`.
+  using RowSearch = std::function<void(int i, std::vector<Entry>&)>;
+
+  void build_cells(const System& sys, const ComputeContext* ctx);
   // Periodic build over the index range [begin, end) using `box`;
   // appends CSR rows for those atoms (callers proceed in index order).
   void build_periodic_range(const System& sys, const Box& box, int begin,
-                            int end);
+                            int end, const ComputeContext* ctx);
   void build_brute_force_range(const System& sys, const Box& box, int begin,
-                               int end);
+                               int end, const ComputeContext* ctx);
   void build_cells_range(const System& sys, const Box& box, int begin,
-                         int end);
+                         int end, const ComputeContext* ctx);
+  // Run `search` for every atom of [begin, end) and stitch the rows into
+  // first_/entries_ — serially, or over the context's pool.
+  void emit_rows(int begin, int end, const ComputeContext* ctx,
+                 const RowSearch& search);
 
   double cutoff_ = 0.0;
   double skin_ = 0.5;

@@ -5,10 +5,18 @@
 // Potentials receive full neighbor lists (every pair appears from both
 // sides) and may write forces onto ghost atoms; the caller is responsible
 // for reverse-communicating ghost forces in parallel runs.
+//
+// Every kernel runs under a ComputeContext, which supplies the thread
+// pool, an optional atom sub-range, and per-thread scratch slots. A
+// default (serial) context reproduces the pre-threading code paths bit
+// for bit; drivers that own a pool pass their context so the hot loop is
+// distributed over atom blocks with per-thread force accumulators merged
+// by a deterministic reduction.
 
 #include <span>
 
 #include "common/vec3.hpp"
+#include "md/compute_context.hpp"
 #include "md/neighbor.hpp"
 #include "md/system.hpp"
 
@@ -33,10 +41,22 @@ class PairPotential {
   // large.
   [[nodiscard]] virtual double cutoff() const = 0;
 
-  // Accumulate forces for the local atoms of sys (forces must have been
-  // zeroed by the caller); returns energy and scalar virial. The neighbor
-  // list nl must be current.
-  virtual EnergyVirial compute(System& sys, const NeighborList& nl) = 0;
+  // Accumulate forces for the atoms selected by ctx.atom_range() (forces
+  // must have been zeroed by the caller); returns energy and scalar
+  // virial. The neighbor list nl must be current. Implementations must
+  // dispatch their atom loop through ctx.pool() and accumulate partial
+  // energy/virial into ctx.scratch(tid) so results are deterministic at a
+  // fixed thread count.
+  virtual EnergyVirial compute(const ComputeContext& ctx, System& sys,
+                               const NeighborList& nl) = 0;
+
+  // Serial convenience overload: runs the kernel under a one-thread
+  // context (the exact pre-threading code path). Derived classes
+  // re-expose it with `using PairPotential::compute;`.
+  EnergyVirial compute(System& sys, const NeighborList& nl) {
+    const ComputeContext ctx;
+    return compute(ctx, sys, nl);
+  }
 
   // Human-readable name for logs and benchmark tables.
   [[nodiscard]] virtual const char* name() const = 0;

@@ -3,9 +3,11 @@
 namespace ember::md {
 
 Simulation::Simulation(System sys, std::shared_ptr<PairPotential> pot,
-                       double dt_ps, double skin, std::uint64_t seed)
+                       double dt_ps, double skin, std::uint64_t seed,
+                       ExecutionPolicy policy)
     : sys_(std::move(sys)),
       pot_(std::move(pot)),
+      ctx_(policy),
       integrator_(dt_ps),
       nl_(pot_->cutoff(), skin),
       rng_(seed) {}
@@ -13,7 +15,7 @@ Simulation::Simulation(System sys, std::shared_ptr<PairPotential> pot,
 void Simulation::setup() {
   {
     ScopedTimer t(timers_, "Neigh");
-    nl_.build(sys_);
+    nl_.build(sys_, /*use_ghosts=*/false, &ctx_);
   }
   compute_forces();
   ready_ = true;
@@ -22,7 +24,10 @@ void Simulation::setup() {
 void Simulation::compute_forces() {
   ScopedTimer t(timers_, "Pair");
   sys_.zero_forces();
-  ev_ = pot_->compute(sys_, nl_);
+  ev_ = pot_->compute(ctx_, sys_, nl_);
+  if (!ctx_.serial()) {
+    timers_.add_thread_times("Pair", ctx_.pool().last_thread_seconds());
+  }
 }
 
 void Simulation::run(long nsteps, const StepCallback& callback) {
@@ -30,7 +35,7 @@ void Simulation::run(long nsteps, const StepCallback& callback) {
   for (long s = 0; s < nsteps; ++s) {
     {
       ScopedTimer t(timers_, "Other");
-      integrator_.initial_integrate(sys_);
+      integrator_.initial_integrate(sys_, &ctx_);
     }
     if (nl_.needs_rebuild(sys_)) {
       ScopedTimer t(timers_, "Neigh");
@@ -39,12 +44,15 @@ void Simulation::run(long nsteps, const StepCallback& callback) {
       for (int i = 0; i < sys_.nlocal(); ++i) {
         sys_.x[i] = sys_.box().wrap(sys_.x[i]);
       }
-      nl_.build(sys_);
+      nl_.build(sys_, /*use_ghosts=*/false, &ctx_);
+      if (!ctx_.serial()) {
+        timers_.add_thread_times("Neigh", ctx_.pool().last_thread_seconds());
+      }
     }
     compute_forces();
     {
       ScopedTimer t(timers_, "Other");
-      integrator_.final_integrate(sys_, ev_, rng_);
+      integrator_.final_integrate(sys_, ev_, rng_, &ctx_);
     }
     ++step_;
     if (callback) callback(*this);

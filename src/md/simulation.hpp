@@ -18,7 +18,16 @@ namespace ember::md {
 class Simulation {
  public:
   Simulation(System sys, std::shared_ptr<PairPotential> pot, double dt_ps,
-             double skin = 0.5, std::uint64_t seed = 12345);
+             double skin = 0.5, std::uint64_t seed = 12345,
+             ExecutionPolicy policy = {});
+
+  // Node-level threading for the force / neighbor / integration sweeps.
+  // The default (serial) policy reproduces the pre-threading trajectory
+  // bit for bit; a threaded policy is deterministic at a fixed count.
+  void set_execution_policy(ExecutionPolicy policy) {
+    ctx_ = ComputeContext(policy);
+  }
+  [[nodiscard]] const ComputeContext& context() const { return ctx_; }
 
   [[nodiscard]] System& system() { return sys_; }
   [[nodiscard]] const System& system() const { return sys_; }
@@ -51,6 +60,7 @@ class Simulation {
 
   System sys_;
   std::shared_ptr<PairPotential> pot_;
+  ComputeContext ctx_;
   Integrator integrator_;
   NeighborList nl_;
   Rng rng_;

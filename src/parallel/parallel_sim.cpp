@@ -30,7 +30,8 @@ ParallelSimulation::ParallelSimulation(comm::Communicator& comm,
                                        const md::System& global,
                                        std::shared_ptr<md::PairPotential> pot,
                                        double dt_ps, double skin,
-                                       std::uint64_t seed)
+                                       std::uint64_t seed,
+                                       ExecutionPolicy policy)
     : comm_(comm),
       global_box_(global.box()),
       domain_(global.box(),
@@ -38,6 +39,7 @@ ParallelSimulation::ParallelSimulation(comm::Communicator& comm,
               comm.rank()),
       sys_(global.box(), global.mass()),
       pot_(std::move(pot)),
+      ctx_(policy),
       integrator_(dt_ps),
       nl_(pot_->cutoff(), skin),
       rng_(Rng(seed).split(static_cast<std::uint64_t>(comm.rank()))) {
@@ -190,7 +192,10 @@ void ParallelSimulation::reverse_forces() {
 void ParallelSimulation::compute_forces() {
   ScopedTimer t(timers_, "SNAP");
   sys_.zero_forces();
-  ev_ = pot_->compute(sys_, nl_);
+  ev_ = pot_->compute(ctx_, sys_, nl_);
+  if (!ctx_.serial()) {
+    timers_.add_thread_times("SNAP", ctx_.pool().last_thread_seconds());
+  }
 }
 
 void ParallelSimulation::setup() {
@@ -201,7 +206,7 @@ void ParallelSimulation::setup() {
   }
   {
     ScopedTimer t(timers_, "Neigh");
-    nl_.build(sys_, /*use_ghosts=*/true);
+    nl_.build(sys_, /*use_ghosts=*/true, &ctx_);
   }
   compute_forces();
   {
@@ -216,7 +221,7 @@ void ParallelSimulation::run(long nsteps, const StepCallback& callback) {
   for (long s = 0; s < nsteps; ++s) {
     {
       ScopedTimer t(timers_, "Other");
-      integrator_.initial_integrate(sys_);
+      integrator_.initial_integrate(sys_, &ctx_);
     }
     bool rebuild;
     {
@@ -230,7 +235,7 @@ void ParallelSimulation::run(long nsteps, const StepCallback& callback) {
         exchange_ghosts();
       }
       ScopedTimer t(timers_, "Neigh");
-      nl_.build(sys_, /*use_ghosts=*/true);
+      nl_.build(sys_, /*use_ghosts=*/true, &ctx_);
     } else {
       ScopedTimer t(timers_, "MPI Comm");
       forward_positions();
@@ -242,7 +247,7 @@ void ParallelSimulation::run(long nsteps, const StepCallback& callback) {
     }
     {
       ScopedTimer t(timers_, "Other");
-      integrator_.final_integrate(sys_, ev_, rng_);
+      integrator_.final_integrate(sys_, ev_, rng_, &ctx_);
     }
     ++step_;
     if (callback) callback(*this);

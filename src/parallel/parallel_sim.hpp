@@ -48,7 +48,15 @@ class ParallelSimulation {
   // by ownership. The potential object must be rank-private.
   ParallelSimulation(comm::Communicator& comm, const md::System& global,
                      std::shared_ptr<md::PairPotential> pot, double dt_ps,
-                     double skin = 0.5, std::uint64_t seed = 12345);
+                     double skin = 0.5, std::uint64_t seed = 12345,
+                     ExecutionPolicy policy = {});
+
+  // Per-rank thread pool for the force/neighbor/integration sweeps (the
+  // paper's rank = GPU, team = thread block hierarchy). Default: serial.
+  void set_execution_policy(ExecutionPolicy policy) {
+    ctx_ = md::ComputeContext(policy);
+  }
+  [[nodiscard]] const md::ComputeContext& context() const { return ctx_; }
 
   [[nodiscard]] md::System& local() { return sys_; }
   [[nodiscard]] md::Integrator& integrator() { return integrator_; }
@@ -80,6 +88,7 @@ class ParallelSimulation {
   Domain domain_;
   md::System sys_;
   std::shared_ptr<md::PairPotential> pot_;
+  md::ComputeContext ctx_;
   md::Integrator integrator_;
   md::NeighborList nl_;
   Rng rng_;

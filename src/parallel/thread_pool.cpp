@@ -1,0 +1,89 @@
+#include "thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace ember::parallel {
+
+ThreadPool::ThreadPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
+  busy_seconds_.assign(nthreads_, 0.0);
+  workers_.reserve(nthreads_ - 1);
+  for (int tid = 1; tid < nthreads_; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunks(int tid) {
+  WallTimer timer;
+  // Static round-robin chunk map: chunk c -> worker c % nthreads, chunks
+  // ascending per worker. Depends only on the job geometry, so the work
+  // (and thus each worker's accumulation order) is schedule-independent.
+  for (int c = tid; c < nchunks_; c += nthreads_) {
+    const int b = job_begin_ + c * job_grain_;
+    const int e = std::min(job_end_, b + job_grain_);
+    job_(tid, b, e);
+  }
+  busy_seconds_[tid] = timer.seconds();
+}
+
+void ThreadPool::worker_loop(int tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    run_chunks(tid);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int begin, int end, int grain,
+                              const std::function<void(int, int, int)>& fn) {
+  if (end <= begin) return;
+  const int n = end - begin;
+  if (nthreads_ == 1) {
+    // Serial pool: the untouched seed path, one chunk, no threads.
+    WallTimer timer;
+    fn(0, begin, end);
+    busy_seconds_[0] = timer.seconds();
+    return;
+  }
+  if (grain <= 0) grain = (n + nthreads_ - 1) / nthreads_;
+  grain = std::max(1, grain);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EMBER_REQUIRE(remaining_ == 0, "nested parallel_for on one pool");
+    job_ = fn;
+    job_begin_ = begin;
+    job_end_ = end;
+    job_grain_ = grain;
+    nchunks_ = (n + grain - 1) / grain;
+    remaining_ = nthreads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_chunks(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace ember::parallel

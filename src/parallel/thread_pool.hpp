@@ -1,0 +1,119 @@
+#pragma once
+
+// Persistent worker pool for node-level parallelism.
+//
+// This is the CPU analogue of the paper's Kokkos thread hierarchy: one
+// pool per driver object (Simulation, TestSnap, ...) plays the role of a
+// GPU thread block / OpenMP team, and parallel_for distributes atom
+// ranges over it. Determinism is a design requirement (the tests pin it):
+//
+//   * chunks are assigned to workers by a static round-robin map that
+//     depends only on (range, grain, nthreads) — never on timing;
+//   * every worker accumulates into its own slot, and reduce_tree()
+//     combines the slots in a fixed pairwise tree order;
+//
+// so repeated runs at a fixed thread count are bitwise identical, and
+// the floating-point result is independent of OS scheduling.
+//
+// nthreads == 1 never spawns a thread: parallel_for degenerates to the
+// plain serial loop, preserving the seed code paths exactly.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace ember {
+
+// How many threads a driver may use for its hot paths. The default is
+// serial, which reproduces the pre-threading behavior bit for bit.
+struct ExecutionPolicy {
+  int nthreads = 1;
+
+  [[nodiscard]] bool serial() const { return nthreads <= 1; }
+
+  // Resolve "threads auto" / EMBER_NUM_THREADS=0 to the hardware count.
+  [[nodiscard]] static ExecutionPolicy hardware() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return ExecutionPolicy{n > 0 ? static_cast<int>(n) : 1};
+  }
+};
+
+namespace parallel {
+
+class ThreadPool {
+ public:
+  // Spawns nthreads - 1 persistent workers; the calling thread always
+  // participates as tid 0.
+  explicit ThreadPool(int nthreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return nthreads_; }
+
+  // Split [begin, end) into contiguous chunks of ~grain iterations and
+  // run fn(tid, chunk_begin, chunk_end) with chunk c handled by worker
+  // c % nthreads (chunks in ascending order within each worker). grain
+  // <= 0 means one chunk per worker. Blocks until every chunk ran.
+  void parallel_for(int begin, int end, int grain,
+                    const std::function<void(int, int, int)>& fn);
+
+  // One contiguous block per worker (parallel_for with grain <= 0):
+  // the partition used when per-worker scratch should be touched exactly
+  // once per sweep (neighbor stitching, force merges).
+  void parallel_blocks(int begin, int end,
+                       const std::function<void(int, int, int)>& fn) {
+    parallel_for(begin, end, /*grain=*/0, fn);
+  }
+
+  // Busy seconds per worker for the last parallel_for (imbalance stats).
+  [[nodiscard]] std::span<const double> last_thread_seconds() const {
+    return busy_seconds_;
+  }
+
+  // Deterministic pairwise tree reduction over per-worker slots:
+  //   stride 1: slot[0] += slot[1], slot[2] += slot[3], ...
+  //   stride 2: slot[0] += slot[2], ...
+  // The combine order depends only on slots.size(), so the rounded
+  // floating-point result is reproducible run to run.
+  template <typename T, typename Op>
+  static T reduce_tree(std::span<T> slots, Op&& combine) {
+    const std::size_t n = slots.size();
+    if (n == 0) return T{};
+    for (std::size_t stride = 1; stride < n; stride *= 2) {
+      for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
+        slots[i] = combine(slots[i], slots[i + stride]);
+      }
+    }
+    return slots[0];
+  }
+
+ private:
+  void worker_loop(int tid);
+  void run_chunks(int tid);
+
+  int nthreads_ = 1;
+  std::vector<std::thread> workers_;
+  std::vector<double> busy_seconds_;
+
+  // Current job (valid while generation_ is odd... guarded by mutex_).
+  std::function<void(int, int, int)> job_;
+  int job_begin_ = 0;
+  int job_end_ = 0;
+  int job_grain_ = 0;
+  int nchunks_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  // bumped per parallel_for
+  int remaining_ = 0;             // workers still running the current job
+  bool shutdown_ = false;
+};
+
+}  // namespace parallel
+}  // namespace ember

@@ -6,67 +6,78 @@
 
 namespace ember::ref {
 
-md::EnergyVirial PairEam::compute(md::System& sys,
+md::EnergyVirial PairEam::compute(const md::ComputeContext& ctx,
+                                  md::System& sys,
                                   const md::NeighborList& nl) {
   EMBER_REQUIRE(sys.nghost() == 0,
                 "eam/fs is serial-only (embedding force needs a mid-force "
                 "halo exchange)");
-  md::EnergyVirial ev;
   const int n = sys.nlocal();
   rho_.assign(n, 0.0);
   fprime_.assign(n, 0.0);
+  const auto [abegin, aend] = ctx.atom_range(n);
+  ctx.zero_partials();
 
-  // Pass 1: densities and embedding energy.
-  for (int i = 0; i < n; ++i) {
-    const auto [entries, count] = nl.neighbors(i);
-    double rho = 0.0;
-    for (int m = 0; m < count; ++m) {
-      const double r =
-          (sys.x[entries[m].j] + entries[m].shift - sys.x[i]).norm();
-      rho += density_fn(r);
+  // Pass 1: densities and embedding energy. Both passes are gather
+  // kernels (row i writes only index i), and parallel_for is synchronous,
+  // so the pass boundary doubles as the barrier the embedding chain needs:
+  // pass 2 reads fprime_[j] of any neighbor.
+  ctx.pool().parallel_for(abegin, aend, /*grain=*/256,
+                          [&](int tid, int b, int e) {
+    auto& s = ctx.scratch(tid);
+    for (int i = b; i < e; ++i) {
+      double rho = 0.0;
+      for (const auto& en : nl.neighbors(i)) {
+        const double r = (sys.x[en.j] + en.shift - sys.x[i]).norm();
+        rho += density_fn(r);
+      }
+      rho_[i] = rho;
+      s.energy += embed_fn(rho);
+      fprime_[i] = rho > 0.0 ? -0.5 * p_.A / std::sqrt(rho) : 0.0;
     }
-    rho_[i] = rho;
-    ev.energy += embed_fn(rho);
-    fprime_[i] = rho > 0.0 ? -0.5 * p_.A / std::sqrt(rho) : 0.0;
-  }
+  });
 
   // Pass 2: pair energy and the full (pair + embedding) forces.
-  for (int i = 0; i < n; ++i) {
-    const auto [entries, count] = nl.neighbors(i);
-    for (int m = 0; m < count; ++m) {
-      const int j = entries[m].j;
-      const Vec3 dvec = sys.x[j] + entries[m].shift - sys.x[i];
-      const double r = dvec.norm();
-      if (r >= cutoff()) continue;
+  ctx.pool().parallel_for(abegin, aend, /*grain=*/256,
+                          [&](int tid, int b, int e) {
+    auto& s = ctx.scratch(tid);
+    for (int i = b; i < e; ++i) {
+      for (const auto& en : nl.neighbors(i)) {
+        const int j = en.j;
+        const Vec3 dvec = sys.x[j] + en.shift - sys.x[i];
+        const double r = dvec.norm();
+        if (r >= cutoff()) continue;
 
-      ev.energy += 0.5 * pair_fn(r);
+        s.energy += 0.5 * pair_fn(r);
 
-      // d/dr of phi and of f (both smooth at their cutoffs).
-      double dphi = 0.0;
-      if (r < p_.c) {
-        const double dr = r - p_.c;
-        dphi = 2.0 * dr * (p_.c0 + p_.c1 * r + p_.c2 * r * r) +
-               dr * dr * (p_.c1 + 2.0 * p_.c2 * r);
+        // d/dr of phi and of f (both smooth at their cutoffs).
+        double dphi = 0.0;
+        if (r < p_.c) {
+          const double dr = r - p_.c;
+          dphi = 2.0 * dr * (p_.c0 + p_.c1 * r + p_.c2 * r * r) +
+                 dr * dr * (p_.c1 + 2.0 * p_.c2 * r);
+        }
+        double dfdr = 0.0;
+        if (r < p_.d) {
+          const double dr = r - p_.d;
+          dfdr = 2.0 * dr + 3.0 * p_.beta * dr * dr / p_.d;
+        }
+
+        // Total dE/dr of this unordered pair: pair term plus the embedding
+        // chain through both ends' densities.
+        const double dedr = dphi + (fprime_[i] + fprime_[j]) * dfdr;
+        // Each visit accumulates the full pair force onto atom i only; the
+        // j side gets the mirror contribution on its own visit.
+        // F_i = -dE/dx_i = +(dE/dr) * (x_j - x_i)/r.
+        sys.f[i] += (dedr / r) * dvec;
+        // Virial per unordered pair is dot(r_vec, F_j) = -dedr * r; halved
+        // because the pair is visited twice.
+        s.virial += -0.5 * dedr * r;
       }
-      double dfdr = 0.0;
-      if (r < p_.d) {
-        const double dr = r - p_.d;
-        dfdr = 2.0 * dr + 3.0 * p_.beta * dr * dr / p_.d;
-      }
-
-      // Total dE/dr of this unordered pair: pair term plus the embedding
-      // chain through both ends' densities.
-      const double dedr = dphi + (fprime_[i] + fprime_[j]) * dfdr;
-      // Each visit accumulates the full pair force onto atom i only; the
-      // j side gets the mirror contribution on its own visit.
-      // F_i = -dE/dx_i = +(dE/dr) * (x_j - x_i)/r.
-      sys.f[i] += (dedr / r) * dvec;
-      // Virial per unordered pair is dot(r_vec, F_j) = -dedr * r; halved
-      // because the pair is visited twice.
-      ev.virial += -0.5 * dedr * r;
     }
-  }
-  return ev;
+  });
+  const auto red = ctx.reduce_ev();
+  return {red.energy, red.virial};
 }
 
 }  // namespace ember::ref

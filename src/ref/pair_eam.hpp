@@ -40,7 +40,8 @@ class PairEam final : public md::PairPotential {
   [[nodiscard]] const char* name() const override { return "eam/fs"; }
   [[nodiscard]] const EamParams& params() const { return p_; }
 
-  md::EnergyVirial compute(md::System& sys,
+  using md::PairPotential::compute;
+  md::EnergyVirial compute(const md::ComputeContext& ctx, md::System& sys,
                            const md::NeighborList& nl) override;
 
   // Scalar ingredients, exposed for tests.

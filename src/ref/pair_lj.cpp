@@ -2,28 +2,37 @@
 
 namespace ember::ref {
 
-md::EnergyVirial PairLJ::compute(md::System& sys, const md::NeighborList& nl) {
-  md::EnergyVirial ev;
+md::EnergyVirial PairLJ::compute(const md::ComputeContext& ctx,
+                                 md::System& sys,
+                                 const md::NeighborList& nl) {
   const double rc2 = rcut_ * rcut_;
   const double sigma2 = sigma_ * sigma_;
-  for (int i = 0; i < sys.nlocal(); ++i) {
-    const auto [entries, count] = nl.neighbors(i);
-    for (int m = 0; m < count; ++m) {
-      const Vec3 d = sys.x[entries[m].j] + entries[m].shift - sys.x[i];
-      const double r2 = d.norm2();
-      if (r2 >= rc2) continue;
-      const double sr2 = sigma2 / r2;
-      const double sr6 = sr2 * sr2 * sr2;
-      const double sr12 = sr6 * sr6;
-      // Full list: each pair visited twice, so halve energy/virial; the
-      // force on i gets the full pair force from its own visit.
-      ev.energy += 0.5 * (4.0 * epsilon_ * (sr12 - sr6) - eshift_);
-      const double fpair = 24.0 * epsilon_ * (2.0 * sr12 - sr6) / r2;
-      sys.f[i] -= fpair * d;
-      ev.virial += 0.5 * fpair * r2;
+  const auto [abegin, aend] = ctx.atom_range(sys.nlocal());
+  ctx.zero_partials();
+  // Gather kernel: atom i's own row writes only f[i], so threads never
+  // collide and no private force arrays are needed.
+  ctx.pool().parallel_for(abegin, aend, /*grain=*/256,
+                          [&](int tid, int b, int e) {
+    auto& s = ctx.scratch(tid);
+    for (int i = b; i < e; ++i) {
+      for (const auto& en : nl.neighbors(i)) {
+        const Vec3 d = sys.x[en.j] + en.shift - sys.x[i];
+        const double r2 = d.norm2();
+        if (r2 >= rc2) continue;
+        const double sr2 = sigma2 / r2;
+        const double sr6 = sr2 * sr2 * sr2;
+        const double sr12 = sr6 * sr6;
+        // Full list: each pair visited twice, so halve energy/virial; the
+        // force on i gets the full pair force from its own visit.
+        s.energy += 0.5 * (4.0 * epsilon_ * (sr12 - sr6) - eshift_);
+        const double fpair = 24.0 * epsilon_ * (2.0 * sr12 - sr6) / r2;
+        sys.f[i] -= fpair * d;
+        s.virial += 0.5 * fpair * r2;
+      }
     }
-  }
-  return ev;
+  });
+  const auto red = ctx.reduce_ev();
+  return {red.energy, red.virial};
 }
 
 }  // namespace ember::ref

@@ -17,7 +17,8 @@ class PairLJ final : public md::PairPotential {
   [[nodiscard]] double cutoff() const override { return rcut_; }
   [[nodiscard]] const char* name() const override { return "lj/cut"; }
 
-  md::EnergyVirial compute(md::System& sys,
+  using md::PairPotential::compute;
+  md::EnergyVirial compute(const md::ComputeContext& ctx, md::System& sys,
                            const md::NeighborList& nl) override;
 
  private:

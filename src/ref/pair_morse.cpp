@@ -4,26 +4,33 @@
 
 namespace ember::ref {
 
-md::EnergyVirial PairMorse::compute(md::System& sys,
+md::EnergyVirial PairMorse::compute(const md::ComputeContext& ctx,
+                                    md::System& sys,
                                     const md::NeighborList& nl) {
-  md::EnergyVirial ev;
   const double rc2 = rcut_ * rcut_;
-  for (int i = 0; i < sys.nlocal(); ++i) {
-    const auto [entries, count] = nl.neighbors(i);
-    for (int m = 0; m < count; ++m) {
-      const Vec3 d = sys.x[entries[m].j] + entries[m].shift - sys.x[i];
-      const double r2 = d.norm2();
-      if (r2 >= rc2) continue;
-      const double r = std::sqrt(r2);
-      const double e = std::exp(-alpha_ * (r - r0_));
-      ev.energy += 0.5 * (d0_ * (e * e - 2.0 * e) - eshift_);
-      // dV/dr = -2 a D0 (e^2 - e); force on i is +dV/dr * rhat.
-      const double dvdr = -2.0 * alpha_ * d0_ * (e * e - e);
-      sys.f[i] += (dvdr / r) * d;
-      ev.virial += 0.5 * (-dvdr) * r;
+  const auto [abegin, aend] = ctx.atom_range(sys.nlocal());
+  ctx.zero_partials();
+  // Gather kernel: only f[i] is written, rows are independent.
+  ctx.pool().parallel_for(abegin, aend, /*grain=*/256,
+                          [&](int tid, int b, int e) {
+    auto& s = ctx.scratch(tid);
+    for (int i = b; i < e; ++i) {
+      for (const auto& en : nl.neighbors(i)) {
+        const Vec3 d = sys.x[en.j] + en.shift - sys.x[i];
+        const double r2 = d.norm2();
+        if (r2 >= rc2) continue;
+        const double r = std::sqrt(r2);
+        const double eexp = std::exp(-alpha_ * (r - r0_));
+        s.energy += 0.5 * (d0_ * (eexp * eexp - 2.0 * eexp) - eshift_);
+        // dV/dr = -2 a D0 (e^2 - e); force on i is +dV/dr * rhat.
+        const double dvdr = -2.0 * alpha_ * d0_ * (eexp * eexp - eexp);
+        sys.f[i] += (dvdr / r) * d;
+        s.virial += 0.5 * (-dvdr) * r;
+      }
     }
-  }
-  return ev;
+  });
+  const auto red = ctx.reduce_ev();
+  return {red.energy, red.virial};
 }
 
 }  // namespace ember::ref

@@ -18,7 +18,8 @@ class PairMorse final : public md::PairPotential {
   [[nodiscard]] double cutoff() const override { return rcut_; }
   [[nodiscard]] const char* name() const override { return "morse"; }
 
-  md::EnergyVirial compute(md::System& sys,
+  using md::PairPotential::compute;
+  md::EnergyVirial compute(const md::ComputeContext& ctx, md::System& sys,
                            const md::NeighborList& nl) override;
 
  private:

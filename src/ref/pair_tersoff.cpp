@@ -43,11 +43,23 @@ double PairTersoff::bij_d(double zeta) const {
   return -0.5 * std::pow(1.0 + t, -1.0 / (2.0 * p_.n) - 1.0) * (t / zeta);
 }
 
-md::EnergyVirial PairTersoff::compute(md::System& sys,
+md::EnergyVirial PairTersoff::compute(const md::ComputeContext& ctx,
+                                      md::System& sys,
                                       const md::NeighborList& nl) {
-  md::EnergyVirial ev;
   const double rc = cutoff();
   const double rc2 = rc * rc;
+  const auto [abegin, aend] = ctx.atom_range(sys.nlocal());
+  ctx.zero_partials();
+  // Scatter kernel: atom i writes onto its neighbors j and k, so worker 0
+  // targets sys.f directly and workers >= 1 accumulate into private force
+  // arrays that merge_forces() adds back in a fixed worker order.
+  ctx.prepare_scatter(sys.ntotal());
+
+  ctx.pool().parallel_for(abegin, aend, /*grain=*/64,
+                          [&](int tid, int bb, int ee) {
+  auto& s = ctx.scratch(tid);
+  const std::span<Vec3> f =
+      tid == 0 ? std::span<Vec3>(sys.f) : std::span<Vec3>(s.f);
 
   // Scratch: in-range neighbors of the current atom.
   struct Nb {
@@ -57,13 +69,12 @@ md::EnergyVirial PairTersoff::compute(md::System& sys,
   };
   std::vector<Nb> nbr;
 
-  for (int i = 0; i < sys.nlocal(); ++i) {
-    const auto [entries, count] = nl.neighbors(i);
+  for (int i = bb; i < ee; ++i) {
     nbr.clear();
-    for (int m = 0; m < count; ++m) {
-      const Vec3 d = sys.x[entries[m].j] + entries[m].shift - sys.x[i];
+    for (const auto& en : nl.neighbors(i)) {
+      const Vec3 d = sys.x[en.j] + en.shift - sys.x[i];
       const double r2 = d.norm2();
-      if (r2 < rc2) nbr.push_back({d, std::sqrt(r2), entries[m].j});
+      if (r2 < rc2) nbr.push_back({d, std::sqrt(r2), en.j});
     }
 
     for (std::size_t jj = 0; jj < nbr.size(); ++jj) {
@@ -99,14 +110,14 @@ md::EnergyVirial PairTersoff::compute(md::System& sys,
       const double db = bij_d(zeta);
 
       // Pair part: e2 = 1/2 fC (fR + b fA) at fixed b.
-      ev.energy += 0.5 * fc_ij * (fr + b * fa);
+      s.energy += 0.5 * fc_ij * (fr + b * fa);
       const double de2dr =
           0.5 * (fcd_ij * (fr + b * fa) + fc_ij * (fr_d + b * fa_d));
       // Force on i along -rhat (rij points i->j): F_i = de2/dr * rhat.
       const Vec3 f2 = (de2dr / r1) * rij;
-      sys.f[i] += f2;
-      sys.f[j] -= f2;
-      ev.virial += -de2dr * r1;
+      f[i] += f2;
+      f[j] -= f2;
+      s.virial += -de2dr * r1;
 
       // Three-body part: prefactor = dE/dzeta = 1/2 fC(rij) fA(rij) db.
       const double pf = 0.5 * fc_ij * fa * db;
@@ -147,14 +158,18 @@ md::EnergyVirial PairTersoff::compute(md::System& sys,
 
         const Vec3 fj = -pf * dzeta_dj;  // force on atom j
         const Vec3 fk = -pf * dzeta_dk;  // force on atom k
-        sys.f[j] += fj;
-        sys.f[k] += fk;
-        sys.f[i] -= fj + fk;
-        ev.virial += dot(rij, fj) + dot(rik, fk);
+        f[j] += fj;
+        f[k] += fk;
+        f[i] -= fj + fk;
+        s.virial += dot(rij, fj) + dot(rik, fk);
       }
     }
   }
-  return ev;
+  });
+
+  ctx.merge_forces(sys);
+  const auto red = ctx.reduce_ev();
+  return {red.energy, red.virial};
 }
 
 }  // namespace ember::ref

@@ -43,7 +43,8 @@ class PairTersoff final : public md::PairPotential {
   [[nodiscard]] const char* name() const override { return "tersoff"; }
   [[nodiscard]] const TersoffParams& params() const { return p_; }
 
-  md::EnergyVirial compute(md::System& sys,
+  using md::PairPotential::compute;
+  md::EnergyVirial compute(const md::ComputeContext& ctx, md::System& sys,
                            const md::NeighborList& nl) override;
 
   // Scalar ingredients, exposed for unit tests.

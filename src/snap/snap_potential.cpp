@@ -104,70 +104,110 @@ SnapPotential::SnapPotential(SnapModel model, Path path)
                 "quadratic coefficient block must be num_b x num_b");
 }
 
-md::EnergyVirial SnapPotential::compute(md::System& sys,
+namespace {
+// Per-thread kernel state for workers >= 1 (worker 0 reuses the member
+// scratch, which keeps the serial code path untouched). Lives in the
+// ComputeContext's per-thread cache: the U/Y/dU buffers inside Bispectrum
+// are allocated once per thread and reused across calls.
+struct SnapThreadScratch {
+  Bispectrum bi;
+  std::vector<Vec3> rij;
+  std::vector<int> jlist;
+  std::vector<double> beta_eff;
+};
+}  // namespace
+
+md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
+                                        md::System& sys,
                                         const md::NeighborList& nl) {
-  md::EnergyVirial ev;
-  last_flops_ = 0.0;
   const double rc2 = cutoff() * cutoff();
+  const auto [abegin, aend] = ctx.atom_range(sys.nlocal());
+  ctx.zero_partials();
+  // Scatter kernel (dE_i/dr_j lands on the neighbor): worker 0 writes
+  // sys.f, workers >= 1 write private arrays merged deterministically.
+  ctx.prepare_scatter(sys.ntotal());
 
-  for (int i = 0; i < sys.nlocal(); ++i) {
-    const auto [entries, count] = nl.neighbors(i);
-    rij_.clear();
-    jlist_.clear();
-    for (int m = 0; m < count; ++m) {
-      const Vec3 d = sys.x[entries[m].j] + entries[m].shift - sys.x[i];
-      if (d.norm2() < rc2) {
-        rij_.push_back(d);
-        jlist_.push_back(entries[m].j);
-      }
+  ctx.pool().parallel_for(abegin, aend, /*grain=*/8,
+                          [&](int tid, int bb, int ee) {
+    auto& s = ctx.scratch(tid);
+    Bispectrum* bi = &bi_;
+    std::vector<Vec3>* rij = &rij_;
+    std::vector<int>* jlist = &jlist_;
+    std::vector<double>* beta_eff = &beta_eff_;
+    std::span<Vec3> f{sys.f};
+    if (tid != 0) {
+      auto& th = ctx.cache<SnapThreadScratch>(tid, [&] {
+        return SnapThreadScratch{Bispectrum(model_.params), {}, {}, {}};
+      });
+      bi = &th.bi;
+      rij = &th.rij;
+      jlist = &th.jlist;
+      beta_eff = &th.beta_eff;
+      f = std::span<Vec3>(s.f);
     }
 
-    bi_.compute_ui(rij_, {});
-    const int nn = static_cast<int>(rij_.size());
-
-    if (path_ == Path::Adjoint) {
-      if (model_.quadratic()) {
-        // Quadratic models need the descriptors before Y: dE/dB depends
-        // on B itself, so compute B and feed the adjoint the per-atom
-        // effective coefficients beta + alpha B (LAMMPS quadraticflag).
-        bi_.compute_zi();
-        bi_.compute_bi();
-        beta_eff_ = model_.effective_beta(bi_.blist());
-        bi_.compute_yi(beta_eff_);
-        ev.energy += model_.site_energy(bi_.blist());
-      } else {
-        bi_.compute_yi(model_.beta);
-        ev.energy += bi_.energy_from_yi(model_.beta0, model_.beta);
-      }
-      for (int m = 0; m < nn; ++m) {
-        bi_.compute_duidrj(rij_[m], 1.0);
-        const Vec3 de = bi_.compute_deidrj();  // dE_i/dr_k
-        sys.f[jlist_[m]] -= de;
-        sys.f[i] += de;
-        ev.virial += -dot(rij_[m], de);
-      }
-      last_flops_ += bi_.flops_adjoint_atom(nn);
-    } else {
-      bi_.compute_zi();
-      bi_.compute_bi();
-      ev.energy += model_.site_energy(bi_.blist());
-      beta_eff_ = model_.effective_beta(bi_.blist());
-      for (int m = 0; m < nn; ++m) {
-        bi_.compute_duidrj(rij_[m], 1.0);
-        bi_.compute_dbidrj();
-        Vec3 de;
-        for (int l = 0; l < bi_.num_b(); ++l) {
-          de += beta_eff_[l] * bi_.dblist()[l];
+    for (int i = bb; i < ee; ++i) {
+      rij->clear();
+      jlist->clear();
+      for (const auto& en : nl.neighbors(i)) {
+        const Vec3 d = sys.x[en.j] + en.shift - sys.x[i];
+        if (d.norm2() < rc2) {
+          rij->push_back(d);
+          jlist->push_back(en.j);
         }
-        sys.f[jlist_[m]] -= de;
-        sys.f[i] += de;
-        ev.virial += -dot(rij_[m], de);
       }
-      last_flops_ += bi_.flops_ui(nn) + bi_.flops_zi() + bi_.flops_bi() +
-                     nn * (bi_.flops_duidrj() + bi_.flops_dbidrj());
+
+      bi->compute_ui(*rij, {});
+      const int nn = static_cast<int>(rij->size());
+
+      if (path_ == Path::Adjoint) {
+        if (model_.quadratic()) {
+          // Quadratic models need the descriptors before Y: dE/dB depends
+          // on B itself, so compute B and feed the adjoint the per-atom
+          // effective coefficients beta + alpha B (LAMMPS quadraticflag).
+          bi->compute_zi();
+          bi->compute_bi();
+          *beta_eff = model_.effective_beta(bi->blist());
+          bi->compute_yi(*beta_eff);
+          s.energy += model_.site_energy(bi->blist());
+        } else {
+          bi->compute_yi(model_.beta);
+          s.energy += bi->energy_from_yi(model_.beta0, model_.beta);
+        }
+        for (int m = 0; m < nn; ++m) {
+          bi->compute_duidrj((*rij)[m], 1.0);
+          const Vec3 de = bi->compute_deidrj();  // dE_i/dr_k
+          f[(*jlist)[m]] -= de;
+          f[i] += de;
+          s.virial += -dot((*rij)[m], de);
+        }
+        s.flops += bi->flops_adjoint_atom(nn);
+      } else {
+        bi->compute_zi();
+        bi->compute_bi();
+        s.energy += model_.site_energy(bi->blist());
+        *beta_eff = model_.effective_beta(bi->blist());
+        for (int m = 0; m < nn; ++m) {
+          bi->compute_duidrj((*rij)[m], 1.0);
+          bi->compute_dbidrj();
+          Vec3 de;
+          for (int l = 0; l < bi->num_b(); ++l) {
+            de += (*beta_eff)[l] * bi->dblist()[l];
+          }
+          f[(*jlist)[m]] -= de;
+          f[i] += de;
+          s.virial += -dot((*rij)[m], de);
+        }
+        s.flops += bi->flops_ui(nn) + bi->flops_zi() + bi->flops_bi() +
+                   nn * (bi->flops_duidrj() + bi->flops_dbidrj());
+      }
     }
-  }
-  return ev;
+  });
+
+  ctx.merge_forces(sys);
+  const auto red = ctx.reduce_ev();
+  last_flops_ = red.flops;
+  return {red.energy, red.virial};
 }
 
 }  // namespace ember::snap

@@ -55,7 +55,12 @@ class SnapPotential final : public md::PairPotential {
     return path_ == Path::Adjoint ? "snap/adjoint" : "snap/baseline";
   }
 
-  md::EnergyVirial compute(md::System& sys,
+  // Threaded over atom blocks: worker 0 reuses the member kernel/scratch
+  // (the exact serial path), workers >= 1 get a private Bispectrum +
+  // buffers from the context's per-thread cache — the per-atom U/Y/dU
+  // arrays are allocated once per thread, never shared.
+  using md::PairPotential::compute;
+  md::EnergyVirial compute(const md::ComputeContext& ctx, md::System& sys,
                            const md::NeighborList& nl) override;
 
   [[nodiscard]] const SnapModel& model() const { return model_; }

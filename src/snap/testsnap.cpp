@@ -364,53 +364,75 @@ TestSnap::TestSnap(const SnapParams& params, int natoms, int nnbor,
   forces_.assign(natoms, Vec3{});
 }
 
-double TestSnap::run(TestSnapVariant variant) {
+double TestSnap::run(TestSnapVariant variant, ExecutionPolicy policy) {
   std::fill(forces_.begin(), forces_.end(), Vec3{});
+
+  const auto run_range = [this, variant](int begin, int end) {
+    switch (variant) {
+      case TestSnapVariant::V0_Baseline:
+        run_baseline(begin, end);
+        break;
+      case TestSnapVariant::V1_Staged:
+        run_staged(false);
+        break;
+      case TestSnapVariant::V2_Flattened:
+        run_staged(true);
+        break;
+      case TestSnapVariant::V3_Adjoint:
+        run_adjoint(begin, end);
+        break;
+      case TestSnapVariant::V4_Fused:
+        run_fused(0, begin, end);
+        break;
+      case TestSnapVariant::V5_HalfMb:
+        run_fused(1, begin, end);
+        break;
+      case TestSnapVariant::V6_SplitSoA:
+        run_fused(2, begin, end);
+        break;
+      case TestSnapVariant::V7_CachedCk:
+        run_fused(3, begin, end);
+        break;
+    }
+  };
+
+  // V1/V2 stage whole batches through shared flat buffers; the other
+  // variants keep all scratch function-local and thread over atom blocks.
+  const bool threadable = variant != TestSnapVariant::V1_Staged &&
+                          variant != TestSnapVariant::V2_Flattened;
+
   WallTimer timer;
-  switch (variant) {
-    case TestSnapVariant::V0_Baseline:
-      run_baseline();
-      break;
-    case TestSnapVariant::V1_Staged:
-      run_staged(false);
-      break;
-    case TestSnapVariant::V2_Flattened:
-      run_staged(true);
-      break;
-    case TestSnapVariant::V3_Adjoint:
-      run_adjoint();
-      break;
-    case TestSnapVariant::V4_Fused:
-      run_fused(0);
-      break;
-    case TestSnapVariant::V5_HalfMb:
-      run_fused(1);
-      break;
-    case TestSnapVariant::V6_SplitSoA:
-      run_fused(2);
-      break;
-    case TestSnapVariant::V7_CachedCk:
-      run_fused(3);
-      break;
+  if (policy.serial() || !threadable) {
+    run_range(0, natoms_);
+  } else {
+    if (!pool_ || pool_->size() != policy.nthreads) {
+      pool_ = std::make_unique<parallel::ThreadPool>(policy.nthreads);
+    }
+    // One block per worker: scratch is allocated once per thread per run,
+    // and forces_[i] writes are disjoint, so the result is bitwise equal
+    // to the serial sweep.
+    pool_->parallel_blocks(0, natoms_,
+                           [&](int /*tid*/, int b, int e) { run_range(b, e); });
   }
   return timer.seconds();
 }
 
-double TestSnap::grind_time(TestSnapVariant variant, int repeats) {
+double TestSnap::grind_time(TestSnapVariant variant, int repeats,
+                            ExecutionPolicy policy) {
   double best = std::numeric_limits<double>::infinity();
   for (int r = 0; r < repeats; ++r) {
-    best = std::min(best, run(variant));
+    best = std::min(best, run(variant, policy));
   }
   return best / (static_cast<double>(natoms_));
 }
 
 // ---- V0: Listing-1 baseline ----------------------------------------------
 
-void TestSnap::run_baseline() {
+void TestSnap::run_baseline(int begin, int end) {
   const int tj = params_.twojmax;
   const auto& triples = idx_.z_triples();
 
-  for (int i = 0; i < natoms_; ++i) {
+  for (int i = begin; i < end; ++i) {
     // Per-atom allocations: the layout this study starts from.
     JaggedU utot;
     jagged_alloc(utot, tj);
@@ -606,7 +628,7 @@ void TestSnap::run_staged(bool flattened) {
 
 // ---- V3: adjoint refactorization ------------------------------------------
 
-void TestSnap::run_adjoint() {
+void TestSnap::run_adjoint(int begin, int end) {
   const int tj = params_.twojmax;
   const int u_total = idx_.u_total();
   std::vector<Cplx> utot(u_total);
@@ -614,7 +636,7 @@ void TestSnap::run_adjoint() {
   std::vector<Cplx> y(u_total);
   std::vector<DU3> du(u_total);
 
-  for (int i = 0; i < natoms_; ++i) {
+  for (int i = begin; i < end; ++i) {
     const Vec3* rij = rij_.data() + static_cast<std::size_t>(i) * nnbor_;
     std::fill(utot.begin(), utot.end(), Cplx{});
     for (int j = 0; j <= tj; ++j) {
@@ -674,7 +696,7 @@ double half_weight(int j, int ma, int mb) {
 
 }  // namespace
 
-void TestSnap::run_fused(int level) {
+void TestSnap::run_fused(int level, int begin, int end) {
   const bool half = level >= 1;
   const bool soa = level >= 2;
   const bool cache_u = level >= 3;
@@ -697,7 +719,7 @@ void TestSnap::run_fused(int level) {
     ucache.resize(static_cast<std::size_t>(nnbor_) * u_total);
   }
 
-  for (int i = 0; i < natoms_; ++i) {
+  for (int i = begin; i < end; ++i) {
     const Vec3* rij = rij_.data() + static_cast<std::size_t>(i) * nnbor_;
 
     // --- accumulation pass (optionally half columns + caching) ---

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/vec3.hpp"
+#include "parallel/thread_pool.hpp"
 #include "snap/bispectrum.hpp"
 
 namespace ember::snap {
@@ -69,18 +70,24 @@ class TestSnap {
 
   // Execute one full force computation with the given variant; returns
   // elapsed seconds. Fills forces() with the per-atom sum of dE_i/dr_k.
-  double run(TestSnapVariant variant);
+  // A threaded policy distributes the atom loop of V0 and V3-V7 over a
+  // persistent pool (per-thread scratch, bitwise-identical forces); the
+  // staged V1/V2 variants share batch buffers and always run serially.
+  double run(TestSnapVariant variant, ExecutionPolicy policy = {});
 
-  // Grind time [s / atom-step] averaged over `repeats` runs.
-  double grind_time(TestSnapVariant variant, int repeats = 3);
+  // Grind time [s / atom-step] over `repeats` runs (best of).
+  double grind_time(TestSnapVariant variant, int repeats = 3,
+                    ExecutionPolicy policy = {});
 
   [[nodiscard]] std::span<const Vec3> forces() const { return forces_; }
 
  private:
-  void run_baseline();                  // V0
-  void run_staged(bool flattened);      // V1 / V2
-  void run_adjoint();                   // V3
-  void run_fused(int level);            // V4 (0), V5 (1), V6 (2), V7 (3)
+  // Each run_* computes forces_[i] for i in [begin, end) with
+  // function-local scratch, so atom blocks thread trivially.
+  void run_baseline(int begin, int end);              // V0
+  void run_staged(bool flattened);                    // V1 / V2 (serial)
+  void run_adjoint(int begin, int end);               // V3
+  void run_fused(int level, int begin, int end);      // V4..V7 (0..3)
 
   SnapParams params_;
   SnapIndex idx_;
@@ -95,6 +102,9 @@ class TestSnap {
   std::vector<Cplx> flat_u_;
   std::vector<Cplx> flat_z_;
   std::vector<Cplx> flat_y_;
+
+  // worker pool for threaded runs (created on first non-serial policy)
+  std::unique_ptr<parallel::ThreadPool> pool_;
 };
 
 }  // namespace ember::snap

@@ -133,6 +133,28 @@ TEST(Interpreter, AnalyzeReportsPhases) {
   EXPECT_NE(out.str().find("bc8 100%"), std::string::npos);
 }
 
+TEST(Interpreter, ThreadsCommandSetsExecutionPolicy) {
+  std::ostringstream out;
+  Interpreter interp(out);
+  // Before the simulation exists the count is staged...
+  interp.run_script(R"(
+    mass 39.948
+    lattice fcc 5.26 repeat 2 2 2
+    potential lj 0.0104 3.4 6.5
+    threads 3
+    run 5
+  )");
+  ASSERT_NE(interp.simulation(), nullptr);
+  EXPECT_EQ(interp.simulation()->context().nthreads(), 3);
+  // ...and after it exists the policy is swapped in place.
+  interp.execute("threads 1");
+  EXPECT_EQ(interp.simulation()->context().nthreads(), 1);
+  interp.execute("run 5");
+  EXPECT_EQ(interp.total_steps(), 10);
+  EXPECT_THROW(interp.execute("threads 0"), Error);
+  EXPECT_THROW(interp.execute("threads lots"), Error);
+}
+
 TEST(Interpreter, ProductionStyleProtocol) {
   // Miniature version of the paper's production input: Tersoff carbon,
   // Langevin schedule, barostat, periodic analyze.

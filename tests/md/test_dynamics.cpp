@@ -17,7 +17,8 @@ namespace {
 
 // Argon-like LJ in metal units (eps ~ 0.0104 eV, sigma 3.4 A) on an fcc
 // lattice: a classic, very stable NVE benchmark.
-Simulation make_lj_sim(double temperature, double dt, std::uint64_t seed) {
+Simulation make_lj_sim(double temperature, double dt, std::uint64_t seed,
+                       ExecutionPolicy policy = {}) {
   LatticeSpec spec;
   spec.kind = LatticeKind::Fcc;
   spec.a = 5.26;
@@ -26,7 +27,7 @@ Simulation make_lj_sim(double temperature, double dt, std::uint64_t seed) {
   Rng rng(seed);
   sys.thermalize(temperature, rng);
   auto pot = std::make_shared<ref::PairLJ>(0.0104, 3.4, 8.0);
-  return Simulation(std::move(sys), pot, dt, 0.4, seed);
+  return Simulation(std::move(sys), pot, dt, 0.4, seed, policy);
 }
 
 TEST(Dynamics, NveConservesEnergy) {
@@ -37,6 +38,43 @@ TEST(Dynamics, NveConservesEnergy) {
   const double drift = std::abs(sim.total_energy() - e0);
   // eV per atom drift over 0.8 ps must be tiny.
   EXPECT_LT(drift / sim.system().nlocal(), 2e-6) << "e0=" << e0;
+}
+
+TEST(Dynamics, ThreadedNveMatchesSerialTrajectory) {
+  // LJ is a gather kernel: each thread writes only its own atoms' forces
+  // in the serial accumulation order, so the threaded trajectory tracks
+  // the serial one to within reduction rounding on the energy readout.
+  Simulation serial = make_lj_sim(40.0, 0.002, 29);
+  Simulation threaded = make_lj_sim(40.0, 0.002, 29, ExecutionPolicy{4});
+  serial.run(200);
+  threaded.run(200);
+  const System& a = serial.system();
+  const System& b = threaded.system();
+  ASSERT_EQ(a.nlocal(), b.nlocal());
+  for (int i = 0; i < a.nlocal(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_NEAR(a.x[i][d], b.x[i][d], 1e-12) << "atom " << i;
+      EXPECT_NEAR(a.v[i][d], b.v[i][d], 1e-12) << "atom " << i;
+    }
+  }
+  EXPECT_NEAR(serial.total_energy(), threaded.total_energy(),
+              1e-10 * std::abs(serial.total_energy()));
+}
+
+TEST(Dynamics, ThreadedNveDriftMatchesSerial) {
+  auto drift_at = [](ExecutionPolicy policy) {
+    Simulation sim = make_lj_sim(40.0, 0.002, 11, policy);
+    sim.setup();
+    const double e0 = sim.total_energy();
+    sim.run(400);
+    return std::abs(sim.total_energy() - e0) / sim.system().nlocal();
+  };
+  const double serial = drift_at({});
+  for (const int nth : {2, 8}) {
+    const double threaded = drift_at(ExecutionPolicy{nth});
+    EXPECT_LT(threaded, 2e-6) << nth << " threads";
+    EXPECT_NEAR(threaded, serial, 1e-9) << nth << " threads";
+  }
 }
 
 TEST(Dynamics, NveTimeStepConvergence) {
