@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full pre-merge smoke run:
+#   1. Release build + the complete test suite (the tier-1 gate).
+#   2. ThreadSanitizer build + the thread-parity tests (the SNAP force
+#      engine is threaded; TSan pins the no-shared-mutable-state design).
+#   3. bench_record: re-measure the headline kernel curves and refresh
+#      BENCH_headline.json at the repo root.
+#
+# Usage: scripts/smoke.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== [1/3] Release build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== [2/3] TSan build + threaded-kernel tests =="
+cmake -B build-tsan -S . -DEMBER_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target \
+  test_thread_pool test_snap_symmetric_kernel test_md_dynamics
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'ThreadPool|ThreadedForces|ComputeContext|SymmetricKernel|TwoJmaxSweep|Dynamics'
+
+echo "== [3/3] bench_record =="
+cmake --build build -j "$JOBS" --target bench_record
+
+echo "smoke: all green"

@@ -29,16 +29,28 @@ Bispectrum::Bispectrum(const SnapParams& params)
   blist_.resize(idx_.num_b());
   dblist_.resize(idx_.num_b());
 
+  if (params_.kernel == SnapKernel::Symmetric) {
+    const int nh = idx_.u_half_total();
+    utot_half_re_.resize(nh);
+    utot_half_im_.resize(nh);
+    y_half_re_.resize(nh);
+    y_half_im_.resize(nh);
+    for (int d = 0; d < 3; ++d) {
+      du_half_re_[d].resize(nh);
+      du_half_im_[d].resize(nh);
+    }
+  }
+
   // bzero: bispectrum of an isolated atom (self term only), obtained by
-  // running the kernel itself on an empty neighbor set.
+  // running the kernel itself on an empty neighbor set. compute_bi_impl
+  // takes the subtraction choice explicitly, so the raw values are
+  // measured without mutating params_.
   bzero_.assign(idx_.num_b(), 0.0);
   if (params_.bzero_flag) {
-    params_.bzero_flag = false;  // measure the raw values
     compute_ui({}, {});
     compute_zi();
-    compute_bi();
+    compute_bi_impl(/*subtract_bzero=*/false);
     bzero_.assign(blist_.begin(), blist_.end());
-    params_.bzero_flag = true;
   }
 }
 
@@ -106,12 +118,121 @@ void Bispectrum::u_recursion(const CayleyKlein& ck, bool with_derivatives) {
   }
 }
 
+void Bispectrum::u_half_recursion(const CayleyKlein& ck, double* ur,
+                                  double* ui) const {
+  const int tj = params_.twojmax;
+  ur[0] = 1.0;
+  ui[0] = 0.0;
+  // Columns with 2*mb <= j only: column mb of level j reads column mb-1
+  // (or 0) of level j-1, which the previous level's half range contains
+  // (mb - 1 <= j/2 - 1 <= (j-1)/2), so the half recursion is closed.
+  for (int j = 1; j <= tj; ++j) {
+    const int blk = idx_.u_half_block(j);
+    const int pblk = idx_.u_half_block(j - 1);
+    const int hs = j / 2 + 1;        // current half row stride
+    const int phs = (j - 1) / 2 + 1; // previous half row stride
+    for (int mb = 0; mb <= j / 2; ++mb) {
+      const bool zc = (mb == 0);
+      const Cplx cu = zc ? -conj(ck.b) : ck.a;
+      const Cplx cd = zc ? conj(ck.a) : ck.b;
+      const int pcol = zc ? 0 : mb - 1;
+      const int denom = zc ? j : mb;
+      for (int ma = 0; ma <= j; ++ma) {
+        double vre = 0.0;
+        double vim = 0.0;
+        if (ma > 0) {
+          const double r =
+              rootpq_[static_cast<std::size_t>(ma) * (tj + 1) + denom];
+          const int p = pblk + (ma - 1) * phs + pcol;
+          vre += r * (cu.re * ur[p] - cu.im * ui[p]);
+          vim += r * (cu.re * ui[p] + cu.im * ur[p]);
+        }
+        if (ma < j) {
+          const double r =
+              rootpq_[static_cast<std::size_t>(j - ma) * (tj + 1) + denom];
+          const int p = pblk + ma * phs + pcol;
+          vre += r * (cd.re * ur[p] - cd.im * ui[p]);
+          vim += r * (cd.re * ui[p] + cd.im * ur[p]);
+        }
+        const int e = blk + ma * hs + mb;
+        ur[e] = vre;
+        ui[e] = vim;
+      }
+    }
+  }
+}
+
+void Bispectrum::mirror_half_to_full(const double* hre, const double* him,
+                                     std::vector<Cplx>& full) const {
+  for (int j = 0; j <= params_.twojmax; ++j) {
+    const int blk = idx_.u_block(j);
+    const int hblk = idx_.u_half_block(j);
+    const int cs = j + 1;
+    const int hs = j / 2 + 1;
+    for (int ma = 0; ma <= j; ++ma) {
+      for (int mb = 0; mb <= j / 2; ++mb) {
+        const int h = hblk + ma * hs + mb;
+        full[blk + ma * cs + mb] = {hre[h], him[h]};
+      }
+      for (int mb = j / 2 + 1; mb <= j; ++mb) {
+        const int h = hblk + (j - ma) * hs + (j - mb);
+        const double sign = ((ma + mb) % 2 == 0) ? 1.0 : -1.0;
+        full[blk + ma * cs + mb] = {sign * hre[h], -sign * him[h]};
+      }
+    }
+  }
+}
+
+void Bispectrum::compute_ui_symmetric(std::span<const Vec3> rij,
+                                      std::span<const double> wj) {
+  const int nh = idx_.u_half_total();
+  const int nn = static_cast<int>(rij.size());
+  nnbor_cached_ = nn;
+  ck_cache_.resize(nn);
+  wj_cache_.resize(nn);
+  ucache_re_.resize(static_cast<std::size_t>(nn) * nh);
+  ucache_im_.resize(static_cast<std::size_t>(nn) * nh);
+  std::fill(utot_half_re_.begin(), utot_half_re_.end(), 0.0);
+  std::fill(utot_half_im_.begin(), utot_half_im_.end(), 0.0);
+
+  for (int k = 0; k < nn; ++k) {
+    ck_cache_[k] = map_to_sphere(rij[k], params_.rcut, params_.rfac0,
+                                 params_.rmin0, params_.switch_flag);
+    wj_cache_[k] = wj.empty() ? 1.0 : wj[k];
+    double* ur = ucache_re_.data() + static_cast<std::size_t>(k) * nh;
+    double* ui = ucache_im_.data() + static_cast<std::size_t>(k) * nh;
+    u_half_recursion(ck_cache_[k], ur, ui);
+    const double w = wj_cache_[k] * ck_cache_[k].fc;
+    for (int e = 0; e < nh; ++e) {
+      utot_half_re_[e] += w * ur[e];
+      utot_half_im_[e] += w * ui[e];
+    }
+  }
+
+  // Self contribution on the stored part of the diagonal; the mirrored
+  // diagonal elements (ma = mb > j/2) inherit it through the expansion
+  // below, since a real diagonal value is its own mirror image.
+  for (int j = 0; j <= params_.twojmax; ++j) {
+    for (int ma = 0; ma <= j / 2; ++ma) {
+      utot_half_re_[idx_.u_half_index(j, ma, ma)] += params_.wself;
+    }
+  }
+
+  mirror_half_to_full(utot_half_re_.data(), utot_half_im_.data(), utot_);
+}
+
 void Bispectrum::compute_ui(std::span<const Vec3> rij,
                             std::span<const double> wj) {
   EMBER_REQUIRE(wj.empty() || wj.size() == rij.size(),
                 "weight array size mismatch");
-  std::fill(utot_.begin(), utot_.end(), Cplx{});
   have_z_ = false;
+
+  if (params_.kernel == SnapKernel::Symmetric) {
+    compute_ui_symmetric(rij, wj);
+    return;
+  }
+
+  std::fill(utot_.begin(), utot_.end(), Cplx{});
 
   // Self contribution: wself on the diagonal of every block.
   for (int j = 0; j <= params_.twojmax; ++j) {
@@ -159,6 +280,38 @@ Cplx Bispectrum::z_element(const ZTriple& t, int ma, int mb) const {
   return z;
 }
 
+Cplx Bispectrum::z_element_aligned(const ZTriple& t, int ma, int mb) const {
+  const int j1 = t.j1;
+  const int j2 = t.j2;
+  const int s = (t.j1 + t.j2 - t.j) / 2;
+  const Cplx* u1 = utot_.data() + idx_.u_block(j1);
+  const Cplx* u2 = utot_.data() + idx_.u_block(j2);
+  const int s1 = j1 + 1;
+  const int s2 = j2 + 1;
+  const double* cgr = idx_.aligned_cg_row(t, ma);
+  const double* cgc = idx_.aligned_cg_row(t, mb);
+
+  Cplx z{};
+  const int ra_lo = std::max(0, ma + s - j2);
+  const int ra_hi = std::min(j1, ma + s);
+  const int cb_lo = std::max(0, mb + s - j2);
+  const int cb_hi = std::min(j1, mb + s);
+  for (int ma1 = ra_lo; ma1 <= ra_hi; ++ma1) {
+    const double cg_row = cgr[ma1];
+    if (cg_row == 0.0) continue;
+    const Cplx* u1row = u1 + ma1 * s1;
+    const Cplx* u2row = u2 + (ma + s - ma1) * s2 + s;
+    Cplx rowsum{};
+    for (int mb1 = cb_lo; mb1 <= cb_hi; ++mb1) {
+      // u2 column mb2 = mb + s - mb1; u2row is pre-offset by s so the
+      // access is u2row[mb - mb1].
+      rowsum += cgc[mb1] * (u1row[mb1] * u2row[mb - mb1]);
+    }
+    z += cg_row * rowsum;
+  }
+  return z;
+}
+
 void Bispectrum::compute_zi() {
   for (const auto& t : idx_.z_triples()) {
     Cplx* z = zlist_.data() + t.idxz_u;
@@ -172,7 +325,9 @@ void Bispectrum::compute_zi() {
   have_z_ = true;
 }
 
-void Bispectrum::compute_bi() {
+void Bispectrum::compute_bi() { compute_bi_impl(params_.bzero_flag); }
+
+void Bispectrum::compute_bi_impl(bool subtract_bzero) {
   EMBER_REQUIRE(have_z_, "compute_bi requires compute_zi");
   int l = 0;
   for (const auto& bt : idx_.b_triples()) {
@@ -183,7 +338,7 @@ void Bispectrum::compute_bi() {
     const int n = bt.j + 1;
     double sum = 0.0;
     for (int e = 0; e < n * n; ++e) sum += re_mul_conj(z[e], uj[e]);
-    blist_[l] = sum - (params_.bzero_flag ? bzero_[l] : 0.0);
+    blist_[l] = sum - (subtract_bzero ? bzero_[l] : 0.0);
     ++l;
   }
 }
@@ -191,9 +346,56 @@ void Bispectrum::compute_bi() {
 void Bispectrum::compute_yi(std::span<const double> beta) {
   EMBER_REQUIRE(static_cast<int>(beta.size()) == idx_.num_b(),
                 "beta size must equal the number of bispectrum components");
+  const auto& triples = idx_.z_triples();
+  yi_coeff_scratch_.resize(triples.size());
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    yi_coeff_scratch_[i] = beta[triples[i].idxb] * triples[i].beta_scale;
+  }
+  compute_yi_coeffs(yi_coeff_scratch_);
+}
+
+void Bispectrum::compute_yi_coeffs(std::span<const double> coeffs) {
+  const auto& triples = idx_.z_triples();
+  EMBER_REQUIRE(coeffs.size() == triples.size(),
+                "coefficient array must have one entry per coupling triple");
+
+  if (params_.kernel == SnapKernel::Symmetric) {
+    // Half-column Y sweep: the z element of a dropped column follows the
+    // same conjugation mirror as U, so only 2*mb <= t.j is accumulated.
+    std::fill(y_half_re_.begin(), y_half_re_.end(), 0.0);
+    std::fill(y_half_im_.begin(), y_half_im_.end(), 0.0);
+    for (std::size_t i = 0; i < triples.size(); ++i) {
+      const ZTriple& t = triples[i];
+      const double coeff = coeffs[i];
+      if (coeff == 0.0) continue;
+      const int hblk = idx_.u_half_block(t.j);
+      const int hs = t.j / 2 + 1;
+      for (int ma = 0; ma <= t.j; ++ma) {
+        for (int mb = 0; mb <= t.j / 2; ++mb) {
+          const Cplx z = z_element_aligned(t, ma, mb);
+          const int e = hblk + ma * hs + mb;
+          y_half_re_[e] += coeff * z.re;
+          y_half_im_[e] += coeff * z.im;
+        }
+      }
+    }
+    // Keep the full-range ylist_ mirror valid (energy_from_yi and any
+    // full-range dU contraction read it) ...
+    mirror_half_to_full(y_half_re_.data(), y_half_im_.data(), ylist_);
+    // ... then fold the contraction weights into the half planes, so
+    // compute_deidrj is a pure dot product over the half range.
+    const auto& hw = idx_.half_weights();
+    for (int e = 0; e < idx_.u_half_total(); ++e) {
+      y_half_re_[e] *= hw[e];
+      y_half_im_[e] *= hw[e];
+    }
+    return;
+  }
+
   std::fill(ylist_.begin(), ylist_.end(), Cplx{});
-  for (const auto& t : idx_.z_triples()) {
-    const double coeff = beta[t.idxb] * t.beta_scale;
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    const ZTriple& t = triples[i];
+    const double coeff = coeffs[i];
     if (coeff == 0.0) continue;
     Cplx* y = ylist_.data() + idx_.u_block(t.j);
     const int n = t.j + 1;
@@ -215,9 +417,108 @@ void Bispectrum::compute_duidrj(const Vec3& rij, double wj) {
           wj * (ck.dfc[d] * ulist_[i] + ck.fc * dulist_raw_[i].d[d]);
     }
   }
+  du_half_valid_ = false;
+}
+
+void Bispectrum::compute_duidrj_cached(int k) {
+  EMBER_REQUIRE(params_.kernel == SnapKernel::Symmetric,
+                "compute_duidrj_cached requires the Symmetric kernel");
+  EMBER_REQUIRE(k >= 0 && k < nnbor_cached_,
+                "neighbor index outside the cached compute_ui set");
+  const int tj = params_.twojmax;
+  const int nh = idx_.u_half_total();
+  const CayleyKlein& ck = ck_cache_[k];
+  const double* ur = ucache_re_.data() + static_cast<std::size_t>(k) * nh;
+  const double* ui = ucache_im_.data() + static_cast<std::size_t>(k) * nh;
+
+  // Derivative-only recursion over the half range: the bare U values the
+  // chain rule needs come from the cache filled by compute_ui, so the
+  // duplicate O(J^3) U recursion of the Naive scheme disappears.
+  for (int d = 0; d < 3; ++d) {
+    du_half_re_[d][0] = 0.0;
+    du_half_im_[d][0] = 0.0;
+  }
+  for (int j = 1; j <= tj; ++j) {
+    const int blk = idx_.u_half_block(j);
+    const int pblk = idx_.u_half_block(j - 1);
+    const int hs = j / 2 + 1;
+    const int phs = (j - 1) / 2 + 1;
+    for (int mb = 0; mb <= j / 2; ++mb) {
+      const bool zc = (mb == 0);
+      const Cplx cu = zc ? -conj(ck.b) : ck.a;
+      const Cplx cd = zc ? conj(ck.a) : ck.b;
+      Cplx dcu[3];
+      Cplx dcd[3];
+      for (int d = 0; d < 3; ++d) {
+        dcu[d] = zc ? -conj(ck.db[d]) : ck.da[d];
+        dcd[d] = zc ? conj(ck.da[d]) : ck.db[d];
+      }
+      const int pcol = zc ? 0 : mb - 1;
+      const int denom = zc ? j : mb;
+      for (int ma = 0; ma <= j; ++ma) {
+        Cplx dv[3]{};
+        if (ma > 0) {
+          const double r =
+              rootpq_[static_cast<std::size_t>(ma) * (tj + 1) + denom];
+          const int p = pblk + (ma - 1) * phs + pcol;
+          const Cplx up{ur[p], ui[p]};
+          for (int d = 0; d < 3; ++d) {
+            const Cplx dup{du_half_re_[d][p], du_half_im_[d][p]};
+            dv[d] += r * (dcu[d] * up + cu * dup);
+          }
+        }
+        if (ma < j) {
+          const double r =
+              rootpq_[static_cast<std::size_t>(j - ma) * (tj + 1) + denom];
+          const int p = pblk + ma * phs + pcol;
+          const Cplx up{ur[p], ui[p]};
+          for (int d = 0; d < 3; ++d) {
+            const Cplx dup{du_half_re_[d][p], du_half_im_[d][p]};
+            dv[d] += r * (dcd[d] * up + cd * dup);
+          }
+        }
+        const int e = blk + ma * hs + mb;
+        for (int d = 0; d < 3; ++d) {
+          du_half_re_[d][e] = dv[d].re;
+          du_half_im_[d][e] = dv[d].im;
+        }
+      }
+    }
+  }
+
+  // Product rule d(w fc u)/dr = w (dfc u + fc du), vectorized per plane.
+  const double w = wj_cache_[k];
+  const double fc = ck.fc;
+  for (int d = 0; d < 3; ++d) {
+    const double dfc = ck.dfc[d];
+    double* dre = du_half_re_[d].data();
+    double* dim = du_half_im_[d].data();
+    for (int e = 0; e < nh; ++e) {
+      dre[e] = w * (dfc * ur[e] + fc * dre[e]);
+      dim[e] = w * (dfc * ui[e] + fc * dim[e]);
+    }
+  }
+  du_half_valid_ = true;
 }
 
 Vec3 Bispectrum::compute_deidrj() const {
+  if (du_half_valid_) {
+    // Half-range contraction: compute_yi pre-folded the half_weight table
+    // into the Y planes, so each dimension is a pure 2-plane dot product.
+    const int nh = idx_.u_half_total();
+    Vec3 de;
+    for (int d = 0; d < 3; ++d) {
+      const double* dre = du_half_re_[d].data();
+      const double* dim = du_half_im_[d].data();
+      double sum = 0.0;
+      for (int e = 0; e < nh; ++e) {
+        sum += y_half_re_[e] * dre[e] + y_half_im_[e] * dim[e];
+      }
+      de[d] = sum;
+    }
+    return de;
+  }
+
   Vec3 de;
   for (int i = 0; i < idx_.u_total(); ++i) {
     const Cplx y = ylist_[i];
@@ -228,7 +529,9 @@ Vec3 Bispectrum::compute_deidrj() const {
   // No factor 2: the Y accumulation already contains all three U-slot
   // dependency paths of every B component (direct + two permuted), so the
   // full-matrix contraction IS the complete chain rule. (Codes that sum
-  // only half the (ma,mb) range restore the other half with a factor 2.)
+  // only half the (ma,mb) range restore the other half with a factor 2 —
+  // the half-range branch above does exactly that through the
+  // half_weight table.)
   return de;
 }
 
@@ -299,21 +602,25 @@ double Bispectrum::energy(double beta0, std::span<const double> beta) const {
 // A complex multiply counts 6 flops, complex add 2, real*complex 2.
 // Constants below were chosen by counting the operations in the loops; the
 // paper's own numbers come from measured FLOP counters, so these serve the
-// same role (converting measured time into a FLOP rate).
+// same role (converting measured time into a FLOP rate). The Symmetric
+// kernel counts only the half column range it executes, the mirror
+// expansions, and the recursion-free cached dU pass.
 
 namespace {
-double z_sweep_flops(const SnapIndex& idx, bool canonical_only) {
+double z_sweep_flops(const SnapIndex& idx, bool canonical_only,
+                     bool half_columns) {
   double total = 0.0;
   for (const auto& t : idx.z_triples()) {
     if (canonical_only && t.j < t.j1) continue;
     const int s = (t.j1 + t.j2 - t.j) / 2;
     const int n = t.j + 1;
+    const int mb_max = half_columns ? t.j / 2 : t.j;
     double per_matrix = 0.0;
     for (int ma = 0; ma < n; ++ma) {
       const int rlo = std::max(0, ma + s - t.j2);
       const int rhi = std::min(t.j1, ma + s);
       const double rows = rhi - rlo + 1;
-      for (int mb = 0; mb < n; ++mb) {
+      for (int mb = 0; mb <= mb_max; ++mb) {
         const int clo = std::max(0, mb + s - t.j2);
         const int chi = std::min(t.j1, mb + s);
         const double cols = chi - clo + 1;
@@ -325,15 +632,32 @@ double z_sweep_flops(const SnapIndex& idx, bool canonical_only) {
   }
   return total;
 }
+
+double z_half_outputs(const SnapIndex& idx) {
+  double total = 0.0;
+  for (const auto& t : idx.z_triples()) {
+    total += static_cast<double>(t.j + 1) * (t.j / 2 + 1);
+  }
+  return total;
+}
 }  // namespace
 
 double Bispectrum::flops_ui(int nnbor) const {
+  if (params_.kernel == SnapKernel::Symmetric) {
+    // mapping ~60, half recursion ~22 + accumulation 4 per half element,
+    // plus the one-off mirror expansion (~2 per full element).
+    return static_cast<double>(nnbor) *
+               (60.0 + 26.0 * static_cast<double>(idx_.u_half_total())) +
+           2.0 * static_cast<double>(idx_.u_total());
+  }
   // mapping ~60, recursion ~22 per element, accumulation 4 per element
   return static_cast<double>(nnbor) *
          (60.0 + 26.0 * static_cast<double>(idx_.u_total()));
 }
 
-double Bispectrum::flops_zi() const { return z_sweep_flops(idx_, false); }
+double Bispectrum::flops_zi() const {
+  return z_sweep_flops(idx_, false, false);
+}
 
 double Bispectrum::flops_bi() const {
   double total = 0.0;
@@ -344,16 +668,34 @@ double Bispectrum::flops_bi() const {
 }
 
 double Bispectrum::flops_yi() const {
+  if (params_.kernel == SnapKernel::Symmetric) {
+    // half-column z sweep + accumulation into the half planes (4 per
+    // produced element) + mirror into ylist_ (~2 per full element).
+    return z_sweep_flops(idx_, false, true) + 4.0 * z_half_outputs(idx_) +
+           2.0 * static_cast<double>(idx_.u_total());
+  }
   // z sweep + accumulation into y (4 flops per produced element)
-  return z_sweep_flops(idx_, false) + 4.0 * idx_.z_total();
+  return z_sweep_flops(idx_, false, false) + 4.0 * idx_.z_total();
 }
 
-double Bispectrum::flops_duidrj() const {
+double Bispectrum::flops_duidrj_full() const {
   // recursion with derivatives: ~22 base + 3 dims * 16, plus product rule
   return 60.0 + (22.0 + 48.0 + 12.0) * static_cast<double>(idx_.u_total());
 }
 
+double Bispectrum::flops_duidrj() const {
+  if (params_.kernel == SnapKernel::Symmetric) {
+    // cached scheme: no mapping, no U recursion; derivative recursion
+    // (3 dims * 16) + product rule 12, over the half range only.
+    return (48.0 + 12.0) * static_cast<double>(idx_.u_half_total());
+  }
+  return flops_duidrj_full();
+}
+
 double Bispectrum::flops_deidrj() const {
+  if (params_.kernel == SnapKernel::Symmetric) {
+    return 12.0 * static_cast<double>(idx_.u_half_total());
+  }
   return 12.0 * static_cast<double>(idx_.u_total());
 }
 

@@ -16,6 +16,31 @@
 //                 \-> per neighbor: compute_duidrj -> compute_deidrj
 //     Y storage is O(J^3); force is O(J^3) work per neighbor.
 //
+// On top of the path choice, the *kernel* variant selects how the adjoint
+// stages are executed (SnapParams::kernel):
+//
+//   SnapKernel::Naive      the original full-range scheme: every (ma, mb)
+//                          element is computed and stored, and each
+//                          neighbor's U recursion runs twice (once in
+//                          compute_ui, again inside compute_duidrj).
+//   SnapKernel::Symmetric  the TestSNAP V5-V7 scheme ported to the
+//                          production path: only columns with 2*mb <= j
+//                          are computed (the rest follow from
+//                          U[j,ma,mb] = (-1)^(ma+mb) conj(U[j,j-ma,j-mb])),
+//                          each neighbor's bare U list and Cayley-Klein
+//                          mapping are cached during compute_ui so
+//                          compute_duidrj_cached runs the derivative-only
+//                          recursion, and U/Y/dU live in split re/im
+//                          planes (SoA) so the Y : conj(dU) contractions
+//                          autovectorize. Full-range utot/ylist mirrors
+//                          are still maintained, so the Z/B stages and any
+//                          mixed naive/symmetric stage sequence stay
+//                          valid.
+//
+// Both kernels produce identical results to <= 1e-12 per force component
+// (pinned by tests/snap/test_symmetric_kernel.cpp); Naive is kept as the
+// correctness oracle.
+//
 // The same instance can be reused across atoms (buffers are reset by
 // compute_ui). Instances are NOT thread-safe; create one per thread.
 
@@ -29,6 +54,11 @@
 
 namespace ember::snap {
 
+enum class SnapKernel {
+  Naive,      // full (ma, mb) range, per-neighbor recursion run twice
+  Symmetric,  // half range + cached neighbor U lists + SoA planes
+};
+
 struct SnapParams {
   int twojmax = 8;        // 2J; paper uses 8 (55 components) and 14 (204)
   double rcut = 4.7;      // neighbor cutoff [A]
@@ -37,6 +67,7 @@ struct SnapParams {
   double wself = 1.0;     // self-contribution weight
   bool switch_flag = true; // apply the smooth cutoff fc(r)
   bool bzero_flag = false; // subtract the isolated-atom bispectrum
+  SnapKernel kernel = SnapKernel::Symmetric;  // production default
 };
 
 // Derivative of the weighted, switched U contribution of one neighbor:
@@ -52,11 +83,14 @@ class Bispectrum {
   [[nodiscard]] const SnapParams& params() const { return params_; }
   [[nodiscard]] const SnapIndex& index() const { return idx_; }
   [[nodiscard]] int num_b() const { return idx_.num_b(); }
+  [[nodiscard]] SnapKernel kernel() const { return params_.kernel; }
 
   // ---- stage kernels ----
 
   // Accumulate Utot over neighbors (positions relative to the central
-  // atom, all with |rij| < rcut) plus the self term.
+  // atom, all with |rij| < rcut) plus the self term. Under the Symmetric
+  // kernel this also fills the per-neighbor Cayley-Klein and bare-U
+  // caches consumed by compute_duidrj_cached.
   void compute_ui(std::span<const Vec3> rij, std::span<const double> wj);
 
   // Baseline: compute and store every coupled Z matrix (O(J^5) memory).
@@ -70,11 +104,30 @@ class Bispectrum {
   // beta.size() must equal num_b().
   void compute_yi(std::span<const double> beta);
 
+  // Same accumulation from precomputed per-triple coefficients
+  // coeffs[t] = beta[t.idxb] * t.beta_scale (coeffs.size() must equal
+  // z_triples().size()). Lets linear models hoist the coefficient fold
+  // out of the per-atom loop entirely.
+  void compute_yi_coeffs(std::span<const double> coeffs);
+
   // Per-neighbor derivative d(w fc u)/dr for the given displacement;
   // fills the internal dU buffer used by the two force kernels below.
+  // Runs the full-range recursion from scratch (Naive scheme); valid
+  // under either kernel.
   void compute_duidrj(const Vec3& rij, double wj);
 
+  // Symmetric-kernel fast path: derivative recursion for neighbor k of
+  // the last compute_ui call, reusing its cached Cayley-Klein mapping and
+  // bare U list (half range, no U recomputation). Requires
+  // kernel == Symmetric.
+  void compute_duidrj_cached(int k);
+
+  // Number of neighbors cached by the last Symmetric compute_ui.
+  [[nodiscard]] int cached_neighbors() const { return nnbor_cached_; }
+
   // Adjoint force kernel: dE_i/dr_k = 2 Re sum_j Y_j : conj(dU_j).
+  // Contracts over whichever dU form the last compute_duidrj* call
+  // produced (full range, or weighted half range).
   [[nodiscard]] Vec3 compute_deidrj() const;
 
   // Baseline force kernel: dB_l/dr_k for every canonical triple
@@ -102,11 +155,15 @@ class Bispectrum {
                                       std::span<const double> beta) const;
 
   // ---- analytic FLOP estimates (double-precision mul+add counted as 2) --
+  // All counts reflect the configured kernel: the Symmetric variants count
+  // the halved column range, the cached (recursion-free) dU pass, and the
+  // mirror expansions, so reported FLOP rates stay honest for both.
   [[nodiscard]] double flops_ui(int nnbor) const;
   [[nodiscard]] double flops_zi() const;
   [[nodiscard]] double flops_bi() const;
   [[nodiscard]] double flops_yi() const;
-  [[nodiscard]] double flops_duidrj() const;   // per neighbor
+  [[nodiscard]] double flops_duidrj() const;   // per neighbor, adjoint path
+  [[nodiscard]] double flops_duidrj_full() const;  // full-range recursion
   [[nodiscard]] double flops_deidrj() const;   // per neighbor
   [[nodiscard]] double flops_dbidrj() const;   // per neighbor
   // Total per-atom FLOPs of the adjoint path with nnbor neighbors.
@@ -118,10 +175,31 @@ class Bispectrum {
   // fc/weight product rule).
   void u_recursion(const CayleyKlein& ck, bool with_derivatives);
 
+  // Symmetric kernel: bare half-range U recursion into split re/im planes
+  // (compact half layout, u_half_total elements).
+  void u_half_recursion(const CayleyKlein& ck, double* ur, double* ui) const;
+
+  // Symmetric kernel: accumulate + cache + mirror variant of compute_ui.
+  void compute_ui_symmetric(std::span<const Vec3> rij,
+                            std::span<const double> wj);
+
+  // Expand a half-layout SoA plane pair into a full-range Cplx array via
+  // the conjugation mirror.
+  void mirror_half_to_full(const double* hre, const double* him,
+                           std::vector<Cplx>& full) const;
+
   // z-matrix element (row ma, col mb) of coupling triple t, from utot_.
   [[nodiscard]] Cplx z_element(const ZTriple& t, int ma, int mb) const;
+  // Same value through the unit-stride aligned CG blocks (Symmetric
+  // kernel's Y sweep).
+  [[nodiscard]] Cplx z_element_aligned(const ZTriple& t, int ma,
+                                       int mb) const;
 
-  SnapParams params_;
+  // compute_bi with an explicit bzero choice; the constructor uses it to
+  // measure the isolated-atom reference without mutating params_.
+  void compute_bi_impl(bool subtract_bzero);
+
+  const SnapParams params_;
   SnapIndex idx_;
   std::vector<double> rootpq_;  // rootpq_[p*(tj+1)+q] = sqrt(p/q)
 
@@ -135,6 +213,23 @@ class Bispectrum {
   std::vector<Vec3> dblist_;
   std::vector<double> bzero_;
   bool have_z_ = false;
+
+  // ---- Symmetric-kernel state (half layout, SoA planes) ----
+  std::vector<CayleyKlein> ck_cache_;   // per-neighbor mapping (V7)
+  std::vector<double> wj_cache_;        // per-neighbor weights
+  std::vector<double> ucache_re_;       // nnbor x u_half_total bare U (V7)
+  std::vector<double> ucache_im_;
+  std::vector<double> utot_half_re_;    // half-range accumulation (V5/V6)
+  std::vector<double> utot_half_im_;
+  std::vector<double> y_half_re_;       // half-range adjoint (V5/V6)
+  std::vector<double> y_half_im_;
+  std::vector<double> du_half_re_[3];   // half-range d(w fc u)/dr (V6)
+  std::vector<double> du_half_im_[3];
+  std::vector<double> yi_coeff_scratch_;  // per-triple beta fold
+  int nnbor_cached_ = 0;
+  // Which form the last compute_duidrj* call produced: half planes
+  // (cached) or the full dulist_.
+  bool du_half_valid_ = false;
 };
 
 }  // namespace ember::snap

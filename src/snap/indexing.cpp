@@ -18,6 +18,23 @@ SnapIndex::SnapIndex(int twojmax) : twojmax_(twojmax) {
   }
   u_total_ = off;
 
+  // Half-range U blocks (columns 2*mb <= j) and their contraction weights.
+  u_half_block_.resize(twojmax + 1);
+  off = 0;
+  for (int j = 0; j <= twojmax; ++j) {
+    u_half_block_[j] = off;
+    off += (j + 1) * (j / 2 + 1);
+  }
+  u_half_total_ = off;
+  half_weight_.resize(u_half_total_);
+  for (int j = 0; j <= twojmax; ++j) {
+    for (int ma = 0; ma <= j; ++ma) {
+      for (int mb = 0; mb <= j / 2; ++mb) {
+        half_weight_[u_half_index(j, ma, mb)] = half_weight(j, ma, mb);
+      }
+    }
+  }
+
   // Canonical bispectrum triples: j >= j1 >= j2, paper's enumeration
   // 0 <= 2j2 <= 2j1 <= 2j <= 2J. NB(2J=8) = 55, NB(2J=14) = 204.
   const int n = twojmax + 1;
@@ -82,6 +99,22 @@ SnapIndex::SnapIndex(int twojmax) : twojmax_(twojmax) {
         const int twom2 = 2 * ma2 - t.j2;
         cg_.push_back(
             clebsch_gordan(t.j1, twom1, t.j2, twom2, t.j, twom1 + twom2));
+      }
+    }
+  }
+
+  // Aligned CG blocks: per triple, (j+1) rows of (j1+1) unit-stride
+  // entries holding cg(t, m1, m + s - m1) for the valid m1 range of each
+  // output index m (see aligned_cg_row).
+  for (auto& t : z_) {
+    t.idxcga = static_cast<int>(cg_aligned_.size());
+    const int s = (t.j1 + t.j2 - t.j) / 2;
+    for (int m = 0; m <= t.j; ++m) {
+      const int lo = std::max(0, m + s - t.j2);
+      const int hi = std::min(t.j1, m + s);
+      for (int m1 = 0; m1 <= t.j1; ++m1) {
+        cg_aligned_.push_back(m1 >= lo && m1 <= hi ? cg(t, m1, m + s - m1)
+                                                   : 0.0);
       }
     }
   }

@@ -30,7 +30,22 @@ struct ZTriple {
   double beta_scale = 1.0;  // multiplicity x normalization for compute_yi
   int idxcg = 0;       // offset of this triple's Clebsch-Gordan block
   int idxz_u = 0;      // offset of this triple's slot in the z value array
+  int idxcga = 0;      // offset of this triple's aligned CG block
 };
+
+// Contraction weight of element (j; ma, mb) under the half-column symmetry
+// scheme U[j, ma, mb] = (-1)^(ma+mb) conj(U[j, j-ma, j-mb]): strictly
+// left-half columns stand in for their mirror (weight 2); on the middle
+// column of even j the rows above the diagonal carry the mirror (2), the
+// diagonal element is its own mirror (1), and the rows below are redundant
+// (0). Shared by the TestSNAP V5..V7 variants and the production
+// Symmetric kernel.
+constexpr double half_weight(int j, int ma, int mb) {
+  if (2 * mb < j) return 2.0;
+  if (2 * ma < j) return 2.0;
+  if (2 * ma == j) return 1.0;
+  return 0.0;
+}
 
 struct BTriple {
   int j1 = 0;
@@ -49,6 +64,21 @@ class SnapIndex {
   [[nodiscard]] int u_total() const { return u_total_; }
   [[nodiscard]] int u_index(int j, int ma, int mb) const {
     return u_block_[j] + ma * (j + 1) + mb;
+  }
+
+  // ---- half-range U storage (Symmetric kernel) ----
+  // Block j keeps only the columns with 2*mb <= j: (j+1) rows of
+  // (j/2 + 1) columns, row-major. The dropped columns are recovered via
+  // U[j, ma, mb] = (-1)^(ma+mb) conj(U[j, j-ma, j-mb]).
+  [[nodiscard]] int u_half_block(int j) const { return u_half_block_[j]; }
+  [[nodiscard]] int u_half_total() const { return u_half_total_; }
+  [[nodiscard]] int u_half_index(int j, int ma, int mb) const {
+    return u_half_block_[j] + ma * (j / 2 + 1) + mb;
+  }
+  // half_weight(j, ma, mb) flattened over the half layout; contractions
+  // over the half range multiply by this table to restore the full sum.
+  [[nodiscard]] const std::vector<double>& half_weights() const {
+    return half_weight_;
   }
 
   // ---- coupling triples ----
@@ -72,10 +102,25 @@ class SnapIndex {
     return cg_[t.idxcg + ma1 * (t.j2 + 1) + ma2];
   }
 
+  // Aligned CG blocks: the z-element sums walk cg(t, m1, m + s - m1) with
+  // m fixed, which strides the raw (m1, m2) block by j2 per step. The
+  // aligned block re-lays each triple as (j+1) contiguous rows of (j1+1)
+  // entries,
+  //     aligned_cg_row(t, m)[m1] = C^{j m}_{j1 m1 j2 (m+s-m1)},
+  // zero outside the coupling range, so both the row (ma) and column (mb)
+  // factor lookups of a z element are unit-stride.
+  [[nodiscard]] const double* aligned_cg_row(const ZTriple& t, int m) const {
+    return cg_aligned_.data() + t.idxcga + m * (t.j1 + 1);
+  }
+
  private:
   int twojmax_;
   std::vector<int> u_block_;
   int u_total_ = 0;
+  std::vector<int> u_half_block_;
+  int u_half_total_ = 0;
+  std::vector<double> half_weight_;
+  std::vector<double> cg_aligned_;
   std::vector<ZTriple> z_;
   std::vector<BTriple> b_;
   std::vector<int> b_block_;  // dense [j1][j2][j] lookup

@@ -7,19 +7,25 @@
 
 namespace ember::snap {
 
-std::vector<double> SnapModel::effective_beta(
-    std::span<const double> b) const {
-  std::vector<double> eff(beta.begin(), beta.end());
+namespace {
+// Initial capacity of the per-atom neighbor scratch; generous for the
+// paper's carbon systems (~26 neighbors at 2J=8 cutoffs) so steady state
+// never reallocates.
+constexpr std::size_t kNeighborReserve = 128;
+}  // namespace
+
+void SnapModel::effective_beta(std::span<const double> b,
+                               std::vector<double>& out) const {
+  out.assign(beta.begin(), beta.end());
   if (!alpha.empty()) {
     const std::size_t n = beta.size();
     for (std::size_t l = 0; l < n; ++l) {
       double sum = 0.0;
       const double* row = alpha.data() + l * n;
       for (std::size_t m = 0; m < n; ++m) sum += row[m] * b[m];
-      eff[l] += sum;
+      out[l] += sum;
     }
   }
-  return eff;
 }
 
 double SnapModel::site_energy(std::span<const double> b) const {
@@ -49,6 +55,9 @@ void SnapModel::save(const std::string& path) const {
   os << "wself " << params.wself << '\n';
   os << "switch " << (params.switch_flag ? 1 : 0) << '\n';
   os << "bzero " << (params.bzero_flag ? 1 : 0) << '\n';
+  os << "kernel "
+     << (params.kernel == SnapKernel::Symmetric ? "symmetric" : "naive")
+     << '\n';
   os << "beta0 " << beta0 << '\n';
   os << "ncoeff " << beta.size() << '\n';
   for (const double b : beta) os << b << '\n';
@@ -75,6 +84,14 @@ SnapModel SnapModel::load(const std::string& path) {
     else if (key == "wself") ls >> m.params.wself;
     else if (key == "switch") { int v; ls >> v; m.params.switch_flag = v != 0; }
     else if (key == "bzero") { int v; ls >> v; m.params.bzero_flag = v != 0; }
+    else if (key == "kernel") {
+      std::string v;
+      ls >> v;
+      EMBER_REQUIRE(v == "symmetric" || v == "naive",
+                    "unknown kernel '" + v + "' in " + path);
+      m.params.kernel =
+          v == "symmetric" ? SnapKernel::Symmetric : SnapKernel::Naive;
+    }
     else if (key == "beta0") ls >> m.beta0;
     else if (key == "ncoeff") {
       ls >> ncoeff;
@@ -102,6 +119,16 @@ SnapPotential::SnapPotential(SnapModel model, Path path)
                     model_.alpha.size() ==
                         model_.beta.size() * model_.beta.size(),
                 "quadratic coefficient block must be num_b x num_b");
+  if (!model_.quadratic()) {
+    const auto& triples = bi_.index().z_triples();
+    y_coeff_.resize(triples.size());
+    for (std::size_t t = 0; t < triples.size(); ++t) {
+      y_coeff_[t] = model_.beta[triples[t].idxb] * triples[t].beta_scale;
+    }
+  }
+  rij_.reserve(kNeighborReserve);
+  jlist_.reserve(kNeighborReserve);
+  beta_eff_.reserve(model_.beta.size());
 }
 
 namespace {
@@ -137,7 +164,11 @@ md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
     std::span<Vec3> f{sys.f};
     if (tid != 0) {
       auto& th = ctx.cache<SnapThreadScratch>(tid, [&] {
-        return SnapThreadScratch{Bispectrum(model_.params), {}, {}, {}};
+        SnapThreadScratch scratch{Bispectrum(model_.params), {}, {}, {}};
+        scratch.rij.reserve(kNeighborReserve);
+        scratch.jlist.reserve(kNeighborReserve);
+        scratch.beta_eff.reserve(model_.beta.size());
+        return scratch;
       });
       bi = &th.bi;
       rij = &th.rij;
@@ -145,6 +176,7 @@ md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
       beta_eff = &th.beta_eff;
       f = std::span<Vec3>(s.f);
     }
+    const bool cached_du = bi->kernel() == SnapKernel::Symmetric;
 
     for (int i = bb; i < ee; ++i) {
       rij->clear();
@@ -167,15 +199,21 @@ md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
           // effective coefficients beta + alpha B (LAMMPS quadraticflag).
           bi->compute_zi();
           bi->compute_bi();
-          *beta_eff = model_.effective_beta(bi->blist());
+          model_.effective_beta(bi->blist(), *beta_eff);
           bi->compute_yi(*beta_eff);
           s.energy += model_.site_energy(bi->blist());
         } else {
-          bi->compute_yi(model_.beta);
+          // Linear: the per-triple coefficient fold was done once at
+          // construction.
+          bi->compute_yi_coeffs(y_coeff_);
           s.energy += bi->energy_from_yi(model_.beta0, model_.beta);
         }
         for (int m = 0; m < nn; ++m) {
-          bi->compute_duidrj((*rij)[m], 1.0);
+          if (cached_du) {
+            bi->compute_duidrj_cached(m);
+          } else {
+            bi->compute_duidrj((*rij)[m], 1.0);
+          }
           const Vec3 de = bi->compute_deidrj();  // dE_i/dr_k
           f[(*jlist)[m]] -= de;
           f[i] += de;
@@ -186,8 +224,11 @@ md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
         bi->compute_zi();
         bi->compute_bi();
         s.energy += model_.site_energy(bi->blist());
-        *beta_eff = model_.effective_beta(bi->blist());
+        model_.effective_beta(bi->blist(), *beta_eff);
         for (int m = 0; m < nn; ++m) {
+          // dB needs the full-range dU list (compute_dbidrj contracts
+          // every Z element), so the baseline path always runs the
+          // full recursion regardless of kernel.
           bi->compute_duidrj((*rij)[m], 1.0);
           bi->compute_dbidrj();
           Vec3 de;
@@ -199,7 +240,7 @@ md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
           s.virial += -dot((*rij)[m], de);
         }
         s.flops += bi->flops_ui(nn) + bi->flops_zi() + bi->flops_bi() +
-                   nn * (bi->flops_duidrj() + bi->flops_dbidrj());
+                   nn * (bi->flops_duidrj_full() + bi->flops_dbidrj());
       }
     }
   });

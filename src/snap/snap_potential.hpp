@@ -32,9 +32,11 @@ struct SnapModel {
   std::vector<double> alpha;  // empty = linear model
 
   [[nodiscard]] bool quadratic() const { return !alpha.empty(); }
-  // beta + alpha * B for one atom's descriptors.
-  [[nodiscard]] std::vector<double> effective_beta(
-      std::span<const double> b) const;
+  // beta + alpha * B for one atom's descriptors, written into `out`
+  // (resized to num_b). Takes caller scratch so the per-atom force loop
+  // performs no heap allocation.
+  void effective_beta(std::span<const double> b,
+                      std::vector<double>& out) const;
   // Energy of one atom given its descriptors.
   [[nodiscard]] double site_energy(std::span<const double> b) const;
 
@@ -76,6 +78,10 @@ class SnapPotential final : public md::PairPotential {
   Path path_;
   Bispectrum bi_;
   double last_flops_ = 0.0;
+  // Linear models: per-triple adjoint coefficients beta[idxb] * beta_scale,
+  // folded once at construction so the per-atom loop skips the fold (the
+  // quadratic path cannot hoist it — beta_eff depends on the atom's B).
+  std::vector<double> y_coeff_;
   // per-call scratch (kept to avoid reallocation)
   std::vector<Vec3> rij_;
   std::vector<int> jlist_;

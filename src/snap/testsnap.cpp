@@ -682,19 +682,8 @@ void TestSnap::run_adjoint(int begin, int end) {
 }
 
 // ---- V4..V7: fused / half-range / SoA / cached-neighbor kernels -----------
-
-namespace {
-
-// Contraction weight under the half-column symmetry scheme.
-double half_weight(int j, int ma, int mb) {
-  if (2 * mb < j) return 2.0;
-  // middle column (j even)
-  if (2 * ma < j) return 2.0;
-  if (2 * ma == j) return 1.0;
-  return 0.0;
-}
-
-}  // namespace
+// The half-column contraction weight is the shared ember::snap::half_weight
+// from indexing.hpp (also used by the production Symmetric kernel).
 
 void TestSnap::run_fused(int level, int begin, int end) {
   const bool half = level >= 1;

@@ -11,6 +11,7 @@
 #include "md/lattice.hpp"
 #include "md/simulation.hpp"
 #include "ref/pair_lj.hpp"
+#include "snap/snap_potential.hpp"
 
 namespace ember::md {
 namespace {
@@ -74,6 +75,60 @@ TEST(Dynamics, ThreadedNveDriftMatchesSerial) {
     const double threaded = drift_at(ExecutionPolicy{nth});
     EXPECT_LT(threaded, 2e-6) << nth << " threads";
     EXPECT_NEAR(threaded, serial, 1e-9) << nth << " threads";
+  }
+}
+
+TEST(Dynamics, SnapNveDriftIsKernelIndependent) {
+  // The Symmetric (half-range, cached-dU) SNAP kernel must integrate the
+  // same NVE trajectory as the Naive oracle: per-step force parity is
+  // <= 1e-12, so over a short run positions track tightly and the energy
+  // drift of the two kernels is indistinguishable.
+  auto make_snap_sim = [](snap::SnapKernel kernel) {
+    snap::SnapParams p;
+    p.twojmax = 6;
+    p.rcut = 2.6;
+    p.bzero_flag = true;
+    p.kernel = kernel;
+    snap::SnapModel m;
+    m.params = p;
+    m.beta.resize(snap::SnapIndex(p.twojmax).num_b());
+    Rng crng(41);
+    for (auto& b : m.beta) b = 0.02 * crng.uniform(-1.0, 1.0);
+    m.beta0 = -1.0;
+
+    LatticeSpec spec;
+    spec.kind = LatticeKind::Diamond;
+    spec.a = 3.567;
+    spec.nx = spec.ny = spec.nz = 2;
+    System sys = build_lattice(spec, 12.011);
+    Rng rng(43);
+    sys.thermalize(120.0, rng);
+    auto pot = std::make_shared<snap::SnapPotential>(m);
+    return Simulation(std::move(sys), pot, 0.0005, 0.3, 43);
+  };
+
+  auto drift_and_run = [&](snap::SnapKernel kernel, std::vector<Vec3>& x) {
+    Simulation sim = make_snap_sim(kernel);
+    sim.setup();
+    const double e0 = sim.total_energy();
+    sim.run(100);
+    const System& sys = sim.system();
+    x.assign(sys.x.begin(), sys.x.begin() + sys.nlocal());
+    return std::abs(sim.total_energy() - e0) / sys.nlocal();
+  };
+  std::vector<Vec3> x_naive;
+  std::vector<Vec3> x_sym;
+  const double drift_naive = drift_and_run(snap::SnapKernel::Naive, x_naive);
+  const double drift_sym = drift_and_run(snap::SnapKernel::Symmetric, x_sym);
+
+  EXPECT_LT(drift_naive, 5e-5);
+  EXPECT_LT(drift_sym, 5e-5);
+  EXPECT_NEAR(drift_sym, drift_naive, 1e-9);
+  ASSERT_EQ(x_naive.size(), x_sym.size());
+  for (std::size_t i = 0; i < x_naive.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_NEAR(x_naive[i][d], x_sym[i][d], 1e-8) << "atom " << i;
+    }
   }
 }
 

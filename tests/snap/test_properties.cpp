@@ -187,10 +187,16 @@ TEST(SnapScaling, UiCostIsLinearInNeighbors) {
   Rng rng(53);
   const auto few = shell(rng, 10, 0.9, 4.0);
   const auto many = shell(rng, 80, 0.9, 4.0);
+  // Best-of-5 timing: each sample is short, so take the minimum to shed
+  // scheduler noise when the suite runs under a loaded machine.
   auto time_ui = [&](const std::vector<Vec3>& rij) {
-    WallTimer t;
-    for (int r = 0; r < 30; ++r) bi.compute_ui(rij, {});
-    return t.seconds();
+    double best = 1e30;
+    for (int trial = 0; trial < 5; ++trial) {
+      WallTimer t;
+      for (int r = 0; r < 30; ++r) bi.compute_ui(rij, {});
+      best = std::min(best, t.seconds());
+    }
+    return best;
   };
   const double ratio = time_ui(many) / time_ui(few);
   EXPECT_GT(ratio, 4.0);

@@ -212,7 +212,8 @@ TEST(SnapQuadratic, SiteEnergyAndEffectiveBeta) {
   }
   EXPECT_NEAR(m.site_energy(b), expect, 1e-12 * std::abs(expect));
   // effective_beta must be the gradient of site_energy w.r.t. b.
-  const auto eff = m.effective_beta(b);
+  std::vector<double> eff;
+  m.effective_beta(b, eff);
   const double h = 1e-6;
   for (std::size_t l = 0; l < n; l += 7) {
     auto bp = b;

@@ -1,0 +1,244 @@
+// Symmetric-kernel parity contract: the TestSNAP V5-V7 production kernel
+// (half column range + cached neighbor U lists + SoA planes) must reproduce
+// the Naive full-range kernel to <= 1e-12 per component — U mirrors, Y,
+// energies, per-neighbor forces, and the full SnapPotential force/energy/
+// virial evaluation for linear and quadratic models across thread counts.
+// Naive is the correctness oracle; these tests pin the port.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "md/compute_context.hpp"
+#include "md/lattice.hpp"
+#include "md/neighbor.hpp"
+#include "parallel/thread_pool.hpp"
+#include "snap/snap_potential.hpp"
+
+namespace ember::snap {
+namespace {
+
+SnapParams base_params(int twojmax, SnapKernel kernel) {
+  SnapParams p;
+  p.twojmax = twojmax;
+  p.rcut = 3.4;
+  p.bzero_flag = true;
+  p.kernel = kernel;
+  return p;
+}
+
+// Randomized neighbor shell with radii well inside the cutoff.
+std::vector<Vec3> random_shell(Rng& rng, int n, double rlo, double rhi) {
+  std::vector<Vec3> rij;
+  rij.reserve(n);
+  while (static_cast<int>(rij.size()) < n) {
+    Vec3 r{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+           rng.uniform(-1.0, 1.0)};
+    const double norm = r.norm();
+    if (norm < 0.2 || norm > 1.0) continue;
+    const double scale = rng.uniform(rlo, rhi) / norm;
+    rij.push_back(scale * r);
+  }
+  return rij;
+}
+
+class SymmetricKernelParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetricKernelParity, StagesMatchNaiveOracle) {
+  const int twojmax = GetParam();
+  Rng rng(17 + static_cast<std::uint64_t>(twojmax));
+  const auto rij = random_shell(rng, 22, 0.8, 3.2);
+  const std::vector<double> wj(rij.size(), 1.0);
+
+  Bispectrum naive(base_params(twojmax, SnapKernel::Naive));
+  Bispectrum sym(base_params(twojmax, SnapKernel::Symmetric));
+  // Model-scale coefficients keep the forces O(1), so the absolute 1e-12
+  // parity bound sits well above double rounding but far below any real
+  // kernel discrepancy.
+  std::vector<double> beta(naive.num_b());
+  for (auto& b : beta) b = 0.01 * rng.uniform(-1.0, 1.0);
+
+  naive.compute_ui(rij, wj);
+  sym.compute_ui(rij, wj);
+  ASSERT_EQ(sym.cached_neighbors(), static_cast<int>(rij.size()));
+
+  // Mirrored full-range Utot matches the naive accumulation.
+  for (int e = 0; e < naive.index().u_total(); ++e) {
+    EXPECT_NEAR(sym.utot()[e].re, naive.utot()[e].re, 1e-12) << "u " << e;
+    EXPECT_NEAR(sym.utot()[e].im, naive.utot()[e].im, 1e-12) << "u " << e;
+  }
+
+  // Half-column Y sweep (aligned CG blocks) matches the full sweep.
+  naive.compute_yi(beta);
+  sym.compute_yi(beta);
+  for (int e = 0; e < naive.index().u_total(); ++e) {
+    EXPECT_NEAR(sym.ylist()[e].re, naive.ylist()[e].re, 1e-12) << "y " << e;
+    EXPECT_NEAR(sym.ylist()[e].im, naive.ylist()[e].im, 1e-12) << "y " << e;
+  }
+
+  // Adjoint energy identity holds identically on both kernels.
+  const double e_naive = naive.energy_from_yi(0.4, beta);
+  const double e_sym = sym.energy_from_yi(0.4, beta);
+  EXPECT_NEAR(e_sym, e_naive, 1e-12 * std::max(1.0, std::abs(e_naive)));
+
+  // Per-neighbor forces: cached half-range dU contraction vs the naive
+  // full recursion, every component to 1e-12.
+  for (std::size_t m = 0; m < rij.size(); ++m) {
+    naive.compute_duidrj(rij[m], wj[m]);
+    const Vec3 de_naive = naive.compute_deidrj();
+    sym.compute_duidrj_cached(static_cast<int>(m));
+    const Vec3 de_sym = sym.compute_deidrj();
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_NEAR(de_sym[d], de_naive[d], 1e-12)
+          << "neighbor " << m << " dim " << d;
+    }
+  }
+
+  // Descriptors through the (unchanged) Z/B stages agree too: the
+  // symmetric kernel feeds them through the mirrored Utot.
+  naive.compute_zi();
+  naive.compute_bi();
+  sym.compute_zi();
+  sym.compute_bi();
+  for (int l = 0; l < naive.num_b(); ++l) {
+    EXPECT_NEAR(sym.blist()[l], naive.blist()[l],
+                1e-12 * std::max(1.0, std::abs(naive.blist()[l])))
+        << "b " << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoJmaxSweep, SymmetricKernelParity,
+                         ::testing::Values(2, 4, 6, 8, 14));
+
+TEST(SymmetricKernel, MixedStageSequenceStaysCorrect) {
+  // Under the Symmetric kernel the naive compute_duidrj entry point must
+  // remain valid (the Baseline path and the trainer use it), including
+  // when interleaved with cached calls on the same instance.
+  Rng rng(91);
+  const auto rij = random_shell(rng, 12, 0.9, 3.0);
+  Bispectrum sym(base_params(8, SnapKernel::Symmetric));
+  std::vector<double> beta(sym.num_b());
+  for (auto& b : beta) b = 0.01 * rng.uniform(-1.0, 1.0);
+
+  sym.compute_ui(rij, {});
+  sym.compute_yi(beta);
+  for (std::size_t m = 0; m < rij.size(); ++m) {
+    sym.compute_duidrj_cached(static_cast<int>(m));
+    const Vec3 de_cached = sym.compute_deidrj();
+    sym.compute_duidrj(rij[m], 1.0);  // full-range recursion, same neighbor
+    const Vec3 de_full = sym.compute_deidrj();
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_NEAR(de_cached[d], de_full[d], 1e-12);
+    }
+  }
+}
+
+// ---- full-potential parity over a periodic system ------------------------
+
+SnapModel parity_model(int twojmax, SnapKernel kernel, bool quadratic,
+                       std::uint64_t seed) {
+  SnapParams p = base_params(twojmax, kernel);
+  p.rcut = 2.6;
+  SnapModel m;
+  m.params = p;
+  Bispectrum bi(p);
+  Rng rng(seed);
+  m.beta.resize(bi.num_b());
+  for (auto& b : m.beta) b = 0.02 * rng.uniform(-1.0, 1.0);
+  m.beta0 = -1.0;
+  if (quadratic) {
+    const std::size_t n = m.beta.size();
+    Rng qrng(seed + 100);
+    m.alpha.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double v = 1e-4 * qrng.uniform(-1.0, 1.0);
+        m.alpha[i * n + j] = v;
+        m.alpha[j * n + i] = v;
+      }
+    }
+  }
+  return m;
+}
+
+md::System perturbed_diamond(int reps, double sigma, std::uint64_t seed) {
+  md::LatticeSpec spec;
+  spec.kind = md::LatticeKind::Diamond;
+  spec.a = 3.567;
+  spec.nx = spec.ny = spec.nz = reps;
+  md::System sys = md::build_lattice(spec, 12.011);
+  Rng rng(seed);
+  md::perturb(sys, sigma, rng);
+  return sys;
+}
+
+struct ForceRun {
+  double energy = 0.0;
+  double virial = 0.0;
+  std::vector<Vec3> f;
+};
+
+ForceRun run_kernel(const SnapModel& model, const md::System& start,
+                    int nthreads) {
+  md::System sys = start;
+  SnapPotential pot(model);
+  const md::ComputeContext ctx{ExecutionPolicy{nthreads}};
+  md::NeighborList nl(pot.cutoff(), 0.3);
+  nl.build(sys, /*use_ghosts=*/false, &ctx);
+  sys.zero_forces();
+  const auto ev = pot.compute(ctx, sys, nl);
+  return {ev.energy, ev.virial,
+          std::vector<Vec3>(sys.f.begin(), sys.f.end())};
+}
+
+void expect_kernel_parity(bool quadratic) {
+  const md::System sys = perturbed_diamond(2, 0.1, 23);
+  SnapModel naive = parity_model(8, SnapKernel::Naive, quadratic, 7);
+  SnapModel sym = naive;
+  sym.params.kernel = SnapKernel::Symmetric;
+
+  const ForceRun oracle = run_kernel(naive, sys, 1);
+  for (const int nth : {1, 4, 8}) {
+    const ForceRun got = run_kernel(sym, sys, nth);
+    EXPECT_NEAR(got.energy, oracle.energy,
+                1e-12 * std::max(1.0, std::abs(oracle.energy)))
+        << nth << " threads";
+    EXPECT_NEAR(got.virial, oracle.virial,
+                1e-12 * std::max(1.0, std::abs(oracle.virial)))
+        << nth << " threads";
+    ASSERT_EQ(got.f.size(), oracle.f.size());
+    for (std::size_t i = 0; i < oracle.f.size(); ++i) {
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_NEAR(got.f[i][d], oracle.f[i][d], 1e-12)
+            << nth << " threads, atom " << i << " dim " << d;
+      }
+    }
+  }
+}
+
+TEST(SymmetricKernel, LinearPotentialMatchesNaive) {
+  expect_kernel_parity(/*quadratic=*/false);
+}
+
+TEST(SymmetricKernel, QuadraticPotentialMatchesNaive) {
+  expect_kernel_parity(/*quadratic=*/true);
+}
+
+TEST(SymmetricKernel, ModelRoundTripsKernelChoice) {
+  SnapModel m = parity_model(4, SnapKernel::Naive, false, 3);
+  const char* path = "symmetric_kernel_model.tmp";
+  m.save(path);
+  const SnapModel naive_back = SnapModel::load(path);
+  EXPECT_EQ(naive_back.params.kernel, SnapKernel::Naive);
+  m.params.kernel = SnapKernel::Symmetric;
+  m.save(path);
+  const SnapModel sym_back = SnapModel::load(path);
+  EXPECT_EQ(sym_back.params.kernel, SnapKernel::Symmetric);
+  std::remove(path);
+}
+
+}  // namespace
+}  // namespace ember::snap
