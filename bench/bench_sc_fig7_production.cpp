@@ -53,31 +53,18 @@ int main() {
   sys.thermalize(3000.0, rng);
   md::Simulation sim(std::move(sys), std::make_shared<ref::PairTersoff>(),
                      2e-4, 0.4, 9);
-  sim.setup();
 
-  const double schedule[] = {5000, 5300, 5500, 5500, 5500};
+  // The protocol itself lives in perf::run_miniature_production and runs
+  // on the unified StepLoop pipeline (checkpoints go through the
+  // driver's save_checkpoint hook).
+  const auto blocks = perf::run_miniature_production(sim);
   TextTable mtable({"Block", "T target (K)", "T (K)",
                     "Katom-steps/s", "ckpt"});
-  const long steps_per_block = 60;
-  int block = 0;
-  for (const double t_target : schedule) {
-    sim.integrator().set_langevin(md::LangevinParams{t_target, 0.05});
-    for (int rep = 0; rep < 2; ++rep, ++block) {
-      WallTimer timer;
-      sim.run(steps_per_block);
-      const bool ckpt = block % 4 == 3;
-      if (ckpt) {
-        // The checkpoint write lands inside the measured block, exactly
-        // like the paper's dips.
-        md::write_checkpoint(sim.system(), "/tmp/ember_fig7_ckpt.bin");
-      }
-      const double rate =
-          sim.system().nlocal() * steps_per_block / timer.seconds() / 1e3;
-      mtable.add_row(block, t_target, sim.system().temperature(), rate,
-                     ckpt ? "*" : "");
-    }
+  for (const auto& b : blocks) {
+    mtable.add_row(b.block, b.t_target, b.temperature, b.katom_steps_per_s,
+                   b.checkpoint ? "*" : "");
   }
-  std::remove("/tmp/ember_fig7_ckpt.bin");
+  std::remove(perf::MiniatureConfig{}.checkpoint_path.c_str());
   mtable.print();
   std::printf(
       "\nShape check: restart segments at rising temperatures, rate dips on\n"

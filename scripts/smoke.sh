@@ -20,9 +20,10 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== [2/3] TSan build + threaded-kernel tests =="
 cmake -B build-tsan -S . -DEMBER_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-  test_thread_pool test_snap_symmetric_kernel test_md_dynamics
+  test_thread_pool test_snap_symmetric_kernel test_md_dynamics \
+  test_md_step_loop
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ThreadedForces|ComputeContext|SymmetricKernel|TwoJmaxSweep|Dynamics'
+  -R 'ThreadPool|ThreadedForces|ComputeContext|SymmetricKernel|TwoJmaxSweep|Dynamics|CrossDriver|StepLoopTimers'
 
 echo "== [3/3] bench_record =="
 cmake --build build -j "$JOBS" --target bench_record

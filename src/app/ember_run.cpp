@@ -34,6 +34,12 @@ commands:
   run <steps>
   analyze
   threads <n|auto>
+  ranks <n>               domain-decomposed run on n in-process ranks
+                          (state gathers back after each 'run')
+  replicas <n>            n lockstep replicas (BatchedSimulation);
+                          checkpoints use the multi-replica format
+                          (mutually exclusive with 'ranks'; barostats
+                          need the default serial mode)
 
 environment:
   EMBER_NUM_THREADS=<n>   default thread count (0 = auto); a script's

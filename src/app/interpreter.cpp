@@ -7,9 +7,11 @@
 #include <sstream>
 
 #include "analysis/classify.hpp"
+#include "comm/communicator.hpp"
 #include "common/error.hpp"
 #include "md/io.hpp"
 #include "md/lattice.hpp"
+#include "parallel/parallel_sim.hpp"
 #include "ref/pair_eam.hpp"
 #include "ref/pair_lj.hpp"
 #include "ref/pair_morse.hpp"
@@ -45,6 +47,8 @@ struct Interpreter::Pending {
   long checkpoint_every = 0;
   std::string checkpoint_path;
   int nthreads = 1;
+  int ranks = 1;     // > 1: domain-decomposed runs (ParallelSimulation)
+  int replicas = 1;  // > 1: lockstep replica runs (BatchedSimulation)
 };
 
 Interpreter::Interpreter(std::ostream& out)
@@ -104,6 +108,8 @@ void Interpreter::execute(const std::string& line) {
       {"analyze", &Interpreter::cmd_analyze},
       {"read_checkpoint", &Interpreter::cmd_read_checkpoint},
       {"threads", &Interpreter::cmd_threads},
+      {"ranks", &Interpreter::cmd_ranks},
+      {"replicas", &Interpreter::cmd_replicas},
   };
   const auto it = handlers.find(cmd);
   EMBER_REQUIRE(it != handlers.end(), "unknown command: " + cmd);
@@ -159,35 +165,45 @@ void Interpreter::cmd_mass(std::istream& args) {
 
 void Interpreter::cmd_potential(std::istream& args) {
   const auto kind = need<std::string>(args, "potential kind");
+  // Stage a factory rather than one object: parallel runs need a
+  // rank-private potential per rank (per-thread caches are per-object).
   if (kind == "lj") {
     const double eps = need<double>(args, "epsilon");
     const double sigma = need<double>(args, "sigma");
     const double rcut = need<double>(args, "rcut");
-    potential_ = std::make_shared<ref::PairLJ>(eps, sigma, rcut);
+    potential_factory_ = [=] {
+      return std::make_shared<ref::PairLJ>(eps, sigma, rcut);
+    };
   } else if (kind == "morse") {
     const double d0 = need<double>(args, "D0");
     const double alpha = need<double>(args, "alpha");
     const double r0 = need<double>(args, "r0");
     const double rcut = need<double>(args, "rcut");
-    potential_ = std::make_shared<ref::PairMorse>(d0, alpha, r0, rcut);
+    potential_factory_ = [=] {
+      return std::make_shared<ref::PairMorse>(d0, alpha, r0, rcut);
+    };
   } else if (kind == "tersoff") {
-    potential_ = std::make_shared<ref::PairTersoff>();
+    potential_factory_ = [] { return std::make_shared<ref::PairTersoff>(); };
   } else if (kind == "eam") {
-    potential_ = std::make_shared<ref::PairEam>();
+    potential_factory_ = [] { return std::make_shared<ref::PairEam>(); };
   } else if (kind == "snap") {
     const auto path = need<std::string>(args, "model file");
-    potential_ =
-        std::make_shared<snap::SnapPotential>(snap::SnapModel::load(path));
+    potential_factory_ = [model = snap::SnapModel::load(path)] {
+      return std::make_shared<snap::SnapPotential>(model);
+    };
   } else {
     EMBER_REQUIRE(false, "unknown potential: " + kind);
   }
+  potential_ = potential_factory_();
   sim_.reset();
+  batch_.reset();
   out_ << "potential " << potential_->name() << " (rcut "
        << potential_->cutoff() << ")\n";
 }
 
 void Interpreter::cmd_thermalize(std::istream& args) {
   EMBER_REQUIRE(system_.has_value(), "thermalize needs a system");
+  EMBER_REQUIRE(batch_ == nullptr, "thermalize must precede replica runs");
   const double t = need<double>(args, "temperature");
   std::string word;
   std::uint64_t seed = pending_->seed;
@@ -204,6 +220,7 @@ void Interpreter::cmd_thermalize(std::istream& args) {
 void Interpreter::cmd_timestep(std::istream& args) {
   pending_->dt = need<double>(args, "timestep [ps]");
   if (sim_) sim_->integrator().set_dt(pending_->dt);
+  if (batch_) batch_->integrator().set_dt(pending_->dt);
 }
 
 void Interpreter::cmd_thermostat(std::istream& args) {
@@ -235,6 +252,11 @@ void Interpreter::cmd_thermostat(std::istream& args) {
     sim_->integrator().set_langevin(pending_->langevin);
     sim_->integrator().set_berendsen_t(pending_->berendsen_t);
     sim_->integrator().set_nose_hoover(pending_->nose_hoover);
+  }
+  if (batch_) {
+    batch_->integrator().set_langevin(pending_->langevin);
+    batch_->integrator().set_berendsen_t(pending_->berendsen_t);
+    batch_->integrator().set_nose_hoover(pending_->nose_hoover);
   }
 }
 
@@ -275,8 +297,21 @@ void Interpreter::cmd_checkpoint(std::istream& args) {
 
 void Interpreter::cmd_read_checkpoint(std::istream& args) {
   const auto path = need<std::string>(args, "checkpoint file");
-  system_ = md::read_checkpoint(path);
+  auto replicas = md::read_checkpoint_batch(path);
   sim_.reset();
+  batch_.reset();
+  staged_replicas_.clear();
+  if (replicas.size() > 1) {
+    // Batch checkpoint: restore replica mode with the saved states.
+    pending_->replicas = static_cast<int>(replicas.size());
+    pending_->ranks = 1;
+    system_ = replicas.front();
+    staged_replicas_ = std::move(replicas);
+    out_ << "restored " << staged_replicas_.size() << " replicas ("
+         << system_->nlocal() << " atoms each) from " << path << "\n";
+    return;
+  }
+  system_ = std::move(replicas.front());
   out_ << "restored " << system_->nlocal() << " atoms from " << path << "\n";
 }
 
@@ -292,7 +327,47 @@ void Interpreter::cmd_threads(std::istream& args) {
   }
   pending_->nthreads = n;
   if (sim_) sim_->set_execution_policy(ExecutionPolicy{n});
+  if (batch_) batch_->set_execution_policy(ExecutionPolicy{n});
   out_ << "threads " << n << "\n";
+}
+
+void Interpreter::cmd_ranks(std::istream& args) {
+  const int n = need<int>(args, "rank count");
+  EMBER_REQUIRE(n >= 1, "rank count must be >= 1");
+  EMBER_REQUIRE(n == 1 || pending_->replicas == 1,
+                "'ranks' and 'replicas' are mutually exclusive");
+  reclaim_system();
+  pending_->ranks = n;
+  out_ << "ranks " << n << "\n";
+}
+
+void Interpreter::cmd_replicas(std::istream& args) {
+  const int n = need<int>(args, "replica count");
+  EMBER_REQUIRE(n >= 1, "replica count must be >= 1");
+  EMBER_REQUIRE(n == 1 || pending_->ranks == 1,
+                "'ranks' and 'replicas' are mutually exclusive");
+  reclaim_system();
+  pending_->replicas = n;
+  out_ << "replicas " << n << "\n";
+}
+
+void Interpreter::reclaim_system() {
+  if (sim_) {
+    system_ = sim_->system();
+    sim_.reset();
+  }
+  if (batch_) {
+    system_ = batch_->replica(0);
+    batch_.reset();
+  }
+  staged_replicas_.clear();
+}
+
+void Interpreter::apply_integrator_settings(md::Integrator& integrator) const {
+  integrator.set_langevin(pending_->langevin);
+  integrator.set_berendsen_t(pending_->berendsen_t);
+  integrator.set_nose_hoover(pending_->nose_hoover);
+  integrator.set_berendsen_p(pending_->berendsen_p);
 }
 
 void Interpreter::ensure_simulation() {
@@ -304,14 +379,23 @@ void Interpreter::ensure_simulation() {
                                           pending_->seed,
                                           ExecutionPolicy{pending_->nthreads});
   system_.emplace(md::Box(1, 1, 1), mass_);  // moved-from placeholder
-  sim_->integrator().set_langevin(pending_->langevin);
-  sim_->integrator().set_berendsen_t(pending_->berendsen_t);
-  sim_->integrator().set_nose_hoover(pending_->nose_hoover);
-  sim_->integrator().set_berendsen_p(pending_->berendsen_p);
+  apply_integrator_settings(sim_->integrator());
 }
 
 void Interpreter::cmd_run(std::istream& args) {
   const long steps = need<long>(args, "step count");
+  if (pending_->ranks > 1) {
+    run_parallel(steps);
+  } else if (pending_->replicas > 1 || batch_) {
+    run_batched(steps);
+  } else {
+    run_serial(steps);
+  }
+  total_steps_ += steps;
+  out_ << "ran " << steps << " steps (total " << total_steps_ << ")\n";
+}
+
+void Interpreter::run_serial(long steps) {
   ensure_simulation();
   const long log_every = pending_->log_every;
   const long dump_every = pending_->dump_every;
@@ -329,11 +413,105 @@ void Interpreter::cmd_run(std::istream& args) {
       first_dump = false;
     }
     if (ckpt_every > 0 && s.step() % ckpt_every == 0) {
-      md::write_checkpoint(s.system(), pending_->checkpoint_path);
+      s.save_checkpoint(pending_->checkpoint_path);
     }
   });
-  total_steps_ += steps;
-  out_ << "ran " << steps << " steps (total " << total_steps_ << ")\n";
+}
+
+void Interpreter::run_parallel(long steps) {
+  reclaim_system();
+  EMBER_REQUIRE(system_.has_value(), "no system: use 'lattice' or 'random'");
+  EMBER_REQUIRE(potential_factory_ != nullptr, "no potential defined");
+  EMBER_REQUIRE(!pending_->berendsen_p,
+                "barostat not supported with 'ranks' (per-rank virials "
+                "cannot drive a consistent box rescale)");
+  const long log_every = pending_->log_every;
+  const long dump_every = pending_->dump_every;
+  const long ckpt_every = pending_->checkpoint_every;
+  const bool initial_first_dump = total_steps_ == 0;
+  const md::System& global = *system_;
+
+  md::System gathered(global.box(), global.mass());
+  comm::World world(pending_->ranks);
+  world.run([&](comm::Communicator& c) {
+    parallel::ParallelSimulation psim(c, global, potential_factory_(),
+                                      pending_->dt, pending_->skin,
+                                      pending_->seed,
+                                      ExecutionPolicy{pending_->nthreads});
+    apply_integrator_settings(psim.integrator());
+    bool first_dump = initial_first_dump;  // rank-local; only root writes
+    psim.run(steps, [&](parallel::ParallelSimulation& s) {
+      if (log_every > 0 && s.step() % log_every == 0) {
+        const auto g = s.global_state();  // collective
+        if (c.rank() == 0) {
+          out_ << "step " << s.step() << "  E " << g.total_energy() << "  T "
+               << g.temperature << "\n";
+        }
+      }
+      if (dump_every > 0 && s.step() % dump_every == 0) {
+        md::System snap_sys = s.gather_global();  // collective
+        if (c.rank() == 0) {
+          md::write_xyz(snap_sys, pending_->dump_path,
+                        "step=" + std::to_string(s.step()), !first_dump);
+          first_dump = false;
+        }
+      }
+      if (ckpt_every > 0 && s.step() % ckpt_every == 0) {
+        s.save_checkpoint(pending_->checkpoint_path);  // collective
+      }
+    });
+    md::System g = psim.gather_global();
+    if (c.rank() == 0) gathered = std::move(g);
+  });
+  system_ = std::move(gathered);
+}
+
+void Interpreter::run_batched(long steps) {
+  EMBER_REQUIRE(!pending_->berendsen_p,
+                "barostat not supported with 'replicas' (per-replica "
+                "boxes are fixed)");
+  if (!batch_) {
+    EMBER_REQUIRE(system_.has_value(), "no system: use 'lattice' or 'random'");
+    EMBER_REQUIRE(potential_ != nullptr, "no potential defined");
+    std::vector<md::System> reps = std::move(staged_replicas_);
+    staged_replicas_.clear();
+    if (reps.empty()) {
+      // Identical copies; a Langevin thermostat decorrelates them (the
+      // combined sweep draws fresh noise per atom, replica by replica).
+      reps.assign(static_cast<std::size_t>(pending_->replicas), *system_);
+    }
+    batch_ = std::make_unique<md::BatchedSimulation>(
+        std::move(reps), potential_, pending_->dt, pending_->skin,
+        pending_->seed, ExecutionPolicy{pending_->nthreads});
+    apply_integrator_settings(batch_->integrator());
+  }
+  const long log_every = pending_->log_every;
+  const long ckpt_every = pending_->checkpoint_every;
+  const long dump_every = pending_->dump_every;
+
+  batch_->run(steps, [&](md::BatchedSimulation& b) {
+    if (log_every > 0 && b.step() % log_every == 0) {
+      out_ << "step " << b.step() << "  E " << b.energy_virial().energy
+           << "  T";
+      for (int r = 0; r < b.num_replicas(); ++r) {
+        out_ << ' ' << b.temperature(r);
+      }
+      out_ << "\n";
+    }
+    if (dump_every > 0 && b.step() % dump_every == 0) {
+      // One frame per replica per dump interval.
+      for (int r = 0; r < b.num_replicas(); ++r) {
+        md::write_xyz(b.replica(r), pending_->dump_path,
+                      "step=" + std::to_string(b.step()) +
+                          " replica=" + std::to_string(r),
+                      /*append=*/true);
+      }
+    }
+    if (ckpt_every > 0 && b.step() % ckpt_every == 0) {
+      b.save_checkpoint(pending_->checkpoint_path);  // batch format
+    }
+  });
+  system_ = batch_->replica(0);  // keep analyze/log views current
 }
 
 void Interpreter::cmd_analyze(std::istream&) {

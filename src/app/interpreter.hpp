@@ -21,12 +21,23 @@
 //
 // Commands execute in order; `run` advances the dynamics. Unknown
 // commands raise ember::Error with the line number.
+//
+// `run` executes on one of the three unified StepLoop drivers, selected
+// by two mode commands (mutually exclusive):
+//   ranks N      domain-decomposed run on N in-process ranks
+//                (ParallelSimulation; state gathers back after each run)
+//   replicas N   N copies of the system advanced in lockstep
+//                (BatchedSimulation; checkpoints use the batch format)
+// Barostats only work in the default serial mode (per-rank virials and
+// fixed per-replica boxes make box coupling unsound elsewhere).
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "md/batched.hpp"
 #include "md/simulation.hpp"
 
 namespace ember::app {
@@ -47,6 +58,7 @@ class Interpreter {
   [[nodiscard]] bool has_system() const { return system_.has_value(); }
   [[nodiscard]] const md::System& system() const;
   [[nodiscard]] md::Simulation* simulation() { return sim_.get(); }
+  [[nodiscard]] md::BatchedSimulation* batched() { return batch_.get(); }
   [[nodiscard]] long total_steps() const { return total_steps_; }
 
  private:
@@ -67,13 +79,27 @@ class Interpreter {
   void cmd_analyze(std::istream& args);
   void cmd_read_checkpoint(std::istream& args);
   void cmd_threads(std::istream& args);
+  void cmd_ranks(std::istream& args);
+  void cmd_replicas(std::istream& args);
 
   void ensure_simulation();
+  // Fold any live driver's state back into system_ (mode switches and
+  // the parallel run path start from a plain System).
+  void reclaim_system();
+  void run_serial(long steps);
+  void run_parallel(long steps);
+  void run_batched(long steps);
+  void apply_integrator_settings(md::Integrator& integrator) const;
 
   std::ostream& out_;
   std::optional<md::System> system_;
   std::shared_ptr<md::PairPotential> potential_;
+  // Builds a fresh potential instance; the parallel driver needs
+  // rank-private potentials (per-thread caches are per-object).
+  std::function<std::shared_ptr<md::PairPotential>()> potential_factory_;
   std::unique_ptr<md::Simulation> sim_;
+  std::unique_ptr<md::BatchedSimulation> batch_;
+  std::vector<md::System> staged_replicas_;  // from a batch checkpoint
   std::unique_ptr<Pending> pending_;
   double mass_ = 12.011;
   long total_steps_ = 0;

@@ -1,54 +1,58 @@
 #include "batched.hpp"
 
 #include "common/units.hpp"
+#include "md/io.hpp"
 
 namespace ember::md {
+
+System BatchedSimulation::combine(std::vector<System>& replicas,
+                                  std::vector<Box>& boxes,
+                                  std::vector<int>& offsets) {
+  EMBER_REQUIRE(!replicas.empty(), "need at least one replica");
+  System combined(replicas.front().box(), replicas.front().mass());
+  offsets.push_back(0);
+  for (const auto& rep : replicas) {
+    EMBER_REQUIRE(rep.mass() == combined.mass(),
+                  "batched replicas must share one atomic mass");
+    EMBER_REQUIRE(rep.nghost() == 0, "batched replicas must be ghost-free");
+    boxes.push_back(rep.box());
+    for (int i = 0; i < rep.nlocal(); ++i) {
+      combined.add_atom(rep.x[i], rep.v[i]);
+      // add_atom wraps into the combined system's (dummy) box; restore
+      // the replica-frame coordinate — wrapping is per-replica here.
+      combined.x[combined.nlocal() - 1] = rep.x[i];
+    }
+    offsets.push_back(combined.nlocal());
+  }
+  return combined;
+}
 
 BatchedSimulation::BatchedSimulation(std::vector<System> replicas,
                                      std::shared_ptr<PairPotential> pot,
                                      double dt_ps, double skin,
                                      std::uint64_t seed,
                                      ExecutionPolicy policy)
-    : combined_(replicas.empty() ? Box(1, 1, 1) : replicas.front().box(),
-                replicas.empty() ? 1.0 : replicas.front().mass()),
-      pot_(std::move(pot)),
-      ctx_(policy),
-      integrator_(dt_ps),
-      nl_(pot_->cutoff(), skin),
-      rng_(seed) {
-  EMBER_REQUIRE(!replicas.empty(), "need at least one replica");
-  offsets_.push_back(0);
-  for (const auto& rep : replicas) {
-    EMBER_REQUIRE(rep.mass() == combined_.mass(),
-                  "batched replicas must share one atomic mass");
-    EMBER_REQUIRE(rep.nghost() == 0, "batched replicas must be ghost-free");
-    boxes_.push_back(rep.box());
-    for (int i = 0; i < rep.nlocal(); ++i) {
-      combined_.add_atom(rep.x[i], rep.v[i]);
-      // add_atom wraps into the combined system's (dummy) box; restore
-      // the replica-frame coordinate — wrapping is per-replica here.
-      combined_.x[combined_.nlocal() - 1] = rep.x[i];
-    }
-    offsets_.push_back(combined_.nlocal());
-  }
-}
+    : loop_(combine(replicas, boxes_, offsets_), std::move(pot), dt_ps, skin,
+            Rng(seed), policy, *this) {}
 
 System BatchedSimulation::replica(int r) const {
   EMBER_REQUIRE(r >= 0 && r < num_replicas(), "replica index out of range");
-  System out(boxes_[r], combined_.mass());
+  const System& comb = combined();
+  System out(boxes_[r], comb.mass());
   for (int i = offsets_[r]; i < offsets_[r + 1]; ++i) {
-    out.add_atom(boxes_[r].wrap(combined_.x[i]), combined_.v[i]);
+    out.add_atom(boxes_[r].wrap(comb.x[i]), comb.v[i]);
   }
   return out;
 }
 
 double BatchedSimulation::kinetic_energy(int r) const {
   EMBER_REQUIRE(r >= 0 && r < num_replicas(), "replica index out of range");
+  const System& comb = combined();
   double sum = 0.0;
   for (int i = offsets_[r]; i < offsets_[r + 1]; ++i) {
-    sum += combined_.v[i].norm2();
+    sum += comb.v[i].norm2();
   }
-  return 0.5 * combined_.mass() * units::MVV2E * sum;
+  return 0.5 * comb.mass() * units::MVV2E * sum;
 }
 
 double BatchedSimulation::temperature(int r) const {
@@ -58,37 +62,35 @@ double BatchedSimulation::temperature(int r) const {
 }
 
 void BatchedSimulation::wrap_replicas() {
+  System& comb = loop_.system();
   for (int r = 0; r < num_replicas(); ++r) {
     for (int i = offsets_[r]; i < offsets_[r + 1]; ++i) {
-      combined_.x[i] = boxes_[r].wrap(combined_.x[i]);
+      comb.x[i] = boxes_[r].wrap(comb.x[i]);
     }
   }
 }
 
-void BatchedSimulation::compute_forces() {
-  combined_.zero_forces();
-  ev_ = pot_->compute(ctx_, combined_, nl_);
-}
-
-void BatchedSimulation::setup() {
+void BatchedSimulation::build_neighbors(StepLoop& loop, bool /*initial*/) {
+  // Wrapping is per-replica (the combined box is a dummy), and happens on
+  // every build including setup — each replica's shift vectors must be
+  // consistent with its own cell.
   wrap_replicas();
-  nl_.build_batched(combined_, boxes_, offsets_, &ctx_);
-  compute_forces();
-  ready_ = true;
+  loop.neighbor_list().build_batched(loop.system(), boxes_, offsets_,
+                                     &loop.context());
 }
 
-void BatchedSimulation::run(long nsteps) {
-  if (!ready_) setup();
-  for (long s = 0; s < nsteps; ++s) {
-    // One sweep over the concatenated arrays advances every replica.
-    integrator_.initial_integrate(combined_, &ctx_);
-    if (nl_.needs_rebuild(combined_)) {
-      wrap_replicas();
-      nl_.build_batched(combined_, boxes_, offsets_, &ctx_);
-    }
-    compute_forces();
-    integrator_.final_integrate(combined_, ev_, rng_, &ctx_);
-    ++step_;
+void BatchedSimulation::write_checkpoint(StepLoop&, const std::string& path) {
+  std::vector<System> reps;
+  reps.reserve(static_cast<std::size_t>(num_replicas()));
+  for (int r = 0; r < num_replicas(); ++r) reps.push_back(replica(r));
+  write_checkpoint_batch(reps, path);
+}
+
+void BatchedSimulation::run(long nsteps, const StepCallback& callback) {
+  if (callback) {
+    loop_.run(nsteps, [&] { callback(*this); });
+  } else {
+    loop_.run(nsteps);
   }
 }
 

@@ -12,68 +12,84 @@
 // consume neighbor entries with explicit shift vectors and never touch
 // the box.
 //
+// The timestep itself is the shared md::StepLoop pipeline; this driver
+// only overrides the neighbor stage (per-replica wrap + combined-list
+// rebuild) and the checkpoint stage (multi-replica file format).
+//
 // Requirements: all replicas share the same atomic mass and potential;
 // barostats are not supported (per-replica boxes are fixed).
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "common/rng.hpp"
-#include "md/integrate.hpp"
-#include "md/potential.hpp"
-#include "md/system.hpp"
+#include "md/step_loop.hpp"
 
 namespace ember::md {
 
-class BatchedSimulation {
+class BatchedSimulation : private StepStages {
  public:
   BatchedSimulation(std::vector<System> replicas,
                     std::shared_ptr<PairPotential> pot, double dt_ps,
                     double skin = 0.5, std::uint64_t seed = 12345,
                     ExecutionPolicy policy = {});
 
+  BatchedSimulation(const BatchedSimulation&) = delete;
+  BatchedSimulation& operator=(const BatchedSimulation&) = delete;
+
   // Threading for the combined force/neighbor/integration sweeps; the
   // default (serial) policy preserves the pre-threading trajectory.
   void set_execution_policy(ExecutionPolicy policy) {
-    ctx_ = ComputeContext(policy);
+    loop_.set_execution_policy(policy);
   }
-  [[nodiscard]] const ComputeContext& context() const { return ctx_; }
+  [[nodiscard]] const ComputeContext& context() const {
+    return loop_.context();
+  }
 
   [[nodiscard]] int num_replicas() const {
     return static_cast<int>(boxes_.size());
   }
-  [[nodiscard]] const System& combined() const { return combined_; }
-  [[nodiscard]] Integrator& integrator() { return integrator_; }
-  [[nodiscard]] long step() const { return step_; }
+  [[nodiscard]] const System& combined() const { return loop_.system(); }
+  [[nodiscard]] Integrator& integrator() { return loop_.integrator(); }
+  [[nodiscard]] long step() const { return loop_.step(); }
+  [[nodiscard]] const TimerSet& timers() const { return loop_.timers(); }
+  void reset_timers() { loop_.reset_timers(); }
 
   // Extract one replica's current state (copies).
   [[nodiscard]] System replica(int r) const;
 
   // Combined energy/virial over all replicas (valid after setup()/run()).
-  [[nodiscard]] const EnergyVirial& energy_virial() const { return ev_; }
+  [[nodiscard]] const EnergyVirial& energy_virial() const {
+    return loop_.energy_virial();
+  }
 
   // Kinetic energy / instantaneous temperature of one replica.
   [[nodiscard]] double kinetic_energy(int r) const;
   [[nodiscard]] double temperature(int r) const;
 
-  void setup();
-  void run(long nsteps);
+  void setup() { loop_.setup(); }
+
+  // Advance every replica nsteps in lockstep; the optional callback
+  // fires after each step, matching the other drivers.
+  using StepCallback = std::function<void(BatchedSimulation&)>;
+  void run(long nsteps, const StepCallback& callback = {});
+
+  // Multi-replica binary checkpoint (read back via read_checkpoint_batch).
+  void save_checkpoint(const std::string& path) {
+    loop_.save_checkpoint(path);
+  }
 
  private:
-  void compute_forces();
+  void build_neighbors(StepLoop& loop, bool initial) override;
+  void write_checkpoint(StepLoop& loop, const std::string& path) override;
   void wrap_replicas();
+  static System combine(std::vector<System>& replicas,
+                        std::vector<Box>& boxes, std::vector<int>& offsets);
 
-  System combined_;
   std::vector<Box> boxes_;
   std::vector<int> offsets_;
-  std::shared_ptr<PairPotential> pot_;
-  ComputeContext ctx_;
-  Integrator integrator_;
-  NeighborList nl_;
-  Rng rng_;
-  EnergyVirial ev_;
-  long step_ = 0;
-  bool ready_ = false;
+  StepLoop loop_;
 };
 
 }  // namespace ember::md

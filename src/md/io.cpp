@@ -22,7 +22,8 @@ void write_xyz(const System& sys, const std::string& path,
 }
 
 namespace {
-constexpr std::uint64_t kMagic = 0x454d424552435031ULL;  // "EMBERCP1"
+constexpr std::uint64_t kMagic = 0x454d424552435031ULL;       // "EMBERCP1"
+constexpr std::uint64_t kMagicBatch = 0x454d424552435032ULL;  // "EMBERCP2"
 
 template <typename T>
 void put(std::ofstream& os, const T& value) {
@@ -36,12 +37,8 @@ T get(std::ifstream& is) {
   EMBER_REQUIRE(is.good(), "checkpoint truncated");
   return value;
 }
-}  // namespace
 
-void write_checkpoint(const System& sys, const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  EMBER_REQUIRE(os.good(), "cannot open " + path + " for writing");
-  put(os, kMagic);
+void put_system(std::ofstream& os, const System& sys) {
   put(os, sys.box().length(0));
   put(os, sys.box().length(1));
   put(os, sys.box().length(2));
@@ -54,14 +51,9 @@ void write_checkpoint(const System& sys, const std::string& path) {
     put(os, sys.box().wrap(sys.x[i]));
     put(os, sys.v[i]);
   }
-  EMBER_REQUIRE(os.good(), "checkpoint write failed");
 }
 
-System read_checkpoint(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  EMBER_REQUIRE(is.good(), "cannot open " + path);
-  EMBER_REQUIRE(get<std::uint64_t>(is) == kMagic,
-                "not an ember checkpoint: " + path);
+System get_system(std::ifstream& is) {
   const double lx = get<double>(is);
   const double ly = get<double>(is);
   const double lz = get<double>(is);
@@ -76,6 +68,51 @@ System read_checkpoint(const std::string& path) {
     sys.id[static_cast<std::size_t>(i)] = id;
   }
   return sys;
+}
+}  // namespace
+
+void write_checkpoint(const System& sys, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  EMBER_REQUIRE(os.good(), "cannot open " + path + " for writing");
+  put(os, kMagic);
+  put_system(os, sys);
+  EMBER_REQUIRE(os.good(), "checkpoint write failed");
+}
+
+System read_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EMBER_REQUIRE(is.good(), "cannot open " + path);
+  EMBER_REQUIRE(get<std::uint64_t>(is) == kMagic,
+                "not an ember checkpoint: " + path);
+  return get_system(is);
+}
+
+void write_checkpoint_batch(std::span<const System> replicas,
+                            const std::string& path) {
+  EMBER_REQUIRE(!replicas.empty(), "batch checkpoint needs >= 1 replica");
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  EMBER_REQUIRE(os.good(), "cannot open " + path + " for writing");
+  put(os, kMagicBatch);
+  put(os, static_cast<std::int64_t>(replicas.size()));
+  for (const System& sys : replicas) put_system(os, sys);
+  EMBER_REQUIRE(os.good(), "checkpoint write failed");
+}
+
+std::vector<System> read_checkpoint_batch(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EMBER_REQUIRE(is.good(), "cannot open " + path);
+  const auto magic = get<std::uint64_t>(is);
+  std::vector<System> replicas;
+  if (magic == kMagic) {
+    replicas.push_back(get_system(is));
+    return replicas;
+  }
+  EMBER_REQUIRE(magic == kMagicBatch, "not an ember checkpoint: " + path);
+  const auto count = get<std::int64_t>(is);
+  EMBER_REQUIRE(count > 0, "batch checkpoint with no replicas: " + path);
+  replicas.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t r = 0; r < count; ++r) replicas.push_back(get_system(is));
+  return replicas;
 }
 
 }  // namespace ember::md

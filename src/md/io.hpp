@@ -7,7 +7,9 @@
 // write_checkpoint/read_checkpoint provide the same capability (and the
 // production bench measures their cost the same way).
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "md/system.hpp"
 
@@ -20,5 +22,12 @@ void write_xyz(const System& sys, const std::string& path,
 // Binary checkpoint: box, mass, ids, positions, velocities.
 void write_checkpoint(const System& sys, const std::string& path);
 System read_checkpoint(const std::string& path);
+
+// Multi-replica checkpoint (BatchedSimulation): the same per-system
+// record repeated, each replica with its own box. read_checkpoint_batch
+// also accepts a single-system checkpoint and returns one replica.
+void write_checkpoint_batch(std::span<const System> replicas,
+                            const std::string& path);
+std::vector<System> read_checkpoint_batch(const std::string& path);
 
 }  // namespace ember::md

@@ -5,57 +5,19 @@ namespace ember::md {
 Simulation::Simulation(System sys, std::shared_ptr<PairPotential> pot,
                        double dt_ps, double skin, std::uint64_t seed,
                        ExecutionPolicy policy)
-    : sys_(std::move(sys)),
-      pot_(std::move(pot)),
-      ctx_(policy),
-      integrator_(dt_ps),
-      nl_(pot_->cutoff(), skin),
-      rng_(seed) {}
+    : loop_(std::move(sys), std::move(pot), dt_ps, skin, Rng(seed), policy,
+            *this) {}
 
-void Simulation::setup() {
-  {
-    ScopedTimer t(timers_, "Neigh");
-    nl_.build(sys_, /*use_ghosts=*/false, &ctx_);
-  }
-  compute_forces();
-  ready_ = true;
-}
-
-void Simulation::compute_forces() {
-  ScopedTimer t(timers_, "Pair");
-  sys_.zero_forces();
-  ev_ = pot_->compute(ctx_, sys_, nl_);
-  if (!ctx_.serial()) {
-    timers_.add_thread_times("Pair", ctx_.pool().last_thread_seconds());
-  }
+Simulation::Simulation(Simulation&& other) noexcept
+    : loop_(std::move(other.loop_)) {
+  loop_.set_stages(*this);
 }
 
 void Simulation::run(long nsteps, const StepCallback& callback) {
-  if (!ready_) setup();
-  for (long s = 0; s < nsteps; ++s) {
-    {
-      ScopedTimer t(timers_, "Other");
-      integrator_.initial_integrate(sys_, &ctx_);
-    }
-    if (nl_.needs_rebuild(sys_)) {
-      ScopedTimer t(timers_, "Neigh");
-      // Re-wrap positions only here, together with the rebuild, so the
-      // list's shift vectors stay consistent with the stored coordinates.
-      for (int i = 0; i < sys_.nlocal(); ++i) {
-        sys_.x[i] = sys_.box().wrap(sys_.x[i]);
-      }
-      nl_.build(sys_, /*use_ghosts=*/false, &ctx_);
-      if (!ctx_.serial()) {
-        timers_.add_thread_times("Neigh", ctx_.pool().last_thread_seconds());
-      }
-    }
-    compute_forces();
-    {
-      ScopedTimer t(timers_, "Other");
-      integrator_.final_integrate(sys_, ev_, rng_, &ctx_);
-    }
-    ++step_;
-    if (callback) callback(*this);
+  if (callback) {
+    loop_.run(nsteps, [&] { callback(*this); });
+  } else {
+    loop_.run(nsteps);
   }
 }
 

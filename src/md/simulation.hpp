@@ -1,73 +1,81 @@
 #pragma once
 
-// Serial MD driver: owns the neighbor list, integrator and potential, runs
-// timesteps, and keeps a LAMMPS-style timing breakdown (Pair / Neigh /
-// Other) of the kind the paper's Fig. 4 reports.
+// Serial MD driver: the thinnest StepLoop client. All stage hooks keep
+// their defaults (no communication, wrap-on-rebuild, ghost-free builds),
+// so this class is just the single-box face of the shared pipeline with
+// the LAMMPS-style Pair / Neigh / Other timing breakdown the paper's
+// Fig. 4 reports.
 
 #include <functional>
 #include <memory>
+#include <string>
 
-#include "common/rng.hpp"
-#include "common/timer.hpp"
-#include "md/integrate.hpp"
-#include "md/potential.hpp"
-#include "md/system.hpp"
+#include "md/step_loop.hpp"
 
 namespace ember::md {
 
-class Simulation {
+class Simulation : private StepStages {
  public:
   Simulation(System sys, std::shared_ptr<PairPotential> pot, double dt_ps,
              double skin = 0.5, std::uint64_t seed = 12345,
              ExecutionPolicy policy = {});
 
+  // Movable (tests build simulations in factory functions); the stage
+  // hooks are rebound to the new object.
+  Simulation(Simulation&& other) noexcept;
+  Simulation& operator=(Simulation&&) = delete;
+
   // Node-level threading for the force / neighbor / integration sweeps.
   // The default (serial) policy reproduces the pre-threading trajectory
   // bit for bit; a threaded policy is deterministic at a fixed count.
   void set_execution_policy(ExecutionPolicy policy) {
-    ctx_ = ComputeContext(policy);
+    loop_.set_execution_policy(policy);
   }
-  [[nodiscard]] const ComputeContext& context() const { return ctx_; }
+  [[nodiscard]] const ComputeContext& context() const {
+    return loop_.context();
+  }
 
-  [[nodiscard]] System& system() { return sys_; }
-  [[nodiscard]] const System& system() const { return sys_; }
-  [[nodiscard]] Integrator& integrator() { return integrator_; }
-  [[nodiscard]] PairPotential& potential() { return *pot_; }
-  [[nodiscard]] const NeighborList& neighbor_list() const { return nl_; }
-  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] System& system() { return loop_.system(); }
+  [[nodiscard]] const System& system() const { return loop_.system(); }
+  [[nodiscard]] Integrator& integrator() { return loop_.integrator(); }
+  [[nodiscard]] PairPotential& potential() { return loop_.potential(); }
+  [[nodiscard]] const NeighborList& neighbor_list() const {
+    return loop_.neighbor_list();
+  }
+  [[nodiscard]] Rng& rng() { return loop_.rng(); }
 
   // Latest energy/virial (valid after setup() or any step).
-  [[nodiscard]] const EnergyVirial& energy_virial() const { return ev_; }
-  [[nodiscard]] double potential_energy() const { return ev_.energy; }
-  [[nodiscard]] double total_energy() const {
-    return ev_.energy + sys_.kinetic_energy();
+  [[nodiscard]] const EnergyVirial& energy_virial() const {
+    return loop_.energy_virial();
   }
-  [[nodiscard]] double pressure() const { return pressure_bar(sys_, ev_); }
-  [[nodiscard]] long step() const { return step_; }
-  [[nodiscard]] const TimerSet& timers() const { return timers_; }
-  void reset_timers() { timers_.clear(); }
+  [[nodiscard]] double potential_energy() const {
+    return loop_.energy_virial().energy;
+  }
+  [[nodiscard]] double total_energy() const {
+    return potential_energy() + system().kinetic_energy();
+  }
+  [[nodiscard]] double pressure() const {
+    return pressure_bar(system(), energy_virial());
+  }
+  [[nodiscard]] long step() const { return loop_.step(); }
+  [[nodiscard]] const TimerSet& timers() const { return loop_.timers(); }
+  void reset_timers() { loop_.reset_timers(); }
 
   // Build the neighbor list and compute initial forces. Called lazily by
   // run() if needed.
-  void setup();
+  void setup() { loop_.setup(); }
 
   // Advance nsteps; the optional callback fires after every step.
   using StepCallback = std::function<void(Simulation&)>;
   void run(long nsteps, const StepCallback& callback = {});
 
- private:
-  void compute_forces();
+  // Save a restartable binary checkpoint (read back via read_checkpoint).
+  void save_checkpoint(const std::string& path) {
+    loop_.save_checkpoint(path);
+  }
 
-  System sys_;
-  std::shared_ptr<PairPotential> pot_;
-  ComputeContext ctx_;
-  Integrator integrator_;
-  NeighborList nl_;
-  Rng rng_;
-  EnergyVirial ev_;
-  TimerSet timers_;
-  long step_ = 0;
-  bool ready_ = false;
+ private:
+  StepLoop loop_;
 };
 
 }  // namespace ember::md

@@ -1,0 +1,96 @@
+#include "step_loop.hpp"
+
+#include "md/io.hpp"
+
+namespace ember::md {
+
+bool StepStages::check_rebuild(StepLoop& loop) {
+  return loop.neighbor_list().needs_rebuild(loop.system());
+}
+
+void StepStages::exchange(StepLoop&, bool) {}
+
+void StepStages::build_neighbors(StepLoop& loop, bool initial) {
+  System& sys = loop.system();
+  if (!initial) {
+    // Re-wrap positions only together with the rebuild, so the list's
+    // shift vectors stay consistent with the stored coordinates. The
+    // setup build takes the caller's coordinates as-is.
+    for (int i = 0; i < sys.nlocal(); ++i) {
+      sys.x[i] = sys.box().wrap(sys.x[i]);
+    }
+  }
+  loop.neighbor_list().build(sys, /*use_ghosts=*/false, &loop.context());
+}
+
+void StepStages::forward_positions(StepLoop&) {}
+
+void StepStages::reverse_forces(StepLoop&) {}
+
+void StepStages::write_checkpoint(StepLoop& loop, const std::string& path) {
+  md::write_checkpoint(loop.system(), path);
+}
+
+StepLoop::StepLoop(System sys, std::shared_ptr<PairPotential> pot,
+                   double dt_ps, double skin, Rng rng, ExecutionPolicy policy,
+                   StepStages& stages)
+    : stages_(&stages),
+      sys_(std::move(sys)),
+      pot_(std::move(pot)),
+      ctx_(policy),
+      integrator_(dt_ps),
+      nl_(pot_->cutoff(), skin),
+      rng_(rng) {}
+
+void StepLoop::add_thread_times(const char* category) {
+  if (!ctx_.serial()) {
+    timers_.add_thread_times(category, ctx_.pool().last_thread_seconds());
+  }
+}
+
+void StepLoop::rebuild_neighbors(bool initial) {
+  ScopedTimer t(timers_, kTimerNeigh);
+  stages_->build_neighbors(*this, initial);
+  add_thread_times(kTimerNeigh);
+}
+
+void StepLoop::compute_forces() {
+  ScopedTimer t(timers_, kTimerPair);
+  sys_.zero_forces();
+  ev_ = pot_->compute(ctx_, sys_, nl_);
+  add_thread_times(kTimerPair);
+}
+
+void StepLoop::setup() {
+  timed_comm([&] { stages_->exchange(*this, /*initial=*/true); });
+  rebuild_neighbors(/*initial=*/true);
+  compute_forces();
+  timed_comm([&] { stages_->reverse_forces(*this); });
+  ready_ = true;
+}
+
+void StepLoop::run(long nsteps, const std::function<void()>& after_step) {
+  if (!ready_) setup();
+  for (long s = 0; s < nsteps; ++s) {
+    {
+      ScopedTimer t(timers_, kTimerOther);
+      integrator_.initial_integrate(sys_, &ctx_);
+    }
+    if (stages_->check_rebuild(*this)) {
+      timed_comm([&] { stages_->exchange(*this, /*initial=*/false); });
+      rebuild_neighbors(/*initial=*/false);
+    } else {
+      timed_comm([&] { stages_->forward_positions(*this); });
+    }
+    compute_forces();
+    timed_comm([&] { stages_->reverse_forces(*this); });
+    {
+      ScopedTimer t(timers_, kTimerOther);
+      integrator_.final_integrate(sys_, ev_, rng_, &ctx_);
+    }
+    ++step_;
+    if (after_step) after_step();
+  }
+}
+
+}  // namespace ember::md

@@ -1,0 +1,166 @@
+#pragma once
+
+// The one timestep pipeline. StepLoop owns the canonical LAMMPS-style
+// step sequence the paper's production capability rests on:
+//
+//   initial_integrate                                      [Other]
+//   reneighbor decision            stages.check_rebuild
+//   if rebuild:
+//     wrap / migrate / halo        stages.exchange          [Comm]
+//     neighbor rebuild             stages.build_neighbors   [Neigh]
+//   else:
+//     position forwarding          stages.forward_positions [Comm]
+//   force compute                  potential->compute       [Pair]
+//   force reverse-comm             stages.reverse_forces    [Comm]
+//   final_integrate                                         [Other]
+//   step callback
+//
+// Every driver (Simulation, BatchedSimulation, ParallelSimulation)
+// implements StepStages and delegates here, so the sequence, the Fig. 4
+// timer taxonomy (Pair / Neigh / Comm / Other with per-thread
+// attribution), and the checkpoint interface exist in exactly one place.
+// The stage defaults ARE the serial single-box driver; distributed and
+// batched drivers override only what differs.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "md/integrate.hpp"
+#include "md/potential.hpp"
+#include "md/system.hpp"
+
+namespace ember::md {
+
+// Canonical timer taxonomy. The paper's Fig. 4 presentation names
+// ("SNAP", "MPI Comm") are a display mapping applied once in the bench
+// layer (fig4_label below), never stored.
+inline constexpr const char* kTimerPair = "Pair";
+inline constexpr const char* kTimerNeigh = "Neigh";
+inline constexpr const char* kTimerComm = "Comm";
+inline constexpr const char* kTimerOther = "Other";
+
+// Canonical category -> the label Fig. 4 of the paper prints.
+[[nodiscard]] constexpr const char* fig4_label(std::string_view category) {
+  if (category == kTimerPair) return "SNAP";
+  if (category == kTimerComm) return "MPI Comm";
+  return category == kTimerNeigh ? "Neigh" : "Other";
+}
+
+class StepLoop;
+
+// Stage hooks a driver fills in. Defaults implement the serial
+// single-box pipeline: no communication, wrap-on-rebuild, ghost-free
+// list builds, single-System checkpoints.
+class StepStages {
+ public:
+  virtual ~StepStages() = default;
+
+  // Does this driver have real communication legs? When false the Comm
+  // stages are still invoked (they default to no-ops) but never open a
+  // Comm timer bucket, so serial breakdowns stay Pair/Neigh/Other only.
+  [[nodiscard]] virtual bool communicates() const { return false; }
+
+  // True when the neighbor list must be rebuilt this step. Distributed
+  // drivers reduce the local criterion across ranks and account the
+  // reduction as Comm themselves.
+  [[nodiscard]] virtual bool check_rebuild(StepLoop& loop);
+
+  // Rebuild-step housekeeping before the list build: atom migration and
+  // halo reconstruction. Timed as Comm. Also runs once at setup
+  // (initial = true).
+  virtual void exchange(StepLoop& loop, bool initial);
+
+  // Neighbor-list rebuild, including any coordinate re-wrap that must
+  // stay consistent with the list's shift vectors. Timed as Neigh. The
+  // default wraps local positions (except at setup, where the caller's
+  // coordinates are taken as-is) and builds without ghosts.
+  virtual void build_neighbors(StepLoop& loop, bool initial);
+
+  // Forward owner positions into ghost copies on non-rebuild steps. Comm.
+  virtual void forward_positions(StepLoop& loop);
+
+  // Push ghost forces back onto their owners after the force pass. Comm.
+  virtual void reverse_forces(StepLoop& loop);
+
+  // Serialize the driver's full restartable state. Default: single-System
+  // binary checkpoint (md::write_checkpoint); the parallel driver gathers
+  // on root, the batched driver writes the multi-replica format.
+  virtual void write_checkpoint(StepLoop& loop, const std::string& path);
+};
+
+class StepLoop {
+ public:
+  StepLoop(System sys, std::shared_ptr<PairPotential> pot, double dt_ps,
+           double skin, Rng rng, ExecutionPolicy policy, StepStages& stages);
+
+  StepLoop(StepLoop&&) noexcept = default;
+  StepLoop& operator=(StepLoop&&) noexcept = default;
+
+  // A move relocates the owning driver, so its StepStages base moves with
+  // it; the driver's move constructor rebinds the hooks to its new self.
+  void set_stages(StepStages& stages) { stages_ = &stages; }
+
+  void set_execution_policy(ExecutionPolicy policy) {
+    ctx_ = ComputeContext(policy);
+  }
+  [[nodiscard]] const ComputeContext& context() const { return ctx_; }
+
+  [[nodiscard]] System& system() { return sys_; }
+  [[nodiscard]] const System& system() const { return sys_; }
+  [[nodiscard]] Integrator& integrator() { return integrator_; }
+  [[nodiscard]] PairPotential& potential() { return *pot_; }
+  [[nodiscard]] NeighborList& neighbor_list() { return nl_; }
+  [[nodiscard]] const NeighborList& neighbor_list() const { return nl_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] const EnergyVirial& energy_virial() const { return ev_; }
+  [[nodiscard]] long step() const { return step_; }
+  [[nodiscard]] TimerSet& timers() { return timers_; }
+  [[nodiscard]] const TimerSet& timers() const { return timers_; }
+  void reset_timers() { timers_.clear(); }
+
+  // Exchange + initial list build + initial forces. Called lazily by
+  // run() if needed.
+  void setup();
+
+  // Advance nsteps through the pipeline; after_step fires after every
+  // completed step (drivers wrap it into their typed StepCallback).
+  void run(long nsteps, const std::function<void()>& after_step = {});
+
+  // Checkpoint through the driver's stage hook (serial: plain file;
+  // parallel: gather-on-root collective; batched: multi-replica file).
+  void save_checkpoint(const std::string& path) {
+    stages_->write_checkpoint(*this, path);
+  }
+
+ private:
+  void compute_forces();
+  void rebuild_neighbors(bool initial);
+  void add_thread_times(const char* category);
+  template <typename Fn>
+  void timed_comm(Fn&& fn) {
+    if (stages_->communicates()) {
+      ScopedTimer t(timers_, kTimerComm);
+      fn();
+    } else {
+      fn();
+    }
+  }
+
+  StepStages* stages_;
+  System sys_;
+  std::shared_ptr<PairPotential> pot_;
+  ComputeContext ctx_;
+  Integrator integrator_;
+  NeighborList nl_;
+  Rng rng_;
+  EnergyVirial ev_;
+  TimerSet timers_;
+  long step_ = 0;
+  bool ready_ = false;
+};
+
+}  // namespace ember::md

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/units.hpp"
+#include "md/io.hpp"
 
 namespace ember::parallel {
 
@@ -37,13 +38,10 @@ ParallelSimulation::ParallelSimulation(comm::Communicator& comm,
       domain_(global.box(),
               RankGrid::choose(comm.size(), global.box().lengths()),
               comm.rank()),
-      sys_(global.box(), global.mass()),
-      pot_(std::move(pot)),
-      ctx_(policy),
-      integrator_(dt_ps),
-      nl_(pot_->cutoff(), skin),
-      rng_(Rng(seed).split(static_cast<std::uint64_t>(comm.rank()))) {
-  const double rghost = pot_->cutoff() + skin;
+      loop_(md::System(global.box(), global.mass()), std::move(pot), dt_ps,
+            skin, Rng(seed).split(static_cast<std::uint64_t>(comm.rank())),
+            policy, *this) {
+  const double rghost = loop_.potential().cutoff() + skin;
   const Vec3 sub = domain_.lengths();
   EMBER_REQUIRE(sub.x >= rghost && sub.y >= rghost && sub.z >= rghost,
                 "sub-domain smaller than the ghost cutoff; use fewer ranks");
@@ -51,39 +49,41 @@ ParallelSimulation::ParallelSimulation(comm::Communicator& comm,
 }
 
 void ParallelSimulation::scatter(const md::System& global) {
+  md::System& sys = loop_.system();
   for (int i = 0; i < global.nlocal(); ++i) {
     const Vec3 w = global_box_.wrap(global.x[i]);
     if (domain_.owns(w)) {
-      sys_.add_atom(w, global.v[i]);
-      sys_.id[sys_.nlocal() - 1] = global.id[i];
+      sys.add_atom(w, global.v[i]);
+      sys.id[sys.nlocal() - 1] = global.id[i];
     }
   }
 }
 
 void ParallelSimulation::migrate() {
-  sys_.clear_ghosts();
+  md::System& sys = loop_.system();
+  sys.clear_ghosts();
   const int nranks = comm_.size();
   std::vector<std::vector<PackedAtom>> outgoing(nranks);
   std::vector<int> keep;
-  keep.reserve(sys_.nlocal());
+  keep.reserve(sys.nlocal());
 
-  for (int i = 0; i < sys_.nlocal(); ++i) {
-    const Vec3 w = global_box_.wrap(sys_.x[i]);
-    sys_.x[i] = w;
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    const Vec3 w = global_box_.wrap(sys.x[i]);
+    sys.x[i] = w;
     const int owner = domain_.owner_of(w);
     if (owner == comm_.rank()) {
       keep.push_back(i);
     } else {
       outgoing[owner].push_back(
-          {w.x, w.y, w.z, sys_.v[i].x, sys_.v[i].y, sys_.v[i].z, sys_.id[i]});
+          {w.x, w.y, w.z, sys.v[i].x, sys.v[i].y, sys.v[i].z, sys.id[i]});
     }
   }
 
   // Compact the kept atoms.
-  md::System next(global_box_, sys_.mass());
+  md::System next(global_box_, sys.mass());
   for (const int i : keep) {
-    next.add_atom(sys_.x[i], sys_.v[i]);
-    next.id[next.nlocal() - 1] = sys_.id[i];
+    next.add_atom(sys.x[i], sys.v[i]);
+    next.id[next.nlocal() - 1] = sys.id[i];
   }
 
   for (int r = 0; r < nranks; ++r) {
@@ -97,12 +97,14 @@ void ParallelSimulation::migrate() {
       next.id[next.nlocal() - 1] = a.id;
     }
   }
-  sys_ = std::move(next);
+  sys = std::move(next);
 }
 
 void ParallelSimulation::exchange_ghosts() {
-  sys_.clear_ghosts();
-  const double rghost = pot_->cutoff() + nl_.skin();
+  md::System& sys = loop_.system();
+  sys.clear_ghosts();
+  const double rghost =
+      loop_.potential().cutoff() + loop_.neighbor_list().skin();
   const auto coords = domain_.grid().coords_of(comm_.rank());
   const int n[3] = {domain_.grid().nx, domain_.grid().ny, domain_.grid().nz};
 
@@ -111,7 +113,7 @@ void ParallelSimulation::exchange_ghosts() {
     // dimension: scanning ghosts received by the opposite leg of the SAME
     // dimension would bounce them straight back as duplicate self-images.
     // Ghosts from previous dimensions ARE scanned (corner propagation).
-    const int scan_limit = sys_.ntotal();
+    const int scan_limit = sys.ntotal();
     for (int dir = 0; dir < 2; ++dir) {  // 0 = up (+), 1 = down (-)
       Leg& leg = legs_[2 * d + dir];
       leg.send_idx.clear();
@@ -133,149 +135,131 @@ void ParallelSimulation::exchange_ghosts() {
 
       std::vector<PackedGhost> packed;
       for (int i = 0; i < scan_limit; ++i) {
-        const double c = sys_.x[i][d];
+        const double c = sys.x[i][d];
         const bool in_slab =
             (dir == 0) ? (c >= face - rghost) : (c < face + rghost);
         if (!in_slab) continue;
         leg.send_idx.push_back(i);
-        const Vec3 p = sys_.x[i] + leg.send_shift;
-        packed.push_back({p.x, p.y, p.z, sys_.id[i]});
+        const Vec3 p = sys.x[i] + leg.send_shift;
+        packed.push_back({p.x, p.y, p.z, sys.id[i]});
       }
       comm_.send(leg.send_to, kTagGhost + 2 * d + dir, packed);
 
       const auto incoming =
           comm_.recv<PackedGhost>(leg.recv_from, kTagGhost + 2 * d + dir);
-      leg.ghost_begin = sys_.ntotal();
+      leg.ghost_begin = sys.ntotal();
       leg.ghost_count = static_cast<int>(incoming.size());
       for (const auto& g : incoming) {
-        sys_.add_ghost({g.x, g.y, g.z}, g.id);
+        sys.add_ghost({g.x, g.y, g.z}, g.id);
       }
     }
   }
 }
 
-void ParallelSimulation::forward_positions() {
+bool ParallelSimulation::check_rebuild(md::StepLoop& loop) {
+  ScopedTimer t(loop.timers(), md::kTimerComm);
+  return comm_.allreduce_or(
+      loop.neighbor_list().needs_rebuild(loop.system()));
+}
+
+void ParallelSimulation::exchange(md::StepLoop&, bool /*initial*/) {
+  migrate();
+  exchange_ghosts();
+}
+
+void ParallelSimulation::build_neighbors(md::StepLoop& loop,
+                                         bool /*initial*/) {
+  // Migration already wrapped the owners; ghosts carry explicit shifts.
+  loop.neighbor_list().build(loop.system(), /*use_ghosts=*/true,
+                             &loop.context());
+}
+
+void ParallelSimulation::forward_positions(md::StepLoop& loop) {
+  md::System& sys = loop.system();
   std::vector<Vec3> packed;
   for (int leg_idx = 0; leg_idx < 6; ++leg_idx) {
     const Leg& leg = legs_[leg_idx];
     packed.clear();
     packed.reserve(leg.send_idx.size());
     for (const int i : leg.send_idx) {
-      packed.push_back(sys_.x[i] + leg.send_shift);
+      packed.push_back(sys.x[i] + leg.send_shift);
     }
     comm_.send(leg.send_to, kTagForward + leg_idx, packed);
     const auto incoming = comm_.recv<Vec3>(leg.recv_from, kTagForward + leg_idx);
     EMBER_REQUIRE(static_cast<int>(incoming.size()) == leg.ghost_count,
                   "forward communication size drift");
     for (int g = 0; g < leg.ghost_count; ++g) {
-      sys_.x[leg.ghost_begin + g] = incoming[g];
+      sys.x[leg.ghost_begin + g] = incoming[g];
     }
   }
 }
 
-void ParallelSimulation::reverse_forces() {
+void ParallelSimulation::reverse_forces(md::StepLoop& loop) {
+  md::System& sys = loop.system();
   std::vector<Vec3> packed;
   for (int leg_idx = 5; leg_idx >= 0; --leg_idx) {
     const Leg& leg = legs_[leg_idx];
-    packed.assign(sys_.f.begin() + leg.ghost_begin,
-                  sys_.f.begin() + leg.ghost_begin + leg.ghost_count);
+    packed.assign(sys.f.begin() + leg.ghost_begin,
+                  sys.f.begin() + leg.ghost_begin + leg.ghost_count);
     comm_.send(leg.recv_from, kTagReverse + leg_idx, packed);
     const auto incoming = comm_.recv<Vec3>(leg.send_to, kTagReverse + leg_idx);
     EMBER_REQUIRE(incoming.size() == leg.send_idx.size(),
                   "reverse communication size drift");
     for (std::size_t m = 0; m < incoming.size(); ++m) {
-      sys_.f[leg.send_idx[m]] += incoming[m];
+      sys.f[leg.send_idx[m]] += incoming[m];
     }
   }
 }
 
-void ParallelSimulation::compute_forces() {
-  ScopedTimer t(timers_, "SNAP");
-  sys_.zero_forces();
-  ev_ = pot_->compute(ctx_, sys_, nl_);
-  if (!ctx_.serial()) {
-    timers_.add_thread_times("SNAP", ctx_.pool().last_thread_seconds());
-  }
-}
-
-void ParallelSimulation::setup() {
-  {
-    ScopedTimer t(timers_, "MPI Comm");
-    migrate();
-    exchange_ghosts();
-  }
-  {
-    ScopedTimer t(timers_, "Neigh");
-    nl_.build(sys_, /*use_ghosts=*/true, &ctx_);
-  }
-  compute_forces();
-  {
-    ScopedTimer t(timers_, "MPI Comm");
-    reverse_forces();
-  }
-  ready_ = true;
+void ParallelSimulation::write_checkpoint(md::StepLoop&,
+                                          const std::string& path) {
+  const md::System global = gather(/*on_all_ranks=*/false);
+  if (comm_.rank() == 0) md::write_checkpoint(global, path);
+  // No rank resumes stepping until the file is on disk.
+  comm_.barrier();
 }
 
 void ParallelSimulation::run(long nsteps, const StepCallback& callback) {
-  if (!ready_) setup();
-  for (long s = 0; s < nsteps; ++s) {
-    {
-      ScopedTimer t(timers_, "Other");
-      integrator_.initial_integrate(sys_, &ctx_);
-    }
-    bool rebuild;
-    {
-      ScopedTimer t(timers_, "MPI Comm");
-      rebuild = comm_.allreduce_or(nl_.needs_rebuild(sys_));
-    }
-    if (rebuild) {
-      {
-        ScopedTimer t(timers_, "MPI Comm");
-        migrate();
-        exchange_ghosts();
-      }
-      ScopedTimer t(timers_, "Neigh");
-      nl_.build(sys_, /*use_ghosts=*/true, &ctx_);
-    } else {
-      ScopedTimer t(timers_, "MPI Comm");
-      forward_positions();
-    }
-    compute_forces();
-    {
-      ScopedTimer t(timers_, "MPI Comm");
-      reverse_forces();
-    }
-    {
-      ScopedTimer t(timers_, "Other");
-      integrator_.final_integrate(sys_, ev_, rng_, &ctx_);
-    }
-    ++step_;
-    if (callback) callback(*this);
+  if (callback) {
+    loop_.run(nsteps, [&] { callback(*this); });
+  } else {
+    loop_.run(nsteps);
   }
 }
 
 GlobalState ParallelSimulation::global_state() {
+  const md::System& sys = loop_.system();
   GlobalState g;
-  g.natoms = comm_.allreduce_sum(static_cast<long>(sys_.nlocal()));
-  g.potential_energy = comm_.allreduce_sum(ev_.energy);
-  g.kinetic_energy = comm_.allreduce_sum(sys_.kinetic_energy());
-  g.virial = comm_.allreduce_sum(ev_.virial);
+  g.natoms = comm_.allreduce_sum(static_cast<long>(sys.nlocal()));
+  g.potential_energy = comm_.allreduce_sum(loop_.energy_virial().energy);
+  g.kinetic_energy = comm_.allreduce_sum(sys.kinetic_energy());
+  g.virial = comm_.allreduce_sum(loop_.energy_virial().virial);
   const long dof = std::max<long>(1, 3 * g.natoms - 3);
   g.temperature = 2.0 * g.kinetic_energy / (dof * units::kB);
   return g;
 }
 
-md::System ParallelSimulation::gather_global() {
+md::System ParallelSimulation::gather(bool on_all_ranks) {
+  const md::System& sys = loop_.system();
   std::vector<PackedAtom> mine;
-  mine.reserve(sys_.nlocal());
-  for (int i = 0; i < sys_.nlocal(); ++i) {
-    mine.push_back({sys_.x[i].x, sys_.x[i].y, sys_.x[i].z, sys_.v[i].x,
-                    sys_.v[i].y, sys_.v[i].z, sys_.id[i]});
+  mine.reserve(sys.nlocal());
+  for (int i = 0; i < sys.nlocal(); ++i) {
+    mine.push_back({sys.x[i].x, sys.x[i].y, sys.x[i].z, sys.v[i].x,
+                    sys.v[i].y, sys.v[i].z, sys.id[i]});
   }
+
+  md::System out(global_box_, sys.mass());
+  if (!on_all_ranks && comm_.rank() != 0) {
+    comm_.send(0, kTagGather, mine);
+    return out;  // only root assembles
+  }
+
   std::vector<PackedAtom> all = mine;
-  for (int r = 0; r < comm_.size(); ++r) {
-    if (r == comm_.rank()) continue;
-    comm_.send(r, kTagGather, mine);
+  if (on_all_ranks) {
+    for (int r = 0; r < comm_.size(); ++r) {
+      if (r == comm_.rank()) continue;
+      comm_.send(r, kTagGather, mine);
+    }
   }
   for (int r = 0; r < comm_.size(); ++r) {
     if (r == comm_.rank()) continue;
@@ -285,12 +269,15 @@ md::System ParallelSimulation::gather_global() {
   std::sort(all.begin(), all.end(),
             [](const PackedAtom& a, const PackedAtom& b) { return a.id < b.id; });
 
-  md::System out(global_box_, sys_.mass());
   for (const auto& a : all) {
     out.add_atom({a.x, a.y, a.z}, {a.vx, a.vy, a.vz});
     out.id[out.nlocal() - 1] = a.id;
   }
   return out;
+}
+
+md::System ParallelSimulation::gather_global() {
+  return gather(/*on_all_ranks=*/true);
 }
 
 }  // namespace ember::parallel

@@ -3,30 +3,31 @@
 // Per-rank parallel MD driver: LAMMPS-style spatial decomposition over the
 // in-process message-passing layer.
 //
-// Per timestep:
-//   initial_integrate(local)
-//   if any rank needs reneighboring:
-//       wrap + migrate atoms to their owners, rebuild the ghost halo
-//       (6-direction sweep with corner propagation), rebuild the list
-//   else:
-//       forward-communicate updated owner positions into the ghosts
-//   compute forces (potential also writes onto ghosts)
-//   reverse-communicate ghost forces back to their owners
-//   final_integrate(local)
+// The timestep is the shared md::StepLoop pipeline; this driver fills in
+// the communication stages:
+//   check_rebuild     -> allreduce of the displacement criterion   [Comm]
+//   exchange          -> wrap + migrate atoms to their owners,
+//                        rebuild the ghost halo (6-direction sweep
+//                        with corner propagation)                  [Comm]
+//   build_neighbors   -> local list over owners + ghosts           [Neigh]
+//   forward_positions -> owner positions into ghost copies         [Comm]
+//   reverse_forces    -> ghost forces back onto their owners       [Comm]
+//   write_checkpoint  -> gather-on-root, rank 0 writes             (collective)
 //
-// Timing is split into the paper's Fig. 4 categories: "SNAP" (force
-// kernel), "MPI Comm" (all exchange + reductions), and "Other".
+// Timing uses the unified Pair / Neigh / Comm / Other taxonomy; the
+// paper's Fig. 4 labels ("SNAP", "MPI Comm") are applied in the bench
+// layer via md::fig4_label.
 
+#include <array>
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "comm/communicator.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
-#include "md/integrate.hpp"
-#include "md/neighbor.hpp"
-#include "md/potential.hpp"
-#include "md/system.hpp"
+#include "md/step_loop.hpp"
 #include "parallel/domain.hpp"
 
 namespace ember::parallel {
@@ -42,7 +43,7 @@ struct GlobalState {
   }
 };
 
-class ParallelSimulation {
+class ParallelSimulation : private md::StepStages {
  public:
   // Every rank passes the same global initial System; atoms are scattered
   // by ownership. The potential object must be rank-private.
@@ -51,20 +52,26 @@ class ParallelSimulation {
                      double skin = 0.5, std::uint64_t seed = 12345,
                      ExecutionPolicy policy = {});
 
+  ParallelSimulation(const ParallelSimulation&) = delete;
+  ParallelSimulation& operator=(const ParallelSimulation&) = delete;
+
   // Per-rank thread pool for the force/neighbor/integration sweeps (the
   // paper's rank = GPU, team = thread block hierarchy). Default: serial.
   void set_execution_policy(ExecutionPolicy policy) {
-    ctx_ = md::ComputeContext(policy);
+    loop_.set_execution_policy(policy);
   }
-  [[nodiscard]] const md::ComputeContext& context() const { return ctx_; }
+  [[nodiscard]] const md::ComputeContext& context() const {
+    return loop_.context();
+  }
 
-  [[nodiscard]] md::System& local() { return sys_; }
-  [[nodiscard]] md::Integrator& integrator() { return integrator_; }
-  [[nodiscard]] const TimerSet& timers() const { return timers_; }
+  [[nodiscard]] md::System& local() { return loop_.system(); }
+  [[nodiscard]] md::Integrator& integrator() { return loop_.integrator(); }
+  [[nodiscard]] const TimerSet& timers() const { return loop_.timers(); }
+  void reset_timers() { loop_.reset_timers(); }
   [[nodiscard]] const Domain& domain() const { return domain_; }
-  [[nodiscard]] long step() const { return step_; }
+  [[nodiscard]] long step() const { return loop_.step(); }
 
-  void setup();
+  void setup() { loop_.setup(); }
 
   using StepCallback = std::function<void(ParallelSimulation&)>;
   void run(long nsteps, const StepCallback& callback = {});
@@ -75,27 +82,31 @@ class ParallelSimulation {
   // Reassemble the full system on every rank (collective; test helper).
   md::System gather_global();
 
+  // Collective checkpoint: gather the global system on rank 0, which
+  // writes a standard single-System file readable by read_checkpoint;
+  // all ranks synchronize before returning.
+  void save_checkpoint(const std::string& path) {
+    loop_.save_checkpoint(path);
+  }
+
  private:
+  [[nodiscard]] bool communicates() const override { return true; }
+  [[nodiscard]] bool check_rebuild(md::StepLoop& loop) override;
+  void exchange(md::StepLoop& loop, bool initial) override;
+  void build_neighbors(md::StepLoop& loop, bool initial) override;
+  void forward_positions(md::StepLoop& loop) override;
+  void reverse_forces(md::StepLoop& loop) override;
+  void write_checkpoint(md::StepLoop& loop, const std::string& path) override;
+
   void scatter(const md::System& global);
   void migrate();
   void exchange_ghosts();
-  void forward_positions();
-  void reverse_forces();
-  void compute_forces();
+  [[nodiscard]] md::System gather(bool on_all_ranks);
 
   comm::Communicator& comm_;
   md::Box global_box_;
   Domain domain_;
-  md::System sys_;
-  std::shared_ptr<md::PairPotential> pot_;
-  md::ComputeContext ctx_;
-  md::Integrator integrator_;
-  md::NeighborList nl_;
-  Rng rng_;
-  md::EnergyVirial ev_;
-  TimerSet timers_;
-  long step_ = 0;
-  bool ready_ = false;
+  md::StepLoop loop_;
 
   // Halo bookkeeping: for each of the 6 sweep legs (dim-major, up then
   // down), the indices of the atoms sent (local or ghost), the partner

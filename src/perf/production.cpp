@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "common/timer.hpp"
+#include "md/simulation.hpp"
+
 namespace ember::perf {
 
 double ProductionModel::bc8_fraction(double sim_ns) const {
@@ -53,6 +56,39 @@ std::vector<ProductionSample> ProductionModel::trace() const {
     s.temperature = config_.segment_temperatures[seg];
     s.bc8_fraction = frac;
     out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<MiniatureBlock> run_miniature_production(
+    md::Simulation& sim, const MiniatureConfig& config) {
+  sim.setup();
+  std::vector<MiniatureBlock> out;
+  int block = 0;
+  for (const double t_target : config.segment_temperatures) {
+    // Segment boundary: the paper restarts with a raised thermostat.
+    sim.integrator().set_langevin(
+        md::LangevinParams{t_target, config.langevin_damp_ps});
+    for (int rep = 0; rep < config.blocks_per_segment; ++rep, ++block) {
+      WallTimer timer;
+      sim.run(config.steps_per_block);
+      const bool ckpt = config.checkpoint_every_blocks > 0 &&
+                        block % config.checkpoint_every_blocks ==
+                            config.checkpoint_every_blocks - 1;
+      if (ckpt) {
+        // The write lands inside the measured block, exactly like the
+        // paper's checkpoint dips.
+        sim.save_checkpoint(config.checkpoint_path);
+      }
+      MiniatureBlock b;
+      b.block = block;
+      b.t_target = t_target;
+      b.temperature = sim.system().temperature();
+      b.katom_steps_per_s = sim.system().nlocal() * config.steps_per_block /
+                            timer.seconds() / 1e3;
+      b.checkpoint = ckpt;
+      out.push_back(b);
+    }
   }
   return out;
 }

@@ -8,9 +8,14 @@
 //     (ordered neighborhoods are slightly cheaper to evaluate),
 //   - restarts between segments.
 
+#include <string>
 #include <vector>
 
 #include "perf/scaling.hpp"
+
+namespace ember::md {
+class Simulation;
+}  // namespace ember::md
 
 namespace ember::perf {
 
@@ -51,5 +56,34 @@ class ProductionModel {
   ScalingModel model_;
   ProductionConfig config_;
 };
+
+// ---- miniature production run (real MD on the unified pipeline) ----------
+//
+// The measured counterpart to the model trace above: drive an actual
+// Simulation through the paper's segment structure — a Langevin
+// temperature schedule, fixed-size measurement blocks, and periodic
+// binary checkpoints written through the driver's unified
+// save_checkpoint hook (the I/O cost lands inside the measured block,
+// exactly like the paper's Fig. 7 dips).
+
+struct MiniatureConfig {
+  std::vector<double> segment_temperatures{5000, 5300, 5500, 5500, 5500};
+  int blocks_per_segment = 2;
+  long steps_per_block = 60;
+  double langevin_damp_ps = 0.05;
+  int checkpoint_every_blocks = 4;  // <= 0 disables checkpointing
+  std::string checkpoint_path = "/tmp/ember_fig7_ckpt.bin";
+};
+
+struct MiniatureBlock {
+  int block = 0;
+  double t_target = 0.0;     // [K]
+  double temperature = 0.0;  // [K] measured at block end
+  double katom_steps_per_s = 0.0;
+  bool checkpoint = false;   // block contains a checkpoint write
+};
+
+std::vector<MiniatureBlock> run_miniature_production(
+    md::Simulation& sim, const MiniatureConfig& config = {});
 
 }  // namespace ember::perf

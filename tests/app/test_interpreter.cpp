@@ -155,6 +155,84 @@ TEST(Interpreter, ThreadsCommandSetsExecutionPolicy) {
   EXPECT_THROW(interp.execute("threads lots"), Error);
 }
 
+TEST(Interpreter, RanksCommandRunsDomainDecomposed) {
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.run_script(R"(
+    mass 39.948
+    lattice fcc 5.26 repeat 3 3 3
+    potential lj 0.0104 3.4 6.5
+    thermalize 40 seed 7
+    timestep 0.002
+    ranks 2
+    log every 15
+    run 30
+  )");
+  EXPECT_EQ(interp.total_steps(), 30);
+  // State gathered back after the run: full system, no serial Simulation.
+  EXPECT_EQ(interp.system().nlocal(), 108);
+  EXPECT_EQ(interp.simulation(), nullptr);
+  EXPECT_NE(out.str().find("step 30"), std::string::npos);
+  // Back to serial mode, the gathered state keeps evolving.
+  interp.execute("ranks 1");
+  interp.execute("run 5");
+  EXPECT_EQ(interp.total_steps(), 35);
+}
+
+TEST(Interpreter, ReplicasCommandRunsLockstepBatch) {
+  const std::string ckpt = "/tmp/ember_interp_batch.bin";
+  std::remove(ckpt.c_str());
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.run_script("mass 39.948\n"
+                    "lattice fcc 5.26 repeat 2 2 2\n"
+                    "potential lj 0.0104 3.4 6.5\n"
+                    "thermalize 30 seed 5\n"
+                    "timestep 0.002\n"
+                    "replicas 3\n"
+                    "checkpoint every 10 " + ckpt + "\n"
+                    "run 20\n");
+  EXPECT_EQ(interp.total_steps(), 20);
+  ASSERT_NE(interp.batched(), nullptr);
+  EXPECT_EQ(interp.batched()->num_replicas(), 3);
+
+  // The checkpoint is the multi-replica format; restoring it re-enters
+  // replica mode in a fresh interpreter.
+  std::ostringstream out2;
+  Interpreter interp2(out2);
+  interp2.run_script("read_checkpoint " + ckpt + "\n"
+                     "potential lj 0.0104 3.4 6.5\n"
+                     "timestep 0.002\n"
+                     "run 5\n");
+  ASSERT_NE(interp2.batched(), nullptr);
+  EXPECT_EQ(interp2.batched()->num_replicas(), 3);
+  EXPECT_NE(out2.str().find("restored 3 replicas"), std::string::npos);
+  std::remove(ckpt.c_str());
+}
+
+TEST(Interpreter, RanksAndReplicasAreMutuallyExclusive) {
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.execute("ranks 2");
+  EXPECT_THROW(interp.execute("replicas 2"), Error);
+  interp.execute("ranks 1");
+  interp.execute("replicas 2");
+  EXPECT_THROW(interp.execute("ranks 4"), Error);
+}
+
+TEST(Interpreter, BarostatRequiresSerialMode) {
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.run_script(R"(
+    mass 39.948
+    lattice fcc 5.26 repeat 3 3 3
+    potential lj 0.0104 3.4 6.5
+    barostat berendsen 1000 0.1 1e-6
+    ranks 2
+  )");
+  EXPECT_THROW(interp.execute("run 10"), Error);
+}
+
 TEST(Interpreter, ProductionStyleProtocol) {
   // Miniature version of the paper's production input: Tersoff carbon,
   // Langevin schedule, barostat, periodic analyze.

@@ -136,6 +136,30 @@ TEST(Batched, ManyBodyPotentialWorks) {
   }
 }
 
+TEST(Batched, StepCallbackAndTimersMatchTheOtherDrivers) {
+  std::vector<System> reps;
+  reps.push_back(argon_replica(2, 5.26, 30.0, 1));
+  reps.push_back(argon_replica(2, 5.26, 60.0, 2));
+  BatchedSimulation batch(reps, lj(), 0.002, 0.4, 99);
+
+  long calls = 0;
+  long last_step = -1;
+  batch.run(30, [&](BatchedSimulation& b) {
+    ++calls;
+    last_step = b.step();
+    EXPECT_EQ(b.num_replicas(), 2);
+  });
+  EXPECT_EQ(calls, 30);
+  EXPECT_EQ(last_step, 30);
+  EXPECT_EQ(batch.step(), 30);
+
+  EXPECT_GT(batch.timers().total("Pair"), 0.0);
+  EXPECT_GT(batch.timers().total("Neigh"), 0.0);
+  EXPECT_GT(batch.timers().total("Other"), 0.0);
+  batch.reset_timers();
+  EXPECT_EQ(batch.timers().grand_total(), 0.0);
+}
+
 TEST(Batched, RejectsMixedMasses) {
   System a(Box(10, 10, 10), 12.011);
   a.add_atom({1, 1, 1});

@@ -1,0 +1,233 @@
+// The unified timestep pipeline (md::StepLoop): all three drivers —
+// Simulation, 1-replica BatchedSimulation, 1-rank ParallelSimulation —
+// must advance the same initial system identically, the timer taxonomy
+// must be uniform, and checkpoint/restart must round-trip through every
+// driver's stage hook.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "md/batched.hpp"
+#include "md/io.hpp"
+#include "md/lattice.hpp"
+#include "md/simulation.hpp"
+#include "md/step_loop.hpp"
+#include "parallel/parallel_sim.hpp"
+#include "ref/pair_lj.hpp"
+
+namespace ember::md {
+namespace {
+
+System make_argon(int reps, double temperature, std::uint64_t seed) {
+  LatticeSpec spec;
+  spec.kind = LatticeKind::Fcc;
+  spec.a = 5.26;
+  spec.nx = spec.ny = spec.nz = reps;
+  System sys = build_lattice(spec, 39.948);
+  Rng rng(seed);
+  sys.thermalize(temperature, rng);
+  return sys;
+}
+
+std::shared_ptr<PairPotential> lj() {
+  return std::make_shared<ref::PairLJ>(0.0104, 3.4, 6.5);
+}
+
+// ---- cross-driver parity --------------------------------------------------
+
+class CrossDriverParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossDriverParity, DriversAgreeOnTrajectoryAndEnergy) {
+  const ExecutionPolicy policy{GetParam()};
+  const System init = make_argon(3, 35.0, 101);
+  constexpr long kSteps = 60;
+
+  Simulation serial(init, lj(), 0.002, 0.4, 7, policy);
+  serial.run(kSteps);
+
+  // One-replica batch: the combined system IS the system, the batched
+  // list build degenerates to the serial one — bitwise agreement.
+  BatchedSimulation batch(std::vector<System>{init}, lj(), 0.002, 0.4, 7,
+                          policy);
+  batch.run(kSteps);
+  const System rep = batch.replica(0);
+  ASSERT_EQ(rep.nlocal(), serial.system().nlocal());
+  for (int i = 0; i < rep.nlocal(); ++i) {
+    const Vec3 w = serial.system().box().wrap(serial.system().x[i]);
+    EXPECT_DOUBLE_EQ(rep.x[i].x, w.x) << "atom " << i;
+    EXPECT_DOUBLE_EQ(rep.x[i].y, w.y) << "atom " << i;
+    EXPECT_DOUBLE_EQ(rep.x[i].z, w.z) << "atom " << i;
+    EXPECT_DOUBLE_EQ(rep.v[i].x, serial.system().v[i].x);
+    EXPECT_DOUBLE_EQ(rep.v[i].y, serial.system().v[i].y);
+    EXPECT_DOUBLE_EQ(rep.v[i].z, serial.system().v[i].z);
+  }
+  EXPECT_DOUBLE_EQ(batch.energy_virial().energy, serial.potential_energy());
+
+  // One-rank parallel: same pipeline, but ghosts + self-halo reorder the
+  // force accumulation — tight tolerance rather than bitwise.
+  comm::World world(1);
+  world.run([&](comm::Communicator& c) {
+    parallel::ParallelSimulation psim(c, init, lj(), 0.002, 0.4, 7, policy);
+    psim.run(kSteps);
+    const auto g = psim.global_state();
+    EXPECT_NEAR(g.potential_energy, serial.potential_energy(),
+                1e-9 * std::abs(serial.potential_energy()));
+    const System gathered = psim.gather_global();
+    ASSERT_EQ(gathered.nlocal(), serial.system().nlocal());
+    for (int i = 0; i < gathered.nlocal(); ++i) {
+      const long id = gathered.id[i];
+      const Vec3 d = serial.system().box().minimum_image(
+          serial.system().x[static_cast<std::size_t>(id)], gathered.x[i]);
+      EXPECT_NEAR(d.norm(), 0.0, 1e-8) << "atom id " << id;
+      const Vec3 dv =
+          gathered.v[i] - serial.system().v[static_cast<std::size_t>(id)];
+      EXPECT_NEAR(dv.norm(), 0.0, 1e-8) << "atom id " << id;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, CrossDriverParity, ::testing::Values(1, 8),
+                         [](const auto& info) {
+                           return "nthreads" + std::to_string(info.param);
+                         });
+
+// ---- unified timer taxonomy -----------------------------------------------
+
+TEST(StepLoopTimers, SerialBreakdownHasNoCommBucket) {
+  Simulation sim(make_argon(2, 40.0, 3), lj(), 0.002, 0.4, 5);
+  sim.run(40);
+  const TimerSet& t = sim.timers();
+  EXPECT_GT(t.total(kTimerPair), 0.0);
+  EXPECT_GT(t.total(kTimerNeigh), 0.0);
+  EXPECT_GT(t.total(kTimerOther), 0.0);
+  // Serial drivers never open the Comm bucket, so Pair+Neigh+Other
+  // fractions still cover the whole run.
+  EXPECT_EQ(t.total(kTimerComm), 0.0);
+}
+
+TEST(StepLoopTimers, BatchedRecordsTheSameTaxonomy) {
+  std::vector<System> reps;
+  reps.push_back(make_argon(2, 30.0, 1));
+  reps.push_back(make_argon(2, 50.0, 2));
+  BatchedSimulation batch(reps, lj(), 0.002, 0.4, 9);
+  batch.run(40);
+  const TimerSet& t = batch.timers();
+  EXPECT_GT(t.total(kTimerPair), 0.0);
+  EXPECT_GT(t.total(kTimerNeigh), 0.0);
+  EXPECT_GT(t.total(kTimerOther), 0.0);
+  EXPECT_EQ(t.total(kTimerComm), 0.0);
+}
+
+TEST(StepLoopTimers, Fig4LabelsMapTheCanonicalCategories) {
+  EXPECT_STREQ(fig4_label(kTimerPair), "SNAP");
+  EXPECT_STREQ(fig4_label(kTimerComm), "MPI Comm");
+  EXPECT_STREQ(fig4_label(kTimerNeigh), "Neigh");
+  EXPECT_STREQ(fig4_label(kTimerOther), "Other");
+}
+
+// ---- checkpoint round-trips through the stage hook ------------------------
+
+void expect_systems_close(const System& a, const System& b, double tol) {
+  ASSERT_EQ(a.nlocal(), b.nlocal());
+  for (int i = 0; i < a.nlocal(); ++i) {
+    const Vec3 d = a.box().minimum_image(a.x[i], b.x[i]);
+    EXPECT_NEAR(d.norm(), 0.0, tol) << "atom " << i;
+    EXPECT_NEAR((a.v[i] - b.v[i]).norm(), 0.0, tol) << "atom " << i;
+  }
+}
+
+TEST(CheckpointRoundTrip, SerialRestartMatchesUninterrupted) {
+  const char* path = "/tmp/ember_steploop_serial_ckpt.bin";
+  const System init = make_argon(3, 45.0, 21);
+
+  Simulation full(init, lj(), 0.002, 0.4, 13);
+  full.run(60);
+
+  Simulation head(init, lj(), 0.002, 0.4, 13);
+  head.run(30);
+  head.save_checkpoint(path);
+
+  Simulation tail(read_checkpoint(path), lj(), 0.002, 0.4, 13);
+  tail.run(30);
+
+  expect_systems_close(full.system(), tail.system(), 1e-8);
+  EXPECT_NEAR(tail.potential_energy(), full.potential_energy(),
+              1e-9 * std::abs(full.potential_energy()));
+  std::remove(path);
+}
+
+TEST(CheckpointRoundTrip, ParallelGatherOnRootRestartMatches) {
+  const char* path = "/tmp/ember_steploop_parallel_ckpt.bin";
+  const System init = make_argon(3, 45.0, 33);
+  constexpr int kRanks = 2;
+
+  System full_final(init.box(), init.mass());
+  {
+    comm::World world(kRanks);
+    world.run([&](comm::Communicator& c) {
+      parallel::ParallelSimulation psim(c, init, lj(), 0.002, 0.4, 17);
+      psim.run(60);
+      System g = psim.gather_global();
+      if (c.rank() == 0) full_final = std::move(g);
+    });
+  }
+
+  {
+    comm::World world(kRanks);
+    world.run([&](comm::Communicator& c) {
+      parallel::ParallelSimulation psim(c, init, lj(), 0.002, 0.4, 17);
+      psim.run(30);
+      psim.save_checkpoint(path);  // rank 0 writes, everyone syncs
+    });
+  }
+
+  // The parallel checkpoint is a standard single-System file.
+  const System restored = read_checkpoint(path);
+  ASSERT_EQ(restored.nlocal(), init.nlocal());
+
+  System tail_final(init.box(), init.mass());
+  {
+    comm::World world(kRanks);
+    world.run([&](comm::Communicator& c) {
+      parallel::ParallelSimulation psim(c, restored, lj(), 0.002, 0.4, 17);
+      psim.run(30);
+      System g = psim.gather_global();
+      if (c.rank() == 0) tail_final = std::move(g);
+    });
+  }
+
+  expect_systems_close(full_final, tail_final, 1e-7);
+  std::remove(path);
+}
+
+TEST(CheckpointRoundTrip, BatchedRestartMatchesUninterrupted) {
+  const char* path = "/tmp/ember_steploop_batch_ckpt.bin";
+  std::vector<System> reps;
+  reps.push_back(make_argon(2, 30.0, 4));
+  reps.push_back(make_argon(2, 55.0, 5));
+
+  BatchedSimulation full(reps, lj(), 0.002, 0.4, 23);
+  full.run(40);
+
+  BatchedSimulation head(reps, lj(), 0.002, 0.4, 23);
+  head.run(24);
+  head.save_checkpoint(path);
+
+  std::vector<System> restored = read_checkpoint_batch(path);
+  ASSERT_EQ(restored.size(), 2u);
+  BatchedSimulation tail(std::move(restored), lj(), 0.002, 0.4, 23);
+  tail.run(16);
+
+  for (int r = 0; r < 2; ++r) {
+    expect_systems_close(full.replica(r), tail.replica(r), 1e-8);
+  }
+  std::remove(path);
+}
+
+}  // namespace
+}  // namespace ember::md

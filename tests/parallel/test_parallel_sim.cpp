@@ -192,9 +192,14 @@ TEST(ParallelTimers, BreakdownCoversCategories) {
     ParallelSimulation psim(c, global, make_lj(), 0.002, 0.5, 31);
     psim.run(30);
     const auto& t = psim.timers();
-    EXPECT_GT(t.total("SNAP"), 0.0);
-    EXPECT_GT(t.total("MPI Comm"), 0.0);
-    EXPECT_GT(t.total("Other"), 0.0);
+    // Unified taxonomy: same category names as the serial driver; the
+    // Fig. 4 presentation labels live in md::fig4_label.
+    EXPECT_GT(t.total(md::kTimerPair), 0.0);
+    EXPECT_GT(t.total(md::kTimerNeigh), 0.0);
+    EXPECT_GT(t.total(md::kTimerComm), 0.0);
+    EXPECT_GT(t.total(md::kTimerOther), 0.0);
+    EXPECT_STREQ(md::fig4_label(md::kTimerPair), "SNAP");
+    EXPECT_STREQ(md::fig4_label(md::kTimerComm), "MPI Comm");
   });
 }
 
