@@ -39,8 +39,8 @@ int main() {
       sim.run(400);
       const auto& timers = sim.timers();
       table.add_row(skin, 400.0 / t.seconds(),
-                    100.0 * timers.fraction("Neigh"),
-                    100.0 * timers.fraction("Pair"));
+                    100.0 * timers.fraction(TimerCategory::Neigh),
+                    100.0 * timers.fraction(TimerCategory::Pair));
     }
     table.print();
     std::printf("\nSmall skins rebuild constantly; large skins inflate the\n"

@@ -20,16 +20,14 @@
 // machine-stamped JSON (--json <path>; the bench_record CMake target
 // writes BENCH_headline.json at the repo root).
 
-#include <sys/utsname.h>
-
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/timer.hpp"
+#include "recorder.hpp"
 #include "md/compute_context.hpp"
 #include "md/lattice.hpp"
 #include "md/neighbor.hpp"
@@ -52,18 +50,21 @@ void print_thread_scaling_json() {
   std::printf("\n== Thread scaling (measured, TestSNAP %s, 2J=8) ==\n\n",
               snap::to_string(v));
   const double serial = ts.grind_time(v, 2);
-  std::printf("{\"variant\": \"%s\", \"twojmax\": %d, \"natoms\": %d, "
-              "\"nnbor\": %d, \"grind_time\": [",
-              snap::to_string(v), p.twojmax, ts.natoms(), ts.nnbor());
-  bool first = true;
+  obs::Json doc = obs::Json::object();
+  doc.set("variant", snap::to_string(v));
+  doc.set("twojmax", p.twojmax);
+  doc.set("natoms", ts.natoms());
+  doc.set("nnbor", ts.nnbor());
+  obs::Json curve = obs::Json::array();
   for (const int nth : {1, 2, 4, 8}) {
     const double g = nth == 1 ? serial : ts.grind_time(v, 2, {nth});
-    std::printf("%s{\"threads\": %d, \"s_per_atom_step\": %.4g, "
-                "\"speedup\": %.2f}",
-                first ? "" : ", ", nth, g, serial / g);
-    first = false;
+    curve.push(obs::Json::object()
+                   .set("threads", nth)
+                   .set("s_per_atom_step", g, "%.4g")
+                   .set("speedup", serial / g, "%.2f"));
   }
-  std::printf("]}\n");
+  doc.set("grind_time", std::move(curve));
+  std::printf("%s\n", doc.dump(0).c_str());
 }
 
 // ---- production kernel benchmark ----------------------------------------
@@ -161,42 +162,30 @@ ProductionBench run_production_bench() {
   return b;
 }
 
-std::string production_json(const ProductionBench& b) {
-  utsname un{};
-  uname(&un);
-  char buf[512];
-  std::string json = "{\n  \"bench\": \"headline_production_kernel\",\n";
-  std::snprintf(buf, sizeof buf,
-                "  \"machine\": {\"system\": \"%s\", \"release\": \"%s\", "
-                "\"arch\": \"%s\", \"hardware_threads\": %u},\n",
-                un.sysname, un.release, un.machine,
-                std::thread::hardware_concurrency());
-  json += buf;
-  std::snprintf(buf, sizeof buf,
-                "  \"twojmax\": 8, \"natoms\": %d, \"avg_neighbors\": %.1f,\n",
-                b.natoms, b.avg_neighbors);
-  json += buf;
-  json += "  \"kernels\": [\n";
+ember::bench::Recorder production_recording(const ProductionBench& b) {
+  using ember::obs::Json;
+  ember::bench::Recorder rec("headline_production_kernel");
+  rec.root().set("twojmax", 8);
+  rec.root().set("natoms", b.natoms);
+  rec.root().set("avg_neighbors", b.avg_neighbors, "%.1f");
+  Json kernels = Json::array();
   const char* names[] = {"naive", "symmetric"};
   for (int k = 0; k < 2; ++k) {
-    std::snprintf(buf, sizeof buf, "    {\"kernel\": \"%s\", \"grind_time\": [",
-                  names[k]);
-    json += buf;
+    Json curve = Json::array();
     for (std::size_t i = 0; i < b.runs[k].size(); ++i) {
-      std::snprintf(buf, sizeof buf,
-                    "%s{\"threads\": %d, \"s_per_atom_step\": %.4g}",
-                    i == 0 ? "" : ", ", kThreadCounts[i], b.runs[k][i].grind);
-      json += buf;
+      curve.push(Json::object()
+                     .set("threads", kThreadCounts[i])
+                     .set("s_per_atom_step", b.runs[k][i].grind, "%.4g"));
     }
-    json += k == 0 ? "]},\n" : "]}\n";
+    kernels.push(Json::object()
+                     .set("kernel", names[k])
+                     .set("grind_time", std::move(curve)));
   }
-  json += "  ],\n";
-  std::snprintf(buf, sizeof buf,
-                "  \"speedup_symmetric_vs_naive\": %.2f,\n"
-                "  \"max_force_delta\": %.3g\n}\n",
-                b.runs[0][0].grind / b.runs[1][0].grind, b.max_force_delta);
-  json += buf;
-  return json;
+  rec.root().set("kernels", std::move(kernels));
+  rec.root().set("speedup_symmetric_vs_naive",
+                 b.runs[0][0].grind / b.runs[1][0].grind, "%.2f");
+  rec.root().set("max_force_delta", b.max_force_delta, "%.3g");
+  return rec;
 }
 
 void print_production_bench(const char* json_path) {
@@ -213,19 +202,7 @@ void print_production_bench(const char* json_path) {
   std::printf("\n  kernel parity (max |f_naive - f_symmetric|): %.3g\n",
               b.max_force_delta);
 
-  const std::string json = production_json(b);
-  if (json_path != nullptr) {
-    FILE* fp = std::fopen(json_path, "w");
-    if (fp == nullptr) {
-      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
-      return;
-    }
-    std::fputs(json.c_str(), fp);
-    std::fclose(fp);
-    std::printf("  recorded to %s\n", json_path);
-  } else {
-    std::printf("\n%s", json.c_str());
-  }
+  production_recording(b).emit(json_path);
 }
 
 }  // namespace

@@ -59,8 +59,8 @@ int main() {
       "\n-- measured: in-process 8-rank SNAP run, decreasing atoms/rank --\n");
   const auto snap_model = small_model();
   TextTable table({"Atoms/rank",
-                   std::string(md::fig4_label(md::kTimerPair)) + " %",
-                   std::string(md::fig4_label(md::kTimerComm)) + " %",
+                   std::string(md::fig4_label(TimerCategory::Pair)) + " %",
+                   std::string(md::fig4_label(TimerCategory::Comm)) + " %",
                    "Neigh+Other %"});
   for (const int reps : {4, 3, 2}) {
     md::LatticeSpec spec;
@@ -85,8 +85,8 @@ int main() {
         // is the one place the Fig. 4 names are mapped for display.
         const auto& t = psim.timers();
         const double total = t.grand_total();
-        snap_frac = t.total(md::kTimerPair) / total;
-        comm_frac = t.total(md::kTimerComm) / total;
+        snap_frac = t.total(TimerCategory::Pair) / total;
+        comm_frac = t.total(TimerCategory::Comm) / total;
         other_frac = 1.0 - snap_frac - comm_frac;
       }
     });

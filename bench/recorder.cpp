@@ -1,0 +1,46 @@
+#include "recorder.hpp"
+
+#include <cstdio>
+
+#include "obs/machine.hpp"
+
+namespace ember::bench {
+
+obs::Json machine_json() {
+  const obs::MachineInfo info = obs::probe_machine();
+  obs::Json m = obs::Json::object();
+  m.set("system", info.system);
+  m.set("release", info.release);
+  m.set("arch", info.arch);
+  m.set("cpu_model", info.cpu_model);
+  m.set("hardware_threads", info.hardware_threads);
+  return m;
+}
+
+Recorder::Recorder(std::string_view bench_name) : root_(obs::Json::object()) {
+  root_.set("bench", bench_name);
+  root_.set("machine", machine_json());
+}
+
+std::string Recorder::dump() {
+  root_.set("git_sha", obs::git_head_sha());  // "unknown" outside a repo
+  return root_.dump(2) + "\n";
+}
+
+void Recorder::emit(const char* path) {
+  const std::string text = dump();
+  if (path == nullptr) {
+    std::printf("\n%s", text.c_str());
+    return;
+  }
+  FILE* fp = std::fopen(path, "w");
+  if (fp == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fputs(text.c_str(), fp);
+  std::fclose(fp);
+  std::printf("  recorded to %s\n", path);
+}
+
+}  // namespace ember::bench

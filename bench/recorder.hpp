@@ -1,0 +1,43 @@
+#pragma once
+
+// Machine-stamped JSON recording for the bench_* binaries.
+//
+// Every recorded benchmark artifact (BENCH_headline.json and friends)
+// shares the same envelope: a "bench" name, a "machine" stanza from the
+// obs machine probe (robust hardware-thread count + CPU model, unlike
+// the old raw hardware_concurrency() call that reported 1 on some
+// hosts), and a trailing "git_sha" so a committed recording can be tied
+// back to the exact tree that produced it. Bench-specific fields go in
+// between, through the ordered obs::Json builder, so schemas stay
+// stable and diffable run to run.
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace ember::bench {
+
+// The shared "machine" stanza: system/release/arch from uname, the
+// de-flaked hardware thread count and the CPU model string.
+[[nodiscard]] obs::Json machine_json();
+
+class Recorder {
+ public:
+  // Starts the document with "bench": name and the machine stanza.
+  explicit Recorder(std::string_view bench_name);
+
+  // The document root; add bench-specific fields here (order preserved).
+  [[nodiscard]] obs::Json& root() { return root_; }
+
+  // Serialize with the "git_sha" trailer stamped (idempotent).
+  [[nodiscard]] std::string dump();
+
+  // Write dump() to path, or print it to stdout when path == nullptr.
+  void emit(const char* path);
+
+ private:
+  obs::Json root_;
+};
+
+}  // namespace ember::bench

@@ -4,7 +4,9 @@
 #   2. ThreadSanitizer build + the thread-parity tests (the SNAP force
 #      engine is threaded; TSan pins the no-shared-mutable-state design).
 #   3. bench_record: re-measure the headline kernel curves and refresh
-#      BENCH_headline.json at the repo root.
+#      BENCH_headline.json at the repo root (validated as JSON).
+#   4. Observability smoke: a traced ember_run demo; the Chrome trace
+#      and the metrics dump must both parse.
 #
 # Usage: scripts/smoke.sh [jobs]
 set -euo pipefail
@@ -17,15 +19,28 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/3] TSan build + threaded-kernel tests =="
+echo "== [2/4] TSan build + threaded-kernel tests =="
 cmake -B build-tsan -S . -DEMBER_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   test_thread_pool test_snap_symmetric_kernel test_md_dynamics \
-  test_md_step_loop
+  test_md_step_loop test_obs_metrics test_obs_trace
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ThreadedForces|ComputeContext|SymmetricKernel|TwoJmaxSweep|Dynamics|CrossDriver|StepLoopTimers'
+  -R 'ThreadPool|ThreadedForces|ComputeContext|SymmetricKernel|TwoJmaxSweep|Dynamics|CrossDriver|StepLoopTimers|StepLoopTrace|ObsMetrics|ObsTrace'
 
-echo "== [3/3] bench_record =="
+echo "== [3/4] bench_record =="
 cmake --build build -j "$JOBS" --target bench_record
+if command -v python3 >/dev/null; then
+  python3 -m json.tool BENCH_headline.json >/dev/null
+fi
+
+echo "== [4/4] traced demo run =="
+TRACE_TMP="$(mktemp -d)"
+(cd "$TRACE_TMP" && EMBER_NUM_THREADS=2 \
+  "$OLDPWD/build/src/app/ember_run" "$OLDPWD/examples/inputs/trace_demo.in")
+if command -v python3 >/dev/null; then
+  python3 -m json.tool "$TRACE_TMP/trace_demo.json" >/dev/null
+  python3 -m json.tool "$TRACE_TMP/metrics_demo.json" >/dev/null
+fi
+rm -rf "$TRACE_TMP"
 
 echo "smoke: all green"

@@ -40,10 +40,18 @@ commands:
                           checkpoints use the multi-replica format
                           (mutually exclusive with 'ranks'; barostats
                           need the default serial mode)
+  trace on <file.json>    start recording scoped spans (Chrome trace
+                          format, loadable in Perfetto / chrome://tracing)
+  trace off               stop and write the trace file; an active trace
+                          also flushes automatically at script end
+  metrics dump <file>     export the metrics registry (counters, gauges,
+                          histograms) as JSON
 
 environment:
   EMBER_NUM_THREADS=<n>   default thread count (0 = auto); a script's
                           own 'threads' command overrides it
+  EMBER_TRACE=<file>      start tracing before the script runs, as if it
+                          began with 'trace on <file>'
 )";
 
 }  // namespace
@@ -62,6 +70,9 @@ int main(int argc, char** argv) {
       const int n = std::atoi(env);
       interp.execute(n == 0 ? "threads auto"
                             : "threads " + std::to_string(n));
+    }
+    if (const char* trace = std::getenv("EMBER_TRACE")) {
+      if (trace[0] != '\0') interp.execute(std::string("trace on ") + trace);
     }
     if (std::string(argv[1]) == "-") {
       std::ostringstream buffer;

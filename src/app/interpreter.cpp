@@ -11,6 +11,8 @@
 #include "common/error.hpp"
 #include "md/io.hpp"
 #include "md/lattice.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_sim.hpp"
 #include "ref/pair_eam.hpp"
 #include "ref/pair_lj.hpp"
@@ -54,7 +56,16 @@ struct Interpreter::Pending {
 Interpreter::Interpreter(std::ostream& out)
     : out_(out), pending_(std::make_unique<Pending>()) {}
 
-Interpreter::~Interpreter() = default;
+Interpreter::~Interpreter() {
+  // An active trace still flushes if the script ends without `trace off`.
+  if (!trace_path_.empty()) {
+    try {
+      flush_trace();
+    } catch (...) {
+      // Destructor: a failed flush (bad path) must not terminate.
+    }
+  }
+}
 
 const md::System& Interpreter::system() const {
   EMBER_REQUIRE(system_.has_value(), "no system defined yet");
@@ -110,6 +121,8 @@ void Interpreter::execute(const std::string& line) {
       {"threads", &Interpreter::cmd_threads},
       {"ranks", &Interpreter::cmd_ranks},
       {"replicas", &Interpreter::cmd_replicas},
+      {"trace", &Interpreter::cmd_trace},
+      {"metrics", &Interpreter::cmd_metrics},
   };
   const auto it = handlers.find(cmd);
   EMBER_REQUIRE(it != handlers.end(), "unknown command: " + cmd);
@@ -349,6 +362,47 @@ void Interpreter::cmd_replicas(std::istream& args) {
   reclaim_system();
   pending_->replicas = n;
   out_ << "replicas " << n << "\n";
+}
+
+void Interpreter::cmd_trace(std::istream& args) {
+  const auto mode = need<std::string>(args, "'on <file>' or 'off'");
+  if (mode == "on") {
+    const auto path = need<std::string>(args, "trace output file");
+    EMBER_REQUIRE(trace_path_.empty(),
+                  "a trace is already recording to " + trace_path_);
+    trace_path_ = path;
+    auto& session = obs::TraceSession::global();
+    session.clear();
+    session.start();
+    // Tracing opts into the per-atom SNAP stage timers too: one trace run
+    // yields both the span timeline and the kernel-stage counters.
+    obs::set_kernel_timing(true);
+    out_ << "trace on -> " << trace_path_ << "\n";
+  } else if (mode == "off") {
+    EMBER_REQUIRE(!trace_path_.empty(),
+                  "no trace is recording ('trace on <file>' first)");
+    flush_trace();
+  } else {
+    EMBER_REQUIRE(false, "expected 'trace on <file>' or 'trace off'");
+  }
+}
+
+void Interpreter::flush_trace() {
+  auto& session = obs::TraceSession::global();
+  session.stop();
+  obs::set_kernel_timing(false);
+  session.write_chrome_trace(trace_path_);
+  out_ << "trace written to " << trace_path_ << " ("
+       << session.snapshot().size() << " spans)\n";
+  trace_path_.clear();
+}
+
+void Interpreter::cmd_metrics(std::istream& args) {
+  const auto mode = need<std::string>(args, "'dump <file>'");
+  EMBER_REQUIRE(mode == "dump", "expected 'metrics dump <file>'");
+  const auto path = need<std::string>(args, "metrics output file");
+  obs::Registry::global().to_json().write_file(path);
+  out_ << "metrics written to " << path << "\n";
 }
 
 void Interpreter::reclaim_system() {

@@ -81,6 +81,8 @@ class Interpreter {
   void cmd_threads(std::istream& args);
   void cmd_ranks(std::istream& args);
   void cmd_replicas(std::istream& args);
+  void cmd_trace(std::istream& args);
+  void cmd_metrics(std::istream& args);
 
   void ensure_simulation();
   // Fold any live driver's state back into system_ (mode switches and
@@ -90,6 +92,8 @@ class Interpreter {
   void run_parallel(long steps);
   void run_batched(long steps);
   void apply_integrator_settings(md::Integrator& integrator) const;
+  // Stop the session and write the Chrome trace to trace_path_.
+  void flush_trace();
 
   std::ostream& out_;
   std::optional<md::System> system_;
@@ -104,6 +108,7 @@ class Interpreter {
   double mass_ = 12.011;
   long total_steps_ = 0;
   int line_number_ = 0;
+  std::string trace_path_;  // non-empty while a trace is recording
 };
 
 }  // namespace ember::app

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <thread>
 
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ember::comm {
 
@@ -13,6 +16,18 @@ namespace {
 // use non-negative tags).
 constexpr int kTagGather = -101;
 constexpr int kTagBcast = -102;
+
+// Process-global traffic counters. Registered once; per-call cost is one
+// sharded relaxed fetch_add each.
+struct CommMetrics {
+  obs::Counter& messages;
+  obs::Counter& bytes;
+  static CommMetrics& get() {
+    static CommMetrics m{obs::Registry::global().counter("comm.messages"),
+                         obs::Registry::global().counter("comm.bytes")};
+    return m;
+  }
+};
 }  // namespace
 
 World::World(int size) : size_(size) {
@@ -31,6 +46,9 @@ void World::run(const std::function<void(Communicator&)>& fn) {
   threads.reserve(size_);
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([this, r, &fn, &errors] {
+#if !defined(EMBER_OBS_DISABLED)
+      obs::TraceSession::global().set_thread_name("rank-" + std::to_string(r));
+#endif
       Communicator comm(*this, r);
       try {
         fn(comm);
@@ -50,6 +68,9 @@ int Communicator::size() const { return world_.size(); }
 void Communicator::send_bytes(int dest, int tag, const void* data,
                               std::size_t bytes) {
   EMBER_REQUIRE(dest >= 0 && dest < world_.size(), "invalid destination");
+  CommMetrics& m = CommMetrics::get();
+  m.messages.inc();
+  m.bytes.add(static_cast<double>(bytes));
   auto& mb = world_.mailbox(dest);
   World::Message msg;
   msg.tag = tag;

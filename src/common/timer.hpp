@@ -2,15 +2,17 @@
 
 // Wall-clock timing utilities.
 //
-// The parallel MD driver reports a LAMMPS-style breakdown (Pair / Comm /
-// Other), which SC Fig. 4 is built from; TimerSet accumulates named
-// categories and computes percentages.
+// The MD drivers report a LAMMPS-style breakdown (Pair / Neigh / Comm /
+// Other), which SC Fig. 4 is built from. The taxonomy is a *closed* enum:
+// TimerSet accumulates into a fixed array indexed by TimerCategory, so
+// the per-step hot path does no string hashing, no map lookups and no
+// allocation, and iteration order is the declaration order below, always.
+// (Free-form string keys were PR-3's design; PR 4 closed the set.)
 
 #include <algorithm>
+#include <array>
 #include <chrono>
-#include <map>
 #include <span>
-#include <string>
 
 namespace ember {
 
@@ -29,31 +31,47 @@ class WallTimer {
   clock::time_point start_;
 };
 
-// Accumulates elapsed seconds into named buckets.
+// The canonical step-time taxonomy (declaration order == report order).
+// The paper's Fig. 4 presentation names ("SNAP", "MPI Comm") are a
+// display mapping applied once in the bench layer via md::fig4_label.
+enum class TimerCategory : int { Pair = 0, Neigh, Comm, Other };
+
+inline constexpr int kNumTimerCategories = 4;
+
+inline constexpr std::array<TimerCategory, kNumTimerCategories>
+    kTimerCategories = {TimerCategory::Pair, TimerCategory::Neigh,
+                        TimerCategory::Comm, TimerCategory::Other};
+
+[[nodiscard]] constexpr const char* timer_category_name(TimerCategory c) {
+  switch (c) {
+    case TimerCategory::Pair: return "Pair";
+    case TimerCategory::Neigh: return "Neigh";
+    case TimerCategory::Comm: return "Comm";
+    case TimerCategory::Other: return "Other";
+  }
+  return "?";
+}
+
+// Accumulates elapsed seconds into the fixed category buckets.
 class TimerSet {
  public:
-  void add(const std::string& category, double seconds) {
-    totals_[category] += seconds;
+  void add(TimerCategory category, double seconds) {
+    totals_[index(category)] += seconds;
   }
 
-  [[nodiscard]] double total(const std::string& category) const {
-    auto it = totals_.find(category);
-    return it == totals_.end() ? 0.0 : it->second;
+  [[nodiscard]] double total(TimerCategory category) const {
+    return totals_[index(category)];
   }
 
   [[nodiscard]] double grand_total() const {
     double sum = 0.0;
-    for (const auto& [name, secs] : totals_) sum += secs;
+    for (const double s : totals_) sum += s;
     return sum;
   }
 
-  [[nodiscard]] double fraction(const std::string& category) const {
+  [[nodiscard]] double fraction(TimerCategory category) const {
     const double all = grand_total();
     return all > 0.0 ? total(category) / all : 0.0;
-  }
-
-  [[nodiscard]] const std::map<std::string, double>& totals() const {
-    return totals_;
   }
 
   // Per-thread load-balance bookkeeping: drivers feed the pool's busy
@@ -67,10 +85,10 @@ class TimerSet {
     int nthreads = 0;
   };
 
-  void add_thread_times(const std::string& category,
+  void add_thread_times(TimerCategory category,
                         std::span<const double> busy_seconds) {
     if (busy_seconds.empty()) return;
-    ThreadStats& st = thread_stats_[category];
+    ThreadStats& st = thread_stats_[index(category)];
     st.min_total += *std::min_element(busy_seconds.begin(), busy_seconds.end());
     st.max_total += *std::max_element(busy_seconds.begin(), busy_seconds.end());
     for (const double s : busy_seconds) st.sum_total += s;
@@ -80,33 +98,36 @@ class TimerSet {
 
   // max/avg busy time across workers; 1.0 means perfect balance, 0.0
   // means no threaded sweeps were recorded for the category.
-  [[nodiscard]] double imbalance(const std::string& category) const {
-    auto it = thread_stats_.find(category);
-    if (it == thread_stats_.end() || it->second.nthreads == 0) return 0.0;
-    const double avg = it->second.sum_total / it->second.nthreads;
-    return avg > 0.0 ? it->second.max_total / avg : 0.0;
+  [[nodiscard]] double imbalance(TimerCategory category) const {
+    const ThreadStats& st = thread_stats_[index(category)];
+    if (st.nthreads == 0) return 0.0;
+    const double avg = st.sum_total / st.nthreads;
+    return avg > 0.0 ? st.max_total / avg : 0.0;
   }
 
-  [[nodiscard]] const std::map<std::string, ThreadStats>& thread_stats()
-      const {
-    return thread_stats_;
+  [[nodiscard]] const ThreadStats& thread_stats(TimerCategory category) const {
+    return thread_stats_[index(category)];
   }
 
   void clear() {
-    totals_.clear();
-    thread_stats_.clear();
+    totals_.fill(0.0);
+    thread_stats_.fill(ThreadStats{});
   }
 
  private:
-  std::map<std::string, double> totals_;
-  std::map<std::string, ThreadStats> thread_stats_;
+  static constexpr std::size_t index(TimerCategory c) {
+    return static_cast<std::size_t>(c);
+  }
+
+  std::array<double, kNumTimerCategories> totals_{};
+  std::array<ThreadStats, kNumTimerCategories> thread_stats_{};
 };
 
 // RAII helper: adds the scope's elapsed time to a TimerSet bucket.
 class ScopedTimer {
  public:
-  ScopedTimer(TimerSet& set, std::string category)
-      : set_(set), category_(std::move(category)) {}
+  ScopedTimer(TimerSet& set, TimerCategory category)
+      : set_(set), category_(category) {}
   ~ScopedTimer() { set_.add(category_, timer_.seconds()); }
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -114,7 +135,7 @@ class ScopedTimer {
 
  private:
   TimerSet& set_;
-  std::string category_;
+  TimerCategory category_;
   WallTimer timer_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "md/compute_context.hpp"
+#include "obs/metrics.hpp"
 
 namespace ember::md {
 
@@ -29,6 +30,11 @@ void NeighborList::build(const System& sys, bool use_ghosts,
 
   x_at_build_.assign(sys.x.begin(), sys.x.begin() + sys.nlocal());
   box_at_build_ = sys.box().lengths();
+
+  static obs::Counter& builds = obs::Registry::global().counter("neigh.builds");
+  static obs::Gauge& pairs = obs::Registry::global().gauge("neigh.pairs");
+  builds.inc();
+  pairs.set(static_cast<double>(entries_.size()));
 }
 
 void NeighborList::build_batched(const System& combined,

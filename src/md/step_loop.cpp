@@ -1,8 +1,35 @@
 #include "step_loop.hpp"
 
 #include "md/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ember::md {
+
+namespace {
+
+// Observability handles for the pipeline, registered once per process.
+// Every StepLoop (serial, batched, each parallel rank) reports into the
+// same counters; the per-thread shards keep concurrent ranks cheap.
+struct LoopMetrics {
+  obs::Counter& steps;
+  obs::Counter& rebuilds;
+  obs::Histogram& step_seconds;
+
+  static LoopMetrics& get() {
+    // Step-time buckets: 10 us .. 10 s, decade + half-decade resolution —
+    // wide enough for an LJ toy box and a multi-rank SNAP step alike.
+    static constexpr double kBounds[] = {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+                                         1e-2, 3e-2, 1e-1, 3e-1, 1.0, 10.0};
+    auto& reg = obs::Registry::global();
+    static LoopMetrics m{reg.counter("md.steps"),
+                         reg.counter("md.neigh.rebuilds"),
+                         reg.histogram("md.step.seconds", kBounds)};
+    return m;
+  }
+};
+
+}  // namespace
 
 bool StepStages::check_rebuild(StepLoop& loop) {
   return loop.neighbor_list().needs_rebuild(loop.system());
@@ -42,53 +69,77 @@ StepLoop::StepLoop(System sys, std::shared_ptr<PairPotential> pot,
       nl_(pot_->cutoff(), skin),
       rng_(rng) {}
 
-void StepLoop::add_thread_times(const char* category) {
+void StepLoop::add_thread_times(TimerCategory category) {
   if (!ctx_.serial()) {
     timers_.add_thread_times(category, ctx_.pool().last_thread_seconds());
   }
 }
 
 void StepLoop::rebuild_neighbors(bool initial) {
-  ScopedTimer t(timers_, kTimerNeigh);
+  EMBER_OBS_SPAN("neigh.rebuild", "neigh");
+  ScopedTimer t(timers_, TimerCategory::Neigh);
   stages_->build_neighbors(*this, initial);
-  add_thread_times(kTimerNeigh);
+  add_thread_times(TimerCategory::Neigh);
+  LoopMetrics::get().rebuilds.inc();
 }
 
 void StepLoop::compute_forces() {
-  ScopedTimer t(timers_, kTimerPair);
+  EMBER_OBS_SPAN("force", "pair");
+  ScopedTimer t(timers_, TimerCategory::Pair);
   sys_.zero_forces();
   ev_ = pot_->compute(ctx_, sys_, nl_);
-  add_thread_times(kTimerPair);
+  add_thread_times(TimerCategory::Pair);
 }
 
 void StepLoop::setup() {
-  timed_comm([&] { stages_->exchange(*this, /*initial=*/true); });
+  EMBER_OBS_SPAN("setup", "other");
+  {
+    EMBER_OBS_SPAN("exchange", "comm");
+    timed_comm([&] { stages_->exchange(*this, /*initial=*/true); });
+  }
   rebuild_neighbors(/*initial=*/true);
   compute_forces();
-  timed_comm([&] { stages_->reverse_forces(*this); });
+  {
+    EMBER_OBS_SPAN("reverse", "comm");
+    timed_comm([&] { stages_->reverse_forces(*this); });
+  }
   ready_ = true;
 }
 
 void StepLoop::run(long nsteps, const std::function<void()>& after_step) {
   if (!ready_) setup();
   for (long s = 0; s < nsteps; ++s) {
+    EMBER_OBS_SPAN_ARG("step", "step", "step", step_);
+    WallTimer step_timer;
     {
-      ScopedTimer t(timers_, kTimerOther);
+      EMBER_OBS_SPAN("integrate.initial", "other");
+      ScopedTimer t(timers_, TimerCategory::Other);
       integrator_.initial_integrate(sys_, &ctx_);
     }
     if (stages_->check_rebuild(*this)) {
-      timed_comm([&] { stages_->exchange(*this, /*initial=*/false); });
+      {
+        EMBER_OBS_SPAN("exchange", "comm");
+        timed_comm([&] { stages_->exchange(*this, /*initial=*/false); });
+      }
       rebuild_neighbors(/*initial=*/false);
     } else {
+      EMBER_OBS_SPAN("forward", "comm");
       timed_comm([&] { stages_->forward_positions(*this); });
     }
     compute_forces();
-    timed_comm([&] { stages_->reverse_forces(*this); });
     {
-      ScopedTimer t(timers_, kTimerOther);
+      EMBER_OBS_SPAN("reverse", "comm");
+      timed_comm([&] { stages_->reverse_forces(*this); });
+    }
+    {
+      EMBER_OBS_SPAN("integrate.final", "other");
+      ScopedTimer t(timers_, TimerCategory::Other);
       integrator_.final_integrate(sys_, ev_, rng_, &ctx_);
     }
     ++step_;
+    LoopMetrics& m = LoopMetrics::get();
+    m.steps.inc();
+    m.step_seconds.record(step_timer.seconds());
     if (after_step) after_step();
   }
 }

@@ -25,7 +25,6 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <string_view>
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -35,19 +34,18 @@
 
 namespace ember::md {
 
-// Canonical timer taxonomy. The paper's Fig. 4 presentation names
-// ("SNAP", "MPI Comm") are a display mapping applied once in the bench
-// layer (fig4_label below), never stored.
-inline constexpr const char* kTimerPair = "Pair";
-inline constexpr const char* kTimerNeigh = "Neigh";
-inline constexpr const char* kTimerComm = "Comm";
-inline constexpr const char* kTimerOther = "Other";
-
-// Canonical category -> the label Fig. 4 of the paper prints.
-[[nodiscard]] constexpr const char* fig4_label(std::string_view category) {
-  if (category == kTimerPair) return "SNAP";
-  if (category == kTimerComm) return "MPI Comm";
-  return category == kTimerNeigh ? "Neigh" : "Other";
+// The canonical timer taxonomy is the closed TimerCategory enum
+// (common/timer.hpp). fig4_label is the single display-name mapping:
+// the paper's Fig. 4 presentation names ("SNAP", "MPI Comm") are applied
+// here by the bench layer, never stored.
+[[nodiscard]] constexpr const char* fig4_label(TimerCategory category) {
+  switch (category) {
+    case TimerCategory::Pair: return "SNAP";
+    case TimerCategory::Comm: return "MPI Comm";
+    case TimerCategory::Neigh: return "Neigh";
+    case TimerCategory::Other: return "Other";
+  }
+  return "?";
 }
 
 class StepLoop;
@@ -139,11 +137,11 @@ class StepLoop {
  private:
   void compute_forces();
   void rebuild_neighbors(bool initial);
-  void add_thread_times(const char* category);
+  void add_thread_times(TimerCategory category);
   template <typename Fn>
   void timed_comm(Fn&& fn) {
     if (stages_->communicates()) {
-      ScopedTimer t(timers_, kTimerComm);
+      ScopedTimer t(timers_, TimerCategory::Comm);
       fn();
     } else {
       fn();

@@ -1,0 +1,267 @@
+#include "json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace ember::obs {
+
+Json Json::str(std::string_view s) {
+  Json j(Kind::String);
+  j.scalar_.assign(s);
+  return j;
+}
+
+Json Json::num(double v, const char* fmt) {
+  Json j(Kind::Number);
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; record null (validators stay happy, readers
+    // see an explicit hole rather than a bogus number).
+    j.kind_ = Kind::Null;
+    return j;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  j.scalar_ = buf;
+  return j;
+}
+
+Json Json::num(std::int64_t v) {
+  Json j(Kind::Number);
+  j.scalar_ = std::to_string(v);
+  return j;
+}
+
+Json Json::boolean(bool v) {
+  Json j(Kind::Bool);
+  j.scalar_ = v ? "true" : "false";
+  return j;
+}
+
+Json& Json::set(std::string_view key, Json value) {
+  EMBER_REQUIRE(kind_ == Kind::Object, "Json::set on a non-object");
+  for (auto& [k, v] : children_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  children_.emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  EMBER_REQUIRE(kind_ == Kind::Array, "Json::push on a non-array");
+  children_.emplace_back(std::string(), std::move(value));
+  return *this;
+}
+
+void Json::escape_to(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (kind_) {
+    case Kind::Null: out += "null"; return;
+    case Kind::Number:
+    case Kind::Bool: out += scalar_; return;
+    case Kind::String: escape_to(out, scalar_); return;
+    case Kind::Object:
+    case Kind::Array: {
+      const char open = kind_ == Kind::Object ? '{' : '[';
+      const char close = kind_ == Kind::Object ? '}' : ']';
+      out += open;
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        if (kind_ == Kind::Object) {
+          escape_to(out, children_[i].first);
+          out += indent > 0 ? ": " : ":";
+        }
+        children_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!children_.empty()) newline(depth);
+      out += close;
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+void Json::write_file(const std::string& path, int indent) const {
+  std::ofstream os(path);
+  EMBER_REQUIRE(os.good(), "cannot open " + path + " for writing");
+  os << dump(indent);
+  EMBER_REQUIRE(os.good(), "write failed: " + path);
+}
+
+// ---- validator ------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  bool run() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value() {  // NOLINT(misc-no-recursion)
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {  // NOLINT(misc-no-recursion)
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {  // NOLINT(misc-no-recursion)
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char
+      if (c == '\\') {
+        ++pos_;
+        const char e = peek();
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(peek()))) return false;
+            ++pos_;
+          }
+          continue;
+        }
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    eat('-');
+    if (peek() == '0') {
+      ++pos_;  // leading zero must stand alone
+    } else if (!digits()) {
+      return false;
+    }
+    if (eat('.') && !digits()) return false;
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace ember::obs

@@ -1,0 +1,85 @@
+#pragma once
+
+// Minimal ordered JSON document builder + syntax validator.
+//
+// Every machine-readable artifact the observability layer emits — metric
+// dumps, Chrome trace files, bench recordings — goes through obs::Json so
+// escaping, number formatting and nesting are correct by construction
+// instead of by hand-rolled printf (the pre-PR-4 state of bench_headline).
+// Insertion order of object keys is preserved: recorded files stay
+// diffable run to run and the committed BENCH_headline.json schema is
+// stable.
+//
+// json_valid() is a strict recursive-descent syntax check (RFC 8259
+// grammar, no extensions) used by the tests and the smoke scripts to
+// assert that every emitted artifact actually parses.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ember::obs {
+
+class Json {
+ public:
+  // Scalars. Numbers carry a printf format so callers control precision
+  // (the bench schema records grind times as %.4g, counters as %.17g).
+  Json() : kind_(Kind::Null) {}
+  static Json object() { return Json(Kind::Object); }
+  static Json array() { return Json(Kind::Array); }
+  static Json str(std::string_view s);
+  static Json num(double v, const char* fmt = "%.17g");
+  static Json num(std::int64_t v);
+  static Json boolean(bool v);
+
+  // Object building (key order preserved; duplicate keys overwrite).
+  Json& set(std::string_view key, Json value);
+  Json& set(std::string_view key, std::string_view value) {
+    return set(key, str(value));
+  }
+  Json& set(std::string_view key, const char* value) {
+    return set(key, str(value));
+  }
+  Json& set(std::string_view key, double value, const char* fmt = "%.17g") {
+    return set(key, num(value, fmt));
+  }
+  Json& set(std::string_view key, std::int64_t value) {
+    return set(key, num(value));
+  }
+  Json& set(std::string_view key, int value) {
+    return set(key, num(static_cast<std::int64_t>(value)));
+  }
+  Json& set(std::string_view key, bool value) { return set(key, boolean(value)); }
+
+  // Array building.
+  Json& push(Json value);
+
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] std::size_t size() const { return children_.size(); }
+
+  // Serialize. indent > 0 pretty-prints; indent == 0 emits one line.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  // Write dump() to a file; throws ember::Error on I/O failure.
+  void write_file(const std::string& path, int indent = 2) const;
+
+ private:
+  enum class Kind { Null, Object, Array, String, Number, Bool };
+  explicit Json(Kind k) : kind_(k) {}
+
+  void dump_to(std::string& out, int indent, int depth) const;
+  static void escape_to(std::string& out, std::string_view s);
+
+  Kind kind_;
+  std::string scalar_;  // rendered number / raw string / "true"/"false"
+  std::vector<std::pair<std::string, Json>> children_;  // object or array
+};
+
+// Strict JSON syntax check (entire input must be one valid value).
+[[nodiscard]] bool json_valid(std::string_view text);
+
+}  // namespace ember::obs

@@ -1,0 +1,113 @@
+#include "machine.hpp"
+
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace ember::obs {
+
+namespace {
+
+std::string trim(std::string s) {
+  const auto notspace = [](unsigned char c) { return !std::isspace(c); };
+  s.erase(s.begin(), std::find_if(s.begin(), s.end(), notspace));
+  s.erase(std::find_if(s.rbegin(), s.rend(), notspace).base(), s.end());
+  return s;
+}
+
+// Parse /proc/cpuinfo once for both the model string and a processor
+// count (the most robust source inside containers).
+void probe_cpuinfo(std::string* model, int* count) {
+  std::ifstream is("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("processor", 0) == 0) ++*count;
+    if (model->empty() && line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) *model = trim(line.substr(colon + 1));
+    }
+  }
+}
+
+bool is_hex_sha(const std::string& s) {
+  return s.size() >= 40 &&
+         std::all_of(s.begin(), s.begin() + 40,
+                     [](unsigned char c) { return std::isxdigit(c); });
+}
+
+std::string read_first_line(const std::filesystem::path& p) {
+  std::ifstream is(p);
+  std::string line;
+  std::getline(is, line);
+  return trim(line);
+}
+
+// Resolve "ref: refs/heads/x" through loose refs, then packed-refs.
+std::string resolve_ref(const std::filesystem::path& git_dir,
+                        const std::string& ref) {
+  std::error_code ec;
+  if (std::filesystem::exists(git_dir / ref, ec)) {
+    const std::string sha = read_first_line(git_dir / ref);
+    if (is_hex_sha(sha)) return sha.substr(0, 40);
+  }
+  std::ifstream packed(git_dir / "packed-refs");
+  std::string line;
+  while (std::getline(packed, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '^') continue;
+    const auto space = line.find(' ');
+    if (space == std::string::npos) continue;
+    if (trim(line.substr(space + 1)) == ref && is_hex_sha(line)) {
+      return line.substr(0, 40);
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+MachineInfo probe_machine() {
+  MachineInfo info;
+  utsname un{};
+  if (uname(&un) == 0) {
+    info.system = un.sysname;
+    info.release = un.release;
+    info.arch = un.machine;
+  }
+
+  int threads = static_cast<int>(std::thread::hardware_concurrency());
+#ifdef _SC_NPROCESSORS_ONLN
+  threads = std::max(threads, static_cast<int>(sysconf(_SC_NPROCESSORS_ONLN)));
+#endif
+  int cpuinfo_count = 0;
+  probe_cpuinfo(&info.cpu_model, &cpuinfo_count);
+  threads = std::max(threads, cpuinfo_count);
+  info.hardware_threads = std::max(1, threads);
+  return info;
+}
+
+std::string git_head_sha(const std::string& start_dir) {
+  std::error_code ec;
+  auto dir = std::filesystem::absolute(start_dir, ec);
+  if (ec) return "unknown";
+  for (; !dir.empty(); dir = dir.parent_path()) {
+    const auto git_dir = dir / ".git";
+    if (!std::filesystem::is_directory(git_dir, ec)) {
+      if (dir == dir.parent_path()) break;
+      continue;
+    }
+    const std::string head = read_first_line(git_dir / "HEAD");
+    if (is_hex_sha(head)) return head.substr(0, 40);  // detached HEAD
+    if (head.rfind("ref:", 0) == 0) {
+      return resolve_ref(git_dir, trim(head.substr(4)));
+    }
+    return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace ember::obs

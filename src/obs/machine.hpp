@@ -1,0 +1,36 @@
+#pragma once
+
+// Host machine probe for recorded artifacts (BENCH_headline.json, metric
+// dumps): OS triple, a *reliable* hardware-thread count, and the CPU
+// model string.
+//
+// std::thread::hardware_concurrency() is allowed to return 0 and, under
+// some container runtimes, under-reports (the seed benchmarks recorded
+// "hardware_threads": 1 on multi-core hosts). probe() therefore takes the
+// max over three sources: hardware_concurrency(), sysconf(
+// _SC_NPROCESSORS_ONLN), and the processor-entry count in /proc/cpuinfo.
+//
+// git_head_sha() resolves the repository HEAD without spawning a process:
+// walk up from `start_dir` to the first .git, read HEAD, follow the ref
+// through refs/ or packed-refs. Recorded artifacts carry it so a number
+// can always be traced back to the exact tree that produced it.
+
+#include <string>
+
+namespace ember::obs {
+
+struct MachineInfo {
+  std::string system;   // uname sysname, e.g. "Linux"
+  std::string release;  // uname release
+  std::string arch;     // uname machine, e.g. "x86_64"
+  std::string cpu_model;  // /proc/cpuinfo "model name" ("" if unknown)
+  int hardware_threads = 1;
+};
+
+[[nodiscard]] MachineInfo probe_machine();
+
+// Commit hash of the enclosing repository's HEAD, or "unknown". `start_dir`
+// defaults to the current working directory.
+[[nodiscard]] std::string git_head_sha(const std::string& start_dir = ".");
+
+}  // namespace ember::obs

@@ -1,0 +1,138 @@
+#include "metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ember::obs {
+
+int this_thread_shard() {
+  static std::atomic<int> next{0};
+  thread_local const int shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+// ---- Histogram ------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::span<const double> upper_bounds)
+    : name_(std::move(name)), bounds_(upper_bounds.begin(), upper_bounds.end()) {
+  EMBER_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bounds must be ascending: " + name_);
+  for (auto& s : shards_) {
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::record(double v, int shard) {
+  Shard& s = shards_[shard];
+  // lower_bound: bucket i takes v <= bounds_[i] (doc contract in the
+  // header); only v past the last bound overflows.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto b = static_cast<std::size_t>(it - bounds_.begin());
+  s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  for (const auto& s : shards_) {
+    for (std::size_t b = 0; b < out.counts.size(); ++b) {
+      out.counts[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.count += s.count.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---- Registry -------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  if (const auto it = counter_index_.find(name); it != counter_index_.end()) {
+    return *it->second;
+  }
+  Counter& c = counters_.emplace_back(std::string(name));
+  counter_index_.emplace(c.name(), &c);
+  return c;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  if (const auto it = gauge_index_.find(name); it != gauge_index_.end()) {
+    return *it->second;
+  }
+  Gauge& g = gauges_.emplace_back(std::string(name));
+  gauge_index_.emplace(g.name(), &g);
+  return g;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  std::lock_guard lock(mutex_);
+  if (const auto it = histogram_index_.find(name);
+      it != histogram_index_.end()) {
+    return *it->second;
+  }
+  Histogram& h = histograms_.emplace_back(std::string(name), bounds);
+  histogram_index_.emplace(h.name(), &h);
+  return h;
+}
+
+Json Registry::to_json() const {
+  std::lock_guard lock(mutex_);
+  Json root = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, c] : counter_index_) counters.set(name, c->value());
+  root.set("counters", std::move(counters));
+
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauge_index_) gauges.set(name, g->value());
+  root.set("gauges", std::move(gauges));
+
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histogram_index_) {
+    const auto snap = h->snapshot();
+    Json entry = Json::object();
+    entry.set("count", static_cast<std::int64_t>(snap.count));
+    entry.set("sum", snap.sum);
+    entry.set("mean", snap.mean());
+    Json bounds = Json::array();
+    for (const double b : snap.bounds) bounds.push(Json::num(b, "%.9g"));
+    entry.set("bounds", std::move(bounds));
+    Json counts = Json::array();
+    for (const std::uint64_t c : snap.counts) {
+      counts.push(Json::num(static_cast<std::int64_t>(c)));
+    }
+    entry.set("counts", std::move(counts));
+    histograms.set(name, std::move(entry));
+  }
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& c : counters_) c.reset();
+  for (auto& g : gauges_) g.reset();
+  for (auto& h : histograms_) h.reset();
+}
+
+}  // namespace ember::obs

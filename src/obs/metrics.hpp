@@ -1,0 +1,167 @@
+#pragma once
+
+// Metrics registry: typed counters, gauges and fixed-bucket histograms,
+// sampled from hot paths without locks.
+//
+// Design (the "registered once, sampled cheaply" contract of PR 4):
+//
+//   * Registration (Registry::counter / gauge / histogram) takes a mutex
+//     and returns a stable reference — callers do it once at construction
+//     and keep the handle; the hot path never touches a map or a string.
+//   * Updates are lock-free: every metric owns kMetricShards cache-line-
+//     padded slots, each thread hashes to a stable slot via a thread_local
+//     id, and updates are relaxed atomic RMWs on that slot. Two pool
+//     workers never contend unless the shard space overflows (>64 live
+//     threads), in which case they share slots but stay correct.
+//   * Reads (value() / snapshot / dump_json) merge the shards; they are
+//     safe concurrently with writers (the TSan CI subset pins this), and
+//     are O(shards) — fine for end-of-run dumps, not for per-step loops.
+//
+// This is the substrate the paper's Fig.-4-style attribution grows on:
+// kernel stages and comm legs feed counters here, and `metrics dump`
+// exports the whole registry as JSON.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ember::obs {
+
+inline constexpr int kMetricShards = 64;
+
+// Stable per-thread shard index in [0, kMetricShards): assigned on first
+// use in thread-creation order, wrapping when more threads than shards
+// exist (correctness is unaffected; only contention grows).
+[[nodiscard]] int this_thread_shard();
+
+namespace detail {
+struct alignas(64) DoubleShard {
+  std::atomic<double> v{0.0};
+};
+struct alignas(64) CountShard {
+  std::atomic<std::uint64_t> v{0};
+};
+}  // namespace detail
+
+// Monotonic sum (events, seconds, bytes). add() is wait-free per shard.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(double v) { add(v, this_thread_shard()); }
+  void add(double v, int shard) {
+    shards_[shard].v.fetch_add(v, std::memory_order_relaxed);
+  }
+  void inc() { add(1.0); }
+
+  [[nodiscard]] double value() const {
+    double sum = 0.0;
+    for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void reset() {
+    for (auto& s : shards_) s.v.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::array<detail::DoubleShard, kMetricShards> shards_;
+};
+
+// Last-write-wins instantaneous value (atom counts, list sizes).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void reset() { set(0.0); }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: bucket i counts samples <= bounds[i], with one
+// overflow bucket past the last bound. Bounds are set at registration and
+// never change, so record() is a branch-free-ish upper_bound plus three
+// relaxed RMWs on the caller's shard.
+class Histogram {
+ public:
+  Histogram(std::string name, std::span<const double> upper_bounds);
+
+  void record(double v) { record(v, this_thread_shard()); }
+  void record(double v, int shard);
+
+  struct Snapshot {
+    std::vector<double> bounds;        // upper bound per finite bucket
+    std::vector<std::uint64_t> counts; // bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+
+    [[nodiscard]] double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::span<const double> bounds() const { return bounds_; }
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<double> sum{0.0};
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+class Registry {
+ public:
+  // The process-wide registry every instrumented layer reports into.
+  static Registry& global();
+
+  // Get-or-create; references stay valid for the Registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // Re-registering an existing histogram returns it unchanged (bounds are
+  // fixed at first registration).
+  Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  // Merge-and-export every metric, sorted by name within each type.
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] std::string dump_json() const { return to_json().dump(); }
+
+  // Zero every metric (tests and `trace on` restarts). Registration
+  // survives; handles stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Counter> counters_;       // deque: stable addresses
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Counter*, std::less<>> counter_index_;
+  std::map<std::string, Gauge*, std::less<>> gauge_index_;
+  std::map<std::string, Histogram*, std::less<>> histogram_index_;
+};
+
+}  // namespace ember::obs

@@ -1,0 +1,171 @@
+#include "trace.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+namespace ember::obs {
+
+namespace {
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+// One buffer per thread that ever recorded a span (or set a name). The
+// buffer's mutex serializes that thread's appends against snapshot() from
+// readers; appends are uncontended in steady state.
+struct TraceSession::ThreadBuffer {
+  mutable std::mutex mutex;
+  std::vector<SpanEvent> events;
+  int tid = 0;
+  int depth = 0;  // only touched by the owning thread
+  std::string name;
+};
+
+struct TraceSession::Impl {
+  std::mutex mutex;                  // guards the buffer list
+  std::deque<ThreadBuffer> buffers;  // stable addresses
+};
+
+TraceSession& TraceSession::global() {
+  static TraceSession instance;
+  return instance;
+}
+
+TraceSession::TraceSession() : t0_ns_(now_ns()), impl_(new Impl) {}
+
+TraceSession::ThreadBuffer& TraceSession::buffer() {
+  thread_local ThreadBuffer* mine = nullptr;
+  if (mine == nullptr) {
+    std::lock_guard lock(impl_->mutex);
+    mine = &impl_->buffers.emplace_back();
+    mine->tid = static_cast<int>(impl_->buffers.size()) - 1;
+  }
+  return *mine;
+}
+
+void TraceSession::start() { enabled_.store(true, std::memory_order_relaxed); }
+void TraceSession::stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+void TraceSession::clear() {
+  std::lock_guard lock(impl_->mutex);
+  for (auto& b : impl_->buffers) {
+    std::lock_guard blk(b.mutex);
+    b.events.clear();
+  }
+}
+
+void TraceSession::set_thread_name(const std::string& name) {
+  ThreadBuffer& b = buffer();
+  std::lock_guard lock(b.mutex);
+  b.name = name;
+}
+
+std::vector<SpanEvent> TraceSession::snapshot() const {
+  std::vector<SpanEvent> out;
+  std::lock_guard lock(impl_->mutex);
+  for (const auto& b : impl_->buffers) {
+    std::lock_guard blk(b.mutex);
+    out.insert(out.end(), b.events.begin(), b.events.end());
+  }
+  return out;
+}
+
+long TraceSession::count(const char* name) const {
+  long n = 0;
+  for (const auto& ev : snapshot()) {
+    if (std::strcmp(ev.name, name) == 0) ++n;
+  }
+  return n;
+}
+
+Json TraceSession::chrome_trace() const {
+  Json events = Json::array();
+  {
+    std::lock_guard lock(impl_->mutex);
+    for (const auto& b : impl_->buffers) {
+      std::lock_guard blk(b.mutex);
+      if (!b.name.empty()) {
+        Json meta = Json::object();
+        meta.set("ph", "M");
+        meta.set("name", "thread_name");
+        meta.set("pid", 1);
+        meta.set("tid", b.tid);
+        meta.set("args", Json::object().set("name", b.name));
+        events.push(std::move(meta));
+      }
+      for (const SpanEvent& ev : b.events) {
+        Json e = Json::object();
+        e.set("ph", "X");
+        e.set("name", ev.name);
+        e.set("cat", ev.cat);
+        e.set("pid", 1);
+        e.set("tid", ev.tid);
+        // Chrome expects microseconds; keep ns resolution as fractions.
+        e.set("ts", static_cast<double>(ev.start_ns) / 1e3, "%.3f");
+        e.set("dur", static_cast<double>(ev.dur_ns) / 1e3, "%.3f");
+        Json args = Json::object();
+        args.set("depth", ev.depth);
+        if (ev.arg_key != nullptr) args.set(ev.arg_key, ev.arg_val);
+        e.set("args", std::move(args));
+        events.push(std::move(e));
+      }
+    }
+  }
+  Json root = Json::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", "ms");
+  return root;
+}
+
+void TraceSession::write_chrome_trace(const std::string& path) const {
+  chrome_trace().write_file(path, /*indent=*/0);
+}
+
+// ---- ScopedSpan -----------------------------------------------------------
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat) {
+  TraceSession& s = TraceSession::global();
+  if (!s.enabled()) return;
+  buf_ = &s.buffer();
+  ev_.name = name;
+  ev_.cat = cat;
+  ev_.tid = buf_->tid;
+  ev_.depth = buf_->depth++;
+  ev_.start_ns = now_ns() - s.t0_ns_;
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat, const char* arg_key,
+                       std::int64_t arg_val)
+    : ScopedSpan(name, cat) {
+  ev_.arg_key = arg_key;
+  ev_.arg_val = arg_val;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (buf_ == nullptr) return;
+  ev_.dur_ns = (now_ns() - TraceSession::global().t0_ns_) - ev_.start_ns;
+  buf_->depth--;
+  std::lock_guard lock(buf_->mutex);
+  buf_->events.push_back(ev_);
+}
+
+// ---- kernel-stage timing gate ---------------------------------------------
+
+namespace {
+std::atomic<bool> g_kernel_timing{false};
+}
+
+bool kernel_timing_enabled() {
+  return g_kernel_timing.load(std::memory_order_relaxed);
+}
+
+void set_kernel_timing(bool on) {
+  g_kernel_timing.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace ember::obs

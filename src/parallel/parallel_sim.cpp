@@ -5,6 +5,7 @@
 
 #include "common/units.hpp"
 #include "md/io.hpp"
+#include "obs/trace.hpp"
 
 namespace ember::parallel {
 
@@ -157,13 +158,18 @@ void ParallelSimulation::exchange_ghosts() {
 }
 
 bool ParallelSimulation::check_rebuild(md::StepLoop& loop) {
-  ScopedTimer t(loop.timers(), md::kTimerComm);
+  EMBER_OBS_SPAN("comm.rebuild_check", "comm");
+  ScopedTimer t(loop.timers(), TimerCategory::Comm);
   return comm_.allreduce_or(
       loop.neighbor_list().needs_rebuild(loop.system()));
 }
 
 void ParallelSimulation::exchange(md::StepLoop&, bool /*initial*/) {
-  migrate();
+  {
+    EMBER_OBS_SPAN("comm.migrate", "comm");
+    migrate();
+  }
+  EMBER_OBS_SPAN("comm.ghosts", "comm");
   exchange_ghosts();
 }
 
@@ -175,6 +181,7 @@ void ParallelSimulation::build_neighbors(md::StepLoop& loop,
 }
 
 void ParallelSimulation::forward_positions(md::StepLoop& loop) {
+  EMBER_OBS_SPAN("comm.forward", "comm");
   md::System& sys = loop.system();
   std::vector<Vec3> packed;
   for (int leg_idx = 0; leg_idx < 6; ++leg_idx) {
@@ -195,6 +202,7 @@ void ParallelSimulation::forward_positions(md::StepLoop& loop) {
 }
 
 void ParallelSimulation::reverse_forces(md::StepLoop& loop) {
+  EMBER_OBS_SPAN("comm.reverse", "comm");
   md::System& sys = loop.system();
   std::vector<Vec3> packed;
   for (int leg_idx = 5; leg_idx >= 0; --leg_idx) {

@@ -1,9 +1,11 @@
 #include "thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace ember::parallel {
 
@@ -25,6 +27,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_chunks(int tid) {
+  // One span per worker per sweep: with tracing on, every parallel_for
+  // shows up as a "pool.sweep" bar on each participating thread's track.
+  EMBER_OBS_SPAN("pool.sweep", "pool");
   WallTimer timer;
   // Static round-robin chunk map: chunk c -> worker c % nthreads, chunks
   // ascending per worker. Depends only on the job geometry, so the work
@@ -38,6 +43,10 @@ void ThreadPool::run_chunks(int tid) {
 }
 
 void ThreadPool::worker_loop(int tid) {
+#if !defined(EMBER_OBS_DISABLED)
+  obs::TraceSession::global().set_thread_name("pool-worker-" +
+                                              std::to_string(tid));
+#endif
   std::uint64_t seen = 0;
   for (;;) {
     {

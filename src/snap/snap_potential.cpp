@@ -4,6 +4,9 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ember::snap {
 
@@ -142,6 +145,26 @@ struct SnapThreadScratch {
   std::vector<int> jlist;
   std::vector<double> beta_eff;
 };
+
+// Kernel-stage counters, populated only while obs::kernel_timing_enabled()
+// ("trace on"). The dei bucket splits by kernel so the cached symmetric
+// derivative path and the full recursion stay distinguishable in dumps.
+struct SnapStageMetrics {
+  obs::Counter& ui_seconds;
+  obs::Counter& yi_seconds;
+  obs::Counter& dei_seconds;
+  obs::Counter& dei_cached_seconds;
+  obs::Counter& atoms;
+  obs::Counter& neighbors;
+  static SnapStageMetrics& get() {
+    auto& r = obs::Registry::global();
+    static SnapStageMetrics m{
+        r.counter("snap.ui_seconds"),     r.counter("snap.yi_seconds"),
+        r.counter("snap.dei_seconds"),    r.counter("snap.dei_cached_seconds"),
+        r.counter("snap.atoms"),          r.counter("snap.neighbors")};
+    return m;
+  }
+};
 }  // namespace
 
 md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
@@ -177,6 +200,14 @@ md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
       f = std::span<Vec3>(s.f);
     }
     const bool cached_du = bi->kernel() == SnapKernel::Symmetric;
+    // Stage timing is opt-in ("trace on" / set_kernel_timing): the flag is
+    // read once per chunk, stage seconds accumulate in chunk-local doubles
+    // and hit the sharded counters once per chunk, so the cost when off is
+    // a single branch per stage.
+    const bool detail = obs::kernel_timing_enabled();
+    double ui_s = 0.0, yi_s = 0.0, dei_s = 0.0;
+    long atoms = 0, neighbors = 0;
+    WallTimer stage;
 
     for (int i = bb; i < ee; ++i) {
       rij->clear();
@@ -189,10 +220,15 @@ md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
         }
       }
 
+      if (detail) stage.reset();
       bi->compute_ui(*rij, {});
+      if (detail) ui_s += stage.seconds();
       const int nn = static_cast<int>(rij->size());
+      atoms += 1;
+      neighbors += nn;
 
       if (path_ == Path::Adjoint) {
+        if (detail) stage.reset();
         if (model_.quadratic()) {
           // Quadratic models need the descriptors before Y: dE/dB depends
           // on B itself, so compute B and feed the adjoint the per-atom
@@ -208,6 +244,10 @@ md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
           bi->compute_yi_coeffs(y_coeff_);
           s.energy += bi->energy_from_yi(model_.beta0, model_.beta);
         }
+        if (detail) {
+          yi_s += stage.seconds();
+          stage.reset();
+        }
         for (int m = 0; m < nn; ++m) {
           if (cached_du) {
             bi->compute_duidrj_cached(m);
@@ -219,12 +259,18 @@ md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
           f[i] += de;
           s.virial += -dot((*rij)[m], de);
         }
+        if (detail) dei_s += stage.seconds();
         s.flops += bi->flops_adjoint_atom(nn);
       } else {
+        if (detail) stage.reset();
         bi->compute_zi();
         bi->compute_bi();
         s.energy += model_.site_energy(bi->blist());
         model_.effective_beta(bi->blist(), *beta_eff);
+        if (detail) {
+          yi_s += stage.seconds();
+          stage.reset();
+        }
         for (int m = 0; m < nn; ++m) {
           // dB needs the full-range dU list (compute_dbidrj contracts
           // every Z element), so the baseline path always runs the
@@ -239,9 +285,21 @@ md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
           f[i] += de;
           s.virial += -dot((*rij)[m], de);
         }
+        if (detail) dei_s += stage.seconds();
         s.flops += bi->flops_ui(nn) + bi->flops_zi() + bi->flops_bi() +
                    nn * (bi->flops_duidrj_full() + bi->flops_dbidrj());
       }
+    }
+
+    if (detail) {
+      SnapStageMetrics& m = SnapStageMetrics::get();
+      m.ui_seconds.add(ui_s);
+      m.yi_seconds.add(yi_s);
+      (cached_du && path_ == Path::Adjoint ? m.dei_cached_seconds
+                                           : m.dei_seconds)
+          .add(dei_s);
+      m.atoms.add(static_cast<double>(atoms));
+      m.neighbors.add(static_cast<double>(neighbors));
     }
   });
 

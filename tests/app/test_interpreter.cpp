@@ -8,9 +8,18 @@
 #include <sstream>
 
 #include "app/interpreter.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 
 namespace ember::app {
 namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
 
 TEST(Interpreter, BuildsLatticeSystems) {
   std::ostringstream out;
@@ -231,6 +240,68 @@ TEST(Interpreter, BarostatRequiresSerialMode) {
     ranks 2
   )");
   EXPECT_THROW(interp.execute("run 10"), Error);
+}
+
+TEST(Interpreter, TraceAndMetricsCommandsWriteValidJson) {
+  const char* trace_path = "/tmp/ember_test_trace.json";
+  const char* metrics_path = "/tmp/ember_test_metrics.json";
+  std::ostringstream out;
+  {
+    Interpreter interp(out);
+    interp.run_script(R"(
+      mass 39.948
+      lattice fcc 5.26 repeat 2 2 2
+      potential lj 0.0104 3.4 6.5
+      thermalize 40 seed 7
+      timestep 0.002
+      trace on /tmp/ember_test_trace.json
+      run 20
+      trace off
+      metrics dump /tmp/ember_test_metrics.json
+    )");
+  }
+  EXPECT_NE(out.str().find("trace written to"), std::string::npos);
+  EXPECT_NE(out.str().find("metrics written to"), std::string::npos);
+
+  const std::string trace = slurp(trace_path);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(obs::json_valid(trace));
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+#if !defined(EMBER_OBS_DISABLED)
+  EXPECT_NE(trace.find("\"step\""), std::string::npos);
+#endif
+
+  const std::string metrics = slurp(metrics_path);
+  ASSERT_FALSE(metrics.empty());
+  EXPECT_TRUE(obs::json_valid(metrics));
+  EXPECT_NE(metrics.find("md.steps"), std::string::npos);
+
+  // `trace off` turned the kernel-stage timers back off.
+  EXPECT_FALSE(obs::kernel_timing_enabled());
+  std::remove(trace_path);
+  std::remove(metrics_path);
+}
+
+TEST(Interpreter, ActiveTraceFlushesWhenTheInterpreterDies) {
+  const char* trace_path = "/tmp/ember_test_trace_dtor.json";
+  std::ostringstream out;
+  {
+    Interpreter interp(out);
+    interp.run_script(R"(
+      mass 39.948
+      lattice fcc 5.26 repeat 2 2 2
+      potential lj 0.0104 3.4 6.5
+      timestep 0.002
+      trace on /tmp/ember_test_trace_dtor.json
+      run 5
+    )");
+    // Script ended with the trace still on; the destructor flushes it.
+  }
+  const std::string trace = slurp(trace_path);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(obs::json_valid(trace));
+  EXPECT_FALSE(obs::kernel_timing_enabled());
+  std::remove(trace_path);
 }
 
 TEST(Interpreter, ProductionStyleProtocol) {

@@ -153,9 +153,9 @@ TEST(Batched, StepCallbackAndTimersMatchTheOtherDrivers) {
   EXPECT_EQ(last_step, 30);
   EXPECT_EQ(batch.step(), 30);
 
-  EXPECT_GT(batch.timers().total("Pair"), 0.0);
-  EXPECT_GT(batch.timers().total("Neigh"), 0.0);
-  EXPECT_GT(batch.timers().total("Other"), 0.0);
+  EXPECT_GT(batch.timers().total(TimerCategory::Pair), 0.0);
+  EXPECT_GT(batch.timers().total(TimerCategory::Neigh), 0.0);
+  EXPECT_GT(batch.timers().total(TimerCategory::Other), 0.0);
   batch.reset_timers();
   EXPECT_EQ(batch.timers().grand_total(), 0.0);
 }

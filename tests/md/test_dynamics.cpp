@@ -194,10 +194,11 @@ TEST(Dynamics, TimersCoverTheRun) {
   Simulation sim = make_lj_sim(40.0, 0.002, 31);
   sim.run(50);
   const auto& t = sim.timers();
-  EXPECT_GT(t.total("Pair"), 0.0);
-  EXPECT_GT(t.total("Other"), 0.0);
+  EXPECT_GT(t.total(TimerCategory::Pair), 0.0);
+  EXPECT_GT(t.total(TimerCategory::Other), 0.0);
   EXPECT_GT(t.grand_total(), 0.0);
-  EXPECT_NEAR(t.fraction("Pair") + t.fraction("Neigh") + t.fraction("Other"),
+  EXPECT_NEAR(t.fraction(TimerCategory::Pair) + t.fraction(TimerCategory::Neigh) +
+                  t.fraction(TimerCategory::Other),
               1.0, 1e-12);
 }
 

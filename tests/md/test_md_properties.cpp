@@ -165,7 +165,7 @@ TEST(Timers, NeighborRebuildsAreCounted) {
   sim.integrator().set_langevin(LangevinParams{120.0, 0.05});
   sim.run(300);
   // A hot liquid must have reneighbored at least once.
-  EXPECT_GT(sim.timers().total("Neigh"), 0.0);
+  EXPECT_GT(sim.timers().total(TimerCategory::Neigh), 0.0);
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "md/lattice.hpp"
 #include "md/simulation.hpp"
 #include "md/step_loop.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_sim.hpp"
 #include "ref/pair_lj.hpp"
 
@@ -102,12 +103,12 @@ TEST(StepLoopTimers, SerialBreakdownHasNoCommBucket) {
   Simulation sim(make_argon(2, 40.0, 3), lj(), 0.002, 0.4, 5);
   sim.run(40);
   const TimerSet& t = sim.timers();
-  EXPECT_GT(t.total(kTimerPair), 0.0);
-  EXPECT_GT(t.total(kTimerNeigh), 0.0);
-  EXPECT_GT(t.total(kTimerOther), 0.0);
+  EXPECT_GT(t.total(TimerCategory::Pair), 0.0);
+  EXPECT_GT(t.total(TimerCategory::Neigh), 0.0);
+  EXPECT_GT(t.total(TimerCategory::Other), 0.0);
   // Serial drivers never open the Comm bucket, so Pair+Neigh+Other
   // fractions still cover the whole run.
-  EXPECT_EQ(t.total(kTimerComm), 0.0);
+  EXPECT_EQ(t.total(TimerCategory::Comm), 0.0);
 }
 
 TEST(StepLoopTimers, BatchedRecordsTheSameTaxonomy) {
@@ -117,18 +118,71 @@ TEST(StepLoopTimers, BatchedRecordsTheSameTaxonomy) {
   BatchedSimulation batch(reps, lj(), 0.002, 0.4, 9);
   batch.run(40);
   const TimerSet& t = batch.timers();
-  EXPECT_GT(t.total(kTimerPair), 0.0);
-  EXPECT_GT(t.total(kTimerNeigh), 0.0);
-  EXPECT_GT(t.total(kTimerOther), 0.0);
-  EXPECT_EQ(t.total(kTimerComm), 0.0);
+  EXPECT_GT(t.total(TimerCategory::Pair), 0.0);
+  EXPECT_GT(t.total(TimerCategory::Neigh), 0.0);
+  EXPECT_GT(t.total(TimerCategory::Other), 0.0);
+  EXPECT_EQ(t.total(TimerCategory::Comm), 0.0);
 }
 
 TEST(StepLoopTimers, Fig4LabelsMapTheCanonicalCategories) {
-  EXPECT_STREQ(fig4_label(kTimerPair), "SNAP");
-  EXPECT_STREQ(fig4_label(kTimerComm), "MPI Comm");
-  EXPECT_STREQ(fig4_label(kTimerNeigh), "Neigh");
-  EXPECT_STREQ(fig4_label(kTimerOther), "Other");
+  EXPECT_STREQ(fig4_label(TimerCategory::Pair), "SNAP");
+  EXPECT_STREQ(fig4_label(TimerCategory::Comm), "MPI Comm");
+  EXPECT_STREQ(fig4_label(TimerCategory::Neigh), "Neigh");
+  EXPECT_STREQ(fig4_label(TimerCategory::Other), "Other");
 }
+
+// ---- span instrumentation of the pipeline ---------------------------------
+
+#if !defined(EMBER_OBS_DISABLED)
+TEST(StepLoopTrace, EveryStageEmitsExactlyOneSpanPerStep) {
+  Simulation sim(make_argon(3, 40.0, 77), lj(), 0.002, 0.4, 5,
+                 ExecutionPolicy{2});
+  sim.run(1);  // setup (and its spans) happen outside the traced window
+
+  auto& session = obs::TraceSession::global();
+  session.clear();
+  session.start();
+  constexpr long kSteps = 6;
+  sim.run(kSteps);
+  session.stop();
+
+  EXPECT_EQ(session.count("step"), kSteps);
+  EXPECT_EQ(session.count("integrate.initial"), kSteps);
+  EXPECT_EQ(session.count("force"), kSteps);
+  EXPECT_EQ(session.count("reverse"), kSteps);
+  EXPECT_EQ(session.count("integrate.final"), kSteps);
+  // Each step takes exactly one of the two position paths, and the
+  // exchange stage runs once per rebuild.
+  EXPECT_EQ(session.count("forward") + session.count("neigh.rebuild"), kSteps);
+  EXPECT_EQ(session.count("exchange"), session.count("neigh.rebuild"));
+
+  // The step span wraps the stage spans, and carries the step number.
+  int pool_tids = 0;
+  std::vector<bool> seen_tid;
+  for (const auto& e : session.snapshot()) {
+    const std::string name = e.name;
+    if (name == "step") {
+      EXPECT_EQ(e.depth, 0);
+      ASSERT_NE(e.arg_key, nullptr);
+      EXPECT_STREQ(e.arg_key, "step");
+      EXPECT_GE(e.arg_val, 1);
+    } else if (name == "force" || name == "integrate.initial") {
+      EXPECT_EQ(e.depth, 1);
+    } else if (name == "pool.sweep") {
+      if (e.tid >= static_cast<int>(seen_tid.size())) {
+        seen_tid.resize(e.tid + 1, false);
+      }
+      if (!seen_tid[e.tid]) {
+        seen_tid[e.tid] = true;
+        ++pool_tids;
+      }
+    }
+  }
+  // The threaded sweeps show up on the main thread AND the pool worker.
+  EXPECT_GE(pool_tids, 2);
+  session.clear();
+}
+#endif  // !EMBER_OBS_DISABLED
 
 // ---- checkpoint round-trips through the stage hook ------------------------
 

@@ -194,12 +194,12 @@ TEST(ParallelTimers, BreakdownCoversCategories) {
     const auto& t = psim.timers();
     // Unified taxonomy: same category names as the serial driver; the
     // Fig. 4 presentation labels live in md::fig4_label.
-    EXPECT_GT(t.total(md::kTimerPair), 0.0);
-    EXPECT_GT(t.total(md::kTimerNeigh), 0.0);
-    EXPECT_GT(t.total(md::kTimerComm), 0.0);
-    EXPECT_GT(t.total(md::kTimerOther), 0.0);
-    EXPECT_STREQ(md::fig4_label(md::kTimerPair), "SNAP");
-    EXPECT_STREQ(md::fig4_label(md::kTimerComm), "MPI Comm");
+    EXPECT_GT(t.total(TimerCategory::Pair), 0.0);
+    EXPECT_GT(t.total(TimerCategory::Neigh), 0.0);
+    EXPECT_GT(t.total(TimerCategory::Comm), 0.0);
+    EXPECT_GT(t.total(TimerCategory::Other), 0.0);
+    EXPECT_STREQ(md::fig4_label(TimerCategory::Pair), "SNAP");
+    EXPECT_STREQ(md::fig4_label(TimerCategory::Comm), "MPI Comm");
   });
 }
 
