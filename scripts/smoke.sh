@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Full pre-merge smoke run:
-#   1. Release build + the complete test suite (the tier-1 gate).
-#   2. ThreadSanitizer build + the thread-parity tests (the SNAP force
+#   1. Lint: ember_lint.py over src/ (project invariants) plus clang-tidy
+#      when available (the minimal dev container ships only gcc; the
+#      wrapper skips with a notice in that case).
+#   2. Release build + the complete test suite (the tier-1 gate).
+#   3. ThreadSanitizer build + the thread-parity tests (the SNAP force
 #      engine is threaded; TSan pins the no-shared-mutable-state design).
-#   3. bench_record: re-measure the headline kernel curves and refresh
+#   4. bench_record: re-measure the headline kernel curves and refresh
 #      BENCH_headline.json at the repo root (validated as JSON).
-#   4. Observability smoke: a traced ember_run demo; the Chrome trace
+#   5. Observability smoke: a traced ember_run demo; the Chrome trace
 #      and the metrics dump must both parse.
 #
 # Usage: scripts/smoke.sh [jobs]
@@ -14,26 +17,32 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/3] Release build + full test suite =="
+echo "== [1/5] lint: ember_lint + clang-tidy =="
+python3 scripts/ember_lint.py src
+python3 tests/lint/test_ember_lint.py
 cmake -B build -S . >/dev/null
+scripts/run_clang_tidy.sh build
+
+echo "== [2/5] Release build + full test suite =="
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/4] TSan build + threaded-kernel tests =="
+echo "== [3/5] TSan build + threaded-kernel tests =="
 cmake -B build-tsan -S . -DEMBER_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   test_thread_pool test_snap_symmetric_kernel test_md_dynamics \
   test_md_step_loop test_obs_metrics test_obs_trace
+TSAN_OPTIONS="suppressions=$PWD/scripts/suppressions/tsan.supp" \
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|ThreadedForces|ComputeContext|SymmetricKernel|TwoJmaxSweep|Dynamics|CrossDriver|StepLoopTimers|StepLoopTrace|ObsMetrics|ObsTrace'
 
-echo "== [3/4] bench_record =="
+echo "== [4/5] bench_record =="
 cmake --build build -j "$JOBS" --target bench_record
 if command -v python3 >/dev/null; then
   python3 -m json.tool BENCH_headline.json >/dev/null
 fi
 
-echo "== [4/4] traced demo run =="
+echo "== [5/5] traced demo run =="
 TRACE_TMP="$(mktemp -d)"
 (cd "$TRACE_TMP" && EMBER_NUM_THREADS=2 \
   "$OLDPWD/build/src/app/ember_run" "$OLDPWD/examples/inputs/trace_demo.in")

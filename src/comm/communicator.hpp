@@ -48,7 +48,9 @@ class Communicator {
     const auto raw = recv_bytes(source, tag);
     EMBER_REQUIRE(raw.size() % sizeof(T) == 0, "message size mismatch");
     std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
+    // Zero-length messages are legal (empty halo legs); memcpy's pointer
+    // arguments must not be null even for size 0, so skip the copy.
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
     return out;
   }
   template <typename T>

@@ -75,6 +75,10 @@ class NeighborList {
   }
 
  private:
+  // Test-only backdoor: tests/check corrupts entries through this to
+  // prove the checked build detects asymmetric/out-of-range lists.
+  friend struct NeighborListTestAccess;
+
   // Per-atom neighbor search: appends the row of atom i to `out`.
   using RowSearch = std::function<void(int i, std::vector<Entry>&)>;
 

@@ -58,6 +58,19 @@ void StepStages::write_checkpoint(StepLoop& loop, const std::string& path) {
   md::write_checkpoint(loop.system(), path);
 }
 
+void StepStages::verify_exchange(StepLoop& loop, bool /*initial*/) {
+  check::check_no_ghosts(loop.system(), "exchange", loop.step());
+}
+
+void StepStages::verify_neighbors(StepLoop& loop) {
+  check::check_neighbor_list(loop.neighbor_list(), loop.system(), "neigh",
+                             loop.step());
+}
+
+double StepStages::total_energy(StepLoop& loop) {
+  return loop.energy_virial().energy + loop.system().kinetic_energy();
+}
+
 StepLoop::StepLoop(System sys, std::shared_ptr<PairPotential> pot,
                    double dt_ps, double skin, Rng rng, ExecutionPolicy policy,
                    StepStages& stages)
@@ -81,6 +94,7 @@ void StepLoop::rebuild_neighbors(bool initial) {
   stages_->build_neighbors(*this, initial);
   add_thread_times(TimerCategory::Neigh);
   LoopMetrics::get().rebuilds.inc();
+  EMBER_CHECK(stages_->verify_neighbors(*this));
 }
 
 void StepLoop::compute_forces() {
@@ -89,6 +103,18 @@ void StepLoop::compute_forces() {
   sys_.zero_forces();
   ev_ = pot_->compute(ctx_, sys_, nl_);
   add_thread_times(TimerCategory::Pair);
+  EMBER_CHECK(
+      check::check_finite(sys_.f, sys_.nlocal(), "force", "force", step_));
+}
+
+void StepLoop::observe_drift() {
+  if (!tripwire_.armed()) {
+    const double tol = check::drift_tolerance_from_env();
+    if (tol <= 0.0) return;
+    tripwire_.arm(stages_->total_energy(*this), tol);
+    return;
+  }
+  tripwire_.observe(stages_->total_energy(*this), step_);
 }
 
 void StepLoop::setup() {
@@ -97,6 +123,7 @@ void StepLoop::setup() {
     EMBER_OBS_SPAN("exchange", "comm");
     timed_comm([&] { stages_->exchange(*this, /*initial=*/true); });
   }
+  EMBER_CHECK(stages_->verify_exchange(*this, /*initial=*/true));
   rebuild_neighbors(/*initial=*/true);
   compute_forces();
   {
@@ -116,11 +143,14 @@ void StepLoop::run(long nsteps, const std::function<void()>& after_step) {
       ScopedTimer t(timers_, TimerCategory::Other);
       integrator_.initial_integrate(sys_, &ctx_);
     }
+    EMBER_CHECK(check::check_finite(sys_.x, sys_.nlocal(), "position",
+                                    "integrate", step_));
     if (stages_->check_rebuild(*this)) {
       {
         EMBER_OBS_SPAN("exchange", "comm");
         timed_comm([&] { stages_->exchange(*this, /*initial=*/false); });
       }
+      EMBER_CHECK(stages_->verify_exchange(*this, /*initial=*/false));
       rebuild_neighbors(/*initial=*/false);
     } else {
       EMBER_OBS_SPAN("forward", "comm");
@@ -137,6 +167,7 @@ void StepLoop::run(long nsteps, const std::function<void()>& after_step) {
       integrator_.final_integrate(sys_, ev_, rng_, &ctx_);
     }
     ++step_;
+    EMBER_CHECK(observe_drift());
     LoopMetrics& m = LoopMetrics::get();
     m.steps.inc();
     m.step_seconds.record(step_timer.seconds());

@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "check/invariants.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "md/integrate.hpp"
@@ -88,6 +89,25 @@ class StepStages {
   // binary checkpoint (md::write_checkpoint); the parallel driver gathers
   // on root, the batched driver writes the multi-replica format.
   virtual void write_checkpoint(StepLoop& loop, const std::string& path);
+
+  // --- checked-build invariants (DESIGN.md §11) -------------------------
+  // Called by StepLoop at stage boundaries only under EMBER_CHECKED=ON;
+  // the hooks themselves are always compiled so overrides stay honest in
+  // every configuration. Violations throw check::InvariantViolation.
+
+  // After the exchange stage: no stray ghosts for single-owner drivers
+  // (default); the parallel driver checks global atom conservation and
+  // per-leg ghost bookkeeping instead.
+  virtual void verify_exchange(StepLoop& loop, bool initial);
+
+  // After a neighbor rebuild: index bounds, self-image shifts and
+  // local-local symmetry of the fresh list.
+  virtual void verify_neighbors(StepLoop& loop);
+
+  // Total (potential + kinetic) energy fed to the energy-drift tripwire.
+  // Default: this driver's local sums; the parallel driver reduces across
+  // ranks so every rank trips on the same global value.
+  [[nodiscard]] virtual double total_energy(StepLoop& loop);
 };
 
 class StepLoop {
@@ -138,6 +158,9 @@ class StepLoop {
   void compute_forces();
   void rebuild_neighbors(bool initial);
   void add_thread_times(TimerCategory category);
+  // Checked build only: arm the tripwire on the first completed step and
+  // compare every later step's total energy against it.
+  void observe_drift();
   template <typename Fn>
   void timed_comm(Fn&& fn) {
     if (stages_->communicates()) {
@@ -159,6 +182,9 @@ class StepLoop {
   TimerSet timers_;
   long step_ = 0;
   bool ready_ = false;
+  // Energy-drift tripwire (checked builds; armed when the
+  // EMBER_CHECK_DRIFT_TOL environment variable sets a tolerance).
+  check::DriftTripwire tripwire_;
 };
 
 }  // namespace ember::md

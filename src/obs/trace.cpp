@@ -36,7 +36,11 @@ TraceSession& TraceSession::global() {
   return instance;
 }
 
-TraceSession::TraceSession() : t0_ns_(now_ns()), impl_(new Impl) {}
+TraceSession::TraceSession()
+    // ember-lint: allow(naked-new) -- deliberately leaked singleton:
+    // detached threads may record spans after static destruction order
+    // would have torn a unique_ptr down.
+    : t0_ns_(now_ns()), impl_(new Impl) {}
 
 TraceSession::ThreadBuffer& TraceSession::buffer() {
   thread_local ThreadBuffer* mine = nullptr;

@@ -219,6 +219,29 @@ void ParallelSimulation::reverse_forces(md::StepLoop& loop) {
   }
 }
 
+void ParallelSimulation::verify_exchange(md::StepLoop& loop, bool /*initial*/) {
+  const md::System& sys = loop.system();
+  std::array<int, 6> leg_counts{};
+  for (std::size_t l = 0; l < legs_.size(); ++l) {
+    leg_counts[l] = legs_[l].ghost_count;
+  }
+  check::check_ghost_legs(leg_counts, sys.nghost(), "exchange", loop.step());
+  // Collective: every rank contributes its owner count; the baseline is
+  // captured by the first checked exchange after the scatter.
+  const long global = comm_.allreduce_sum(static_cast<long>(sys.nlocal()));
+  if (checked_natoms_ < 0) {
+    checked_natoms_ = global;
+    return;
+  }
+  check::check_atom_conservation(global, checked_natoms_, "exchange",
+                                 loop.step());
+}
+
+double ParallelSimulation::total_energy(md::StepLoop& loop) {
+  return comm_.allreduce_sum(loop.energy_virial().energy) +
+         comm_.allreduce_sum(loop.system().kinetic_energy());
+}
+
 void ParallelSimulation::write_checkpoint(md::StepLoop&,
                                           const std::string& path) {
   const md::System global = gather(/*on_all_ranks=*/false);

@@ -98,6 +98,13 @@ class ParallelSimulation : private md::StepStages {
   void reverse_forces(md::StepLoop& loop) override;
   void write_checkpoint(md::StepLoop& loop, const std::string& path) override;
 
+  // Checked-build invariants (EMBER_CHECKED=ON): every exchange must
+  // conserve the global atom count and the per-leg ghost bookkeeping must
+  // match the halo actually held; the drift tripwire watches the global
+  // (allreduced) total energy so every rank trips identically.
+  void verify_exchange(md::StepLoop& loop, bool initial) override;
+  [[nodiscard]] double total_energy(md::StepLoop& loop) override;
+
   void scatter(const md::System& global);
   void migrate();
   void exchange_ghosts();
@@ -120,6 +127,10 @@ class ParallelSimulation : private md::StepStages {
     int ghost_count = 0;
   };
   std::array<Leg, 6> legs_;
+
+  // Global atom count captured by the first checked exchange (collective,
+  // so every rank settles on the same baseline); -1 = not yet captured.
+  long checked_natoms_ = -1;
 };
 
 }  // namespace ember::parallel

@@ -94,10 +94,10 @@ TEST_P(CommCollectives, BarrierSynchronizes) {
   std::atomic<int> phase_count{0};
   world.run([&](Communicator& c) {
     for (int phase = 0; phase < 5; ++phase) {
-      phase_count.fetch_add(1);
+      phase_count.fetch_add(1, std::memory_order_seq_cst);
       c.barrier();
       // After the barrier every rank must have incremented for this phase.
-      EXPECT_GE(phase_count.load(), (phase + 1) * n);
+      EXPECT_GE(phase_count.load(std::memory_order_seq_cst), (phase + 1) * n);
       c.barrier();
     }
   });

@@ -1,0 +1,9 @@
+// ember_lint self-test fixture: an allow() annotation without a reason
+// must itself be reported. Never compiled.
+
+namespace fixture {
+
+// ember-lint: allow(naked-new)
+int* reasonless() { return new int(3); }
+
+}  // namespace fixture

@@ -93,8 +93,9 @@ TEST_P(CrossDriverParity, DriversAgreeOnTrajectoryAndEnergy) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, CrossDriverParity, ::testing::Values(1, 8),
-                         [](const auto& info) {
-                           return "nthreads" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "nthreads" +
+                                  std::to_string(param_info.param);
                          });
 
 // ---- unified timer taxonomy -----------------------------------------------

@@ -112,7 +112,7 @@ TEST(ObsMetrics, ConcurrentReadsDuringWritesAreSafe) {
     (void)h.snapshot();
     (void)reg.dump_json();
   }
-  stop.store(true);
+  stop.store(true, std::memory_order_relaxed);
   for (auto& t : writers) t.join();
   const auto snap = h.snapshot();
   EXPECT_EQ(snap.count, snap.counts[1]);  // every sample landed in bucket 1
