@@ -23,9 +23,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <string>
 #include <vector>
 
+#include "comm/transport.hpp"
 #include "common/timer.hpp"
 #include "recorder.hpp"
 #include "md/compute_context.hpp"
@@ -165,6 +167,11 @@ ProductionBench run_production_bench() {
 ember::bench::Recorder production_recording(const ProductionBench& b) {
   using ember::obs::Json;
   ember::bench::Recorder rec("headline_production_kernel");
+  // This bench is single-rank thread-pool work; the transport named here
+  // is whatever a comm-using run would get by default (EMBER_TRANSPORT).
+  rec.record_run(
+      ember::comm::to_string(ember::comm::default_transport_kind()), 1,
+      kThreadCounts[std::size(kThreadCounts) - 1]);
   rec.root().set("twojmax", 8);
   rec.root().set("natoms", b.natoms);
   rec.root().set("avg_neighbors", b.avg_neighbors, "%.1f");

@@ -10,7 +10,7 @@
 #include <memory>
 #include <string>
 
-#include "comm/communicator.hpp"
+#include "comm/transport.hpp"
 #include "common/table.hpp"
 #include "md/lattice.hpp"
 #include "parallel/parallel_sim.hpp"
@@ -71,27 +71,34 @@ int main() {
     Rng rng(7);
     global.thermalize(300.0, rng);
 
-    double snap_frac = 0.0;
-    double comm_frac = 0.0;
-    double other_frac = 0.0;
-    comm::World world(8);
-    world.run([&](comm::Communicator& c) {
+    // Fractions measured on rank 0 come back through run_gather: with a
+    // process-backed transport the ranks cannot write captured locals.
+    struct Fractions {
+      double snap, comm, other;
+    };
+    comm::TransportSpec spec8;
+    spec8.kind = comm::default_transport_kind();
+    spec8.ranks = 8;
+    const auto ctx = comm::make_context(spec8);
+    const auto bytes = ctx->run_gather([&](comm::Transport& c) {
       parallel::ParallelSimulation psim(
           c, global, std::make_shared<snap::SnapPotential>(snap_model), 5e-4,
           0.4, 11);
       psim.run(10);
-      if (c.rank() == 0) {
-        // The driver records the canonical Pair/Comm taxonomy; this bench
-        // is the one place the Fig. 4 names are mapped for display.
-        const auto& t = psim.timers();
-        const double total = t.grand_total();
-        snap_frac = t.total(TimerCategory::Pair) / total;
-        comm_frac = t.total(TimerCategory::Comm) / total;
-        other_frac = 1.0 - snap_frac - comm_frac;
-      }
+      if (c.rank() != 0) return std::vector<std::byte>{};
+      // The driver records the canonical Pair/Comm taxonomy; this bench
+      // is the one place the Fig. 4 names are mapped for display.
+      const auto& t = psim.timers();
+      const double total = t.grand_total();
+      Fractions f{};
+      f.snap = t.total(TimerCategory::Pair) / total;
+      f.comm = t.total(TimerCategory::Comm) / total;
+      f.other = 1.0 - f.snap - f.comm;
+      return comm::to_bytes(f);
     });
-    table.add_row(global.nlocal() / 8, 100.0 * snap_frac, 100.0 * comm_frac,
-                  100.0 * other_frac);
+    const auto f = comm::from_bytes<Fractions>(bytes);
+    table.add_row(global.nlocal() / 8, 100.0 * f.snap, 100.0 * f.comm,
+                  100.0 * f.other);
   }
   table.print();
   std::printf(

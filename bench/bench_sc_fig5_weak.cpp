@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "comm/communicator.hpp"
+#include "comm/transport.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "md/lattice.hpp"
@@ -61,9 +61,11 @@ int main() {
     global.thermalize(300.0, rng);
     const long steps = 8;
 
-    double elapsed = 0.0;
-    comm::World world(ranks);
-    world.run([&](comm::Communicator& c) {
+    comm::TransportSpec spec_ranks;
+    spec_ranks.kind = comm::default_transport_kind();
+    spec_ranks.ranks = ranks;
+    const auto ctx = comm::make_context(spec_ranks);
+    const auto bytes = ctx->run_gather([&](comm::Transport& c) {
       parallel::ParallelSimulation psim(
           c, global, std::make_shared<snap::SnapPotential>(m), 5e-4, 0.4, 7);
       psim.setup();
@@ -71,8 +73,10 @@ int main() {
       WallTimer timer;
       psim.run(steps);
       c.barrier();
-      if (c.rank() == 0) elapsed = timer.seconds();
+      if (c.rank() != 0) return std::vector<std::byte>{};
+      return comm::to_bytes(timer.seconds());
     });
+    const double elapsed = comm::from_bytes<double>(bytes);
     // NOTE: this host has one core, so thread ranks share it; the honest
     // weak-scaling metric here is total throughput staying ~flat per rank
     // when normalized by the serialized compute.

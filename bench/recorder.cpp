@@ -22,6 +22,14 @@ Recorder::Recorder(std::string_view bench_name) : root_(obs::Json::object()) {
   root_.set("machine", machine_json());
 }
 
+void Recorder::record_run(std::string_view transport, int ranks,
+                          int threads) {
+  root_.set("run", obs::Json::object()
+                       .set("transport", transport)
+                       .set("ranks", ranks)
+                       .set("threads", threads));
+}
+
 std::string Recorder::dump() {
   root_.set("git_sha", obs::git_head_sha());  // "unknown" outside a repo
   return root_.dump(2) + "\n";

@@ -30,6 +30,11 @@ class Recorder {
   // The document root; add bench-specific fields here (order preserved).
   [[nodiscard]] obs::Json& root() { return root_; }
 
+  // Records how the bench actually executed: the active comm transport
+  // backend and the real rank / thread counts, so a committed artifact
+  // can't silently claim parallelism it didn't have.
+  void record_run(std::string_view transport, int ranks, int threads);
+
   // Serialize with the "git_sha" trailer stamped (idempotent).
   [[nodiscard]] std::string dump();
 

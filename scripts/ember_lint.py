@@ -27,6 +27,12 @@ scale (DESIGN.md section 11):
       Any switch over TimerCategory must list all four enumerators and
       carry no default:, so adding a category is a compile-time (and
       lint-time) event, never a silently mis-bucketed timer.
+  comm-backend-include
+      comm/communicator.hpp and comm/socket_transport.hpp are backend
+      implementation headers, private to src/comm/. Everything else
+      programs against the comm/transport.hpp interface and obtains a
+      backend through comm::make_context, so drivers stay portable
+      across thread-rank and process-rank execution.
 
 Suppressions must carry a reason:
 
@@ -54,6 +60,7 @@ RULES = {
     "neighbor-span-index": "unchecked operator[] on a NeighborList neighbor span",
     "obs-span-early-return": "return inside a bare EMBER_OBS_SPAN instrumentation block",
     "timer-switch-exhaustive": "switch over TimerCategory missing enumerators or using default:",
+    "comm-backend-include": "comm backend header included outside src/comm/",
 }
 
 SOURCE_SUFFIXES = {".cpp", ".cc", ".hpp", ".h"}
@@ -350,12 +357,38 @@ def check_timer_switch_exhaustive(path, raw_lines, code, findings):
                 "(new categories must fail to compile, not mis-bucket)"))
 
 
+# The comm backends (thread mailboxes, socket processes) are private to
+# src/comm/: everything else programs against comm/transport.hpp and
+# obtains a backend through comm::make_context. This rule keeps backend
+# headers from leaking back out. It scans raw lines, not stripped code,
+# because strip_code blanks string literals -- which is exactly where an
+# include path lives.
+BACKEND_INCLUDE_RE = re.compile(
+    r'#\s*include\s*"(comm/communicator\.hpp|comm/socket_transport\.hpp)"')
+
+
+def check_comm_backend_include(path, raw_lines, code, findings):
+    posix = path.as_posix()
+    if "src/comm/" in posix or posix.startswith("src/comm"):
+        return
+    for idx, line in enumerate(raw_lines, start=1):
+        m = BACKEND_INCLUDE_RE.search(line)
+        if m and not allowed(raw_lines, idx, "comm-backend-include",
+                             findings, path):
+            findings.append(Finding(
+                path, idx, "comm-backend-include",
+                '`#include "%s"` outside src/comm/: comm backends are '
+                "private; include comm/transport.hpp and construct through "
+                "comm::make_context instead" % m.group(1)))
+
+
 CHECKS = [
     check_naked_new_delete,
     check_atomic_memory_order,
     check_neighbor_span_index,
     check_obs_span_early_return,
     check_timer_switch_exhaustive,
+    check_comm_backend_include,
 ]
 
 

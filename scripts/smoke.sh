@@ -10,6 +10,8 @@
 #      BENCH_headline.json at the repo root (validated as JSON).
 #   5. Observability smoke: a traced ember_run demo; the Chrome trace
 #      and the metrics dump must both parse.
+#   6. Socket transport: the forked-process comm subset (ctest -R
+#      Socket) plus the multi-process elastic-rescaling example.
 #
 # Usage: scripts/smoke.sh [jobs]
 set -euo pipefail
@@ -17,17 +19,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/5] lint: ember_lint + clang-tidy =="
+echo "== [1/6] lint: ember_lint + clang-tidy =="
 python3 scripts/ember_lint.py src
 python3 tests/lint/test_ember_lint.py
 cmake -B build -S . >/dev/null
 scripts/run_clang_tidy.sh build
 
-echo "== [2/5] Release build + full test suite =="
+echo "== [2/6] Release build + full test suite =="
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [3/5] TSan build + threaded-kernel tests =="
+echo "== [3/6] TSan build + threaded-kernel tests =="
 cmake -B build-tsan -S . -DEMBER_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   test_thread_pool test_snap_symmetric_kernel test_md_dynamics \
@@ -36,13 +38,13 @@ TSAN_OPTIONS="suppressions=$PWD/scripts/suppressions/tsan.supp" \
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|ThreadedForces|ComputeContext|SymmetricKernel|TwoJmaxSweep|Dynamics|CrossDriver|StepLoopTimers|StepLoopTrace|ObsMetrics|ObsTrace'
 
-echo "== [4/5] bench_record =="
+echo "== [4/6] bench_record =="
 cmake --build build -j "$JOBS" --target bench_record
 if command -v python3 >/dev/null; then
   python3 -m json.tool BENCH_headline.json >/dev/null
 fi
 
-echo "== [5/5] traced demo run =="
+echo "== [5/6] traced demo run =="
 TRACE_TMP="$(mktemp -d)"
 (cd "$TRACE_TMP" && EMBER_NUM_THREADS=2 \
   "$OLDPWD/build/src/app/ember_run" "$OLDPWD/examples/inputs/trace_demo.in")
@@ -51,5 +53,13 @@ if command -v python3 >/dev/null; then
   python3 -m json.tool "$TRACE_TMP/metrics_demo.json" >/dev/null
 fi
 rm -rf "$TRACE_TMP"
+
+echo "== [6/6] socket transport: forked-process subset + example =="
+ctest --test-dir build --output-on-failure -j "$JOBS" -R Socket
+SOCK_TMP="$(mktemp -d)"
+(cd "$SOCK_TMP" && EMBER_TRANSPORT=socket \
+  "$OLDPWD/build/src/app/ember_run" \
+  "$OLDPWD/examples/inputs/multiprocess_scaling.in")
+rm -rf "$SOCK_TMP"
 
 echo "smoke: all green"

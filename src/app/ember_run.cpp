@@ -34,8 +34,12 @@ commands:
   run <steps>
   analyze
   threads <n|auto>
-  ranks <n>               domain-decomposed run on n in-process ranks
-                          (state gathers back after each 'run')
+  ranks <n>               domain-decomposed run on n ranks (state
+                          gathers back after each 'run')
+  transport <thread|socket>
+                          comm backend behind 'ranks': thread ranks
+                          share this process, socket ranks are forked
+                          OS processes over local sockets
   replicas <n>            n lockstep replicas (BatchedSimulation);
                           checkpoints use the multi-replica format
                           (mutually exclusive with 'ranks'; barostats
@@ -52,6 +56,9 @@ environment:
                           own 'threads' command overrides it
   EMBER_TRACE=<file>      start tracing before the script runs, as if it
                           began with 'trace on <file>'
+  EMBER_TRANSPORT=<thread|socket>
+                          default comm backend for 'ranks' runs; a
+                          script's own 'transport' command overrides it
 )";
 
 }  // namespace

@@ -7,7 +7,7 @@
 #include <sstream>
 
 #include "analysis/classify.hpp"
-#include "comm/communicator.hpp"
+#include "comm/transport.hpp"
 #include "common/error.hpp"
 #include "md/io.hpp"
 #include "md/lattice.hpp"
@@ -51,6 +51,7 @@ struct Interpreter::Pending {
   int nthreads = 1;
   int ranks = 1;     // > 1: domain-decomposed runs (ParallelSimulation)
   int replicas = 1;  // > 1: lockstep replica runs (BatchedSimulation)
+  comm::TransportKind transport = comm::default_transport_kind();
 };
 
 Interpreter::Interpreter(std::ostream& out)
@@ -120,6 +121,7 @@ void Interpreter::execute(const std::string& line) {
       {"read_checkpoint", &Interpreter::cmd_read_checkpoint},
       {"threads", &Interpreter::cmd_threads},
       {"ranks", &Interpreter::cmd_ranks},
+      {"transport", &Interpreter::cmd_transport},
       {"replicas", &Interpreter::cmd_replicas},
       {"trace", &Interpreter::cmd_trace},
       {"metrics", &Interpreter::cmd_metrics},
@@ -354,6 +356,12 @@ void Interpreter::cmd_ranks(std::istream& args) {
   out_ << "ranks " << n << "\n";
 }
 
+void Interpreter::cmd_transport(std::istream& args) {
+  const auto kind = need<std::string>(args, "'thread' or 'socket'");
+  pending_->transport = comm::transport_kind_from_string(kind);
+  out_ << "transport " << comm::to_string(pending_->transport) << "\n";
+}
+
 void Interpreter::cmd_replicas(std::istream& args) {
   const int n = need<int>(args, "replica count");
   EMBER_REQUIRE(n >= 1, "replica count must be >= 1");
@@ -485,9 +493,14 @@ void Interpreter::run_parallel(long steps) {
   const bool initial_first_dump = total_steps_ == 0;
   const md::System& global = *system_;
 
-  md::System gathered(global.box(), global.mass());
-  comm::World world(pending_->ranks);
-  world.run([&](comm::Communicator& c) {
+  comm::TransportSpec spec;
+  spec.kind = pending_->transport;
+  spec.ranks = pending_->ranks;
+  const auto ctx = comm::make_context(spec);
+  // run_gather ships rank 0's gathered System back to this process as
+  // checkpoint bytes — with the socket backend the ranks are forked
+  // children, so a captured reference cannot carry the state out.
+  const auto gathered = ctx->run_gather([&](comm::Transport& c) {
     parallel::ParallelSimulation psim(c, global, potential_factory_(),
                                       pending_->dt, pending_->skin,
                                       pending_->seed,
@@ -515,9 +528,10 @@ void Interpreter::run_parallel(long steps) {
       }
     });
     md::System g = psim.gather_global();
-    if (c.rank() == 0) gathered = std::move(g);
+    if (c.rank() != 0) return std::vector<std::byte>{};
+    return md::checkpoint_bytes(g);
   });
-  system_ = std::move(gathered);
+  system_ = md::system_from_checkpoint_bytes(gathered);
 }
 
 void Interpreter::run_batched(long steps) {

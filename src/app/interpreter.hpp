@@ -24,10 +24,14 @@
 //
 // `run` executes on one of the three unified StepLoop drivers, selected
 // by two mode commands (mutually exclusive):
-//   ranks N      domain-decomposed run on N in-process ranks
-//                (ParallelSimulation; state gathers back after each run)
+//   ranks N      domain-decomposed run on N ranks (ParallelSimulation;
+//                state gathers back after each run)
 //   replicas N   N copies of the system advanced in lockstep
 //                (BatchedSimulation; checkpoints use the batch format)
+// `transport thread|socket` picks the comm backend behind a ranks run:
+// thread ranks share this process, socket ranks are forked OS processes
+// (log output then appears on the process stdout, written by rank 0).
+// The default honours EMBER_TRANSPORT.
 // Barostats only work in the default serial mode (per-rank virials and
 // fixed per-replica boxes make box coupling unsound elsewhere).
 
@@ -80,6 +84,7 @@ class Interpreter {
   void cmd_read_checkpoint(std::istream& args);
   void cmd_threads(std::istream& args);
   void cmd_ranks(std::istream& args);
+  void cmd_transport(std::istream& args);
   void cmd_replicas(std::istream& args);
   void cmd_trace(std::istream& args);
   void cmd_metrics(std::istream& args);

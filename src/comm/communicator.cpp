@@ -1,34 +1,14 @@
 #include "communicator.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <string>
 #include <thread>
 
-#include "common/timer.hpp"
-#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace ember::comm {
-
-namespace {
-// Internal tags for collectives built on point-to-point (user code should
-// use non-negative tags).
-constexpr int kTagGather = -101;
-constexpr int kTagBcast = -102;
-
-// Process-global traffic counters. Registered once; per-call cost is one
-// sharded relaxed fetch_add each.
-struct CommMetrics {
-  obs::Counter& messages;
-  obs::Counter& bytes;
-  static CommMetrics& get() {
-    static CommMetrics m{obs::Registry::global().counter("comm.messages"),
-                         obs::Registry::global().counter("comm.bytes")};
-    return m;
-  }
-};
-}  // namespace
 
 World::World(int size) : size_(size) {
   EMBER_REQUIRE(size >= 1 && size <= 512, "unsupported world size");
@@ -40,7 +20,7 @@ World::World(int size) : size_(size) {
   }
 }
 
-void World::run(const std::function<void(Communicator&)>& fn) {
+void World::run(const std::function<void(ThreadTransport&)>& fn) {
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(size_);
   threads.reserve(size_);
@@ -49,7 +29,7 @@ void World::run(const std::function<void(Communicator&)>& fn) {
 #if !defined(EMBER_OBS_DISABLED)
       obs::TraceSession::global().set_thread_name("rank-" + std::to_string(r));
 #endif
-      Communicator comm(*this, r);
+      ThreadTransport comm(*this, r);
       try {
         fn(comm);
       } catch (...) {
@@ -63,14 +43,11 @@ void World::run(const std::function<void(Communicator&)>& fn) {
   }
 }
 
-int Communicator::size() const { return world_.size(); }
+int ThreadTransport::size() const { return world_.size(); }
 
-void Communicator::send_bytes(int dest, int tag, const void* data,
-                              std::size_t bytes) {
+void ThreadTransport::do_send_bytes(int dest, int tag, const void* data,
+                                    std::size_t bytes) {
   EMBER_REQUIRE(dest >= 0 && dest < world_.size(), "invalid destination");
-  CommMetrics& m = CommMetrics::get();
-  m.messages.inc();
-  m.bytes.add(static_cast<double>(bytes));
   auto& mb = world_.mailbox(dest);
   World::Message msg;
   msg.tag = tag;
@@ -83,9 +60,8 @@ void Communicator::send_bytes(int dest, int tag, const void* data,
   mb.cv.notify_all();
 }
 
-std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
+std::vector<std::byte> ThreadTransport::do_recv_bytes(int source, int tag) {
   EMBER_REQUIRE(source >= 0 && source < world_.size(), "invalid source");
-  WallTimer timer;
   auto& mb = world_.mailbox(rank_);
   std::unique_lock lock(mb.mutex);
   auto& queue = mb.from[source];
@@ -97,15 +73,34 @@ std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
     if (it != queue.end()) {
       auto payload = std::move(it->payload);
       queue.erase(it);
-      comm_seconds_ += timer.seconds();
       return payload;
     }
     mb.cv.wait(lock);
   }
 }
 
-void Communicator::barrier() {
-  WallTimer timer;
+std::pair<int, std::vector<std::byte>> ThreadTransport::do_recv_bytes_any(
+    int tag) {
+  auto& mb = world_.mailbox(rank_);
+  std::unique_lock lock(mb.mutex);
+  for (;;) {
+    for (int s = 0; s < world_.size(); ++s) {
+      auto& queue = mb.from[s];
+      const auto it = std::find_if(queue.begin(), queue.end(),
+                                   [tag](const World::Message& m) {
+                                     return m.tag == tag;
+                                   });
+      if (it != queue.end()) {
+        auto payload = std::move(it->payload);
+        queue.erase(it);
+        return {s, std::move(payload)};
+      }
+    }
+    mb.cv.wait(lock);
+  }
+}
+
+void ThreadTransport::do_barrier() {
   std::unique_lock lock(world_.barrier_mutex_);
   const long gen = world_.barrier_generation_;
   if (++world_.barrier_count_ == world_.size_) {
@@ -117,7 +112,6 @@ void Communicator::barrier() {
       return world_.barrier_generation_ != gen;
     });
   }
-  comm_seconds_ += timer.seconds();
 }
 
 // Reduction skeleton: accumulate under the lock; the last rank to arrive
@@ -126,7 +120,6 @@ void Communicator::barrier() {
 // ranks enter it, which requires all ranks to have returned (and thus
 // read the result) from this one.
 #define EMBER_REDUCE_BODY(scratch_field, result_field, op_expr, init_value) \
-  WallTimer timer;                                                          \
   std::unique_lock lock(world_.reduce_mutex_);                              \
   const long gen = world_.reduce_generation_;                               \
   if (world_.reduce_count_ == 0) world_.scratch_field = (init_value);       \
@@ -141,55 +134,39 @@ void Communicator::barrier() {
       return world_.reduce_generation_ != gen;                              \
     });                                                                     \
   }                                                                         \
-  comm_seconds_ += timer.seconds();                                         \
   return world_.result_field;
 
-double Communicator::allreduce_sum(double value) {
+double ThreadTransport::do_allreduce_sum(double value) {
   EMBER_REDUCE_BODY(reduce_double_, reduce_result_double_,
                     world_.reduce_double_ + value, 0.0)
 }
 
-long Communicator::allreduce_sum(long value) {
+long ThreadTransport::do_allreduce_sum(long value) {
   EMBER_REDUCE_BODY(reduce_long_, reduce_result_long_,
                     world_.reduce_long_ + value, 0L)
 }
 
-double Communicator::allreduce_max(double value) {
+double ThreadTransport::do_allreduce_max(double value) {
   EMBER_REDUCE_BODY(reduce_double_, reduce_result_double_,
                     std::max(world_.reduce_double_, value),
                     -std::numeric_limits<double>::infinity())
 }
 
-bool Communicator::allreduce_or(bool value) {
+bool ThreadTransport::do_allreduce_or(bool value) {
   EMBER_REDUCE_BODY(reduce_bool_, reduce_result_bool_,
                     world_.reduce_bool_ || value, false)
 }
 
 #undef EMBER_REDUCE_BODY
 
-std::vector<double> Communicator::gather(double value, int root) {
-  if (rank_ == root) {
-    std::vector<double> out(world_.size());
-    out[root] = value;
-    for (int r = 0; r < world_.size(); ++r) {
-      if (r == root) continue;
-      out[r] = recv_value<double>(r, kTagGather);
-    }
-    return out;
-  }
-  send_value(root, kTagGather, value);
-  return {};
-}
-
-double Communicator::broadcast(double value, int root) {
-  if (rank_ == root) {
-    for (int r = 0; r < world_.size(); ++r) {
-      if (r == root) continue;
-      send_value(r, kTagBcast, value);
-    }
-    return value;
-  }
-  return recv_value<double>(root, kTagBcast);
+std::vector<std::byte> ThreadContext::run_gather(
+    const std::function<std::vector<std::byte>(Transport&)>& fn) {
+  std::vector<std::byte> root_result;
+  world_.run([&fn, &root_result](ThreadTransport& t) {
+    auto r = fn(t);
+    if (t.rank() == 0) root_result = std::move(r);
+  });
+  return root_result;
 }
 
 }  // namespace ember::comm

@@ -1,95 +1,59 @@
 #pragma once
 
-// In-process message passing with MPI-like semantics.
+// Thread backend: in-process message passing with MPI-like semantics.
 //
 // A World hosts N ranks; each rank executes the same function on its own
 // thread and communicates through mailboxes (mutex + condition variable
-// per destination). The subset of MPI that LAMMPS-style MD needs is
-// provided: blocking tagged send/recv, barrier, reductions, gather and
-// broadcast. Deterministic given deterministic rank programs: recv matches
-// (source, tag) exactly, so no wildcard races exist.
+// per destination). Deterministic given deterministic rank programs:
+// recv matches (source, tag) exactly, so no wildcard races exist.
 //
-// This layer stands in for MPI on the single-node environment (see
-// DESIGN.md §2); the domain-decomposition code is written against this
-// interface exactly as it would be against MPI.
+// This is the fast in-node path behind the comm::Transport interface
+// (comm/transport.hpp); the multi-process path is SocketTransport. This
+// header is private to src/comm — drivers obtain ranks through
+// comm::make_context and program against Transport (ember_lint's
+// comm-backend-include rule enforces the boundary).
 
 #include <condition_variable>
 #include <cstddef>
-#include <cstring>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "comm/transport.hpp"
 #include "common/error.hpp"
 
 namespace ember::comm {
 
 class World;
 
-class Communicator {
+class ThreadTransport final : public Transport {
  public:
-  [[nodiscard]] int rank() const { return rank_; }
-  [[nodiscard]] int size() const;
-
-  // ---- point to point (blocking, byte-level) ----
-  void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
-  std::vector<std::byte> recv_bytes(int source, int tag);
-
-  // Typed convenience wrappers for trivially copyable payloads.
-  template <typename T>
-  void send(int dest, int tag, const std::vector<T>& data) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    send_bytes(dest, tag, data.data(), data.size() * sizeof(T));
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override;
+  [[nodiscard]] TransportKind kind() const override {
+    return TransportKind::Thread;
   }
-  template <typename T>
-  std::vector<T> recv(int source, int tag) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const auto raw = recv_bytes(source, tag);
-    EMBER_REQUIRE(raw.size() % sizeof(T) == 0, "message size mismatch");
-    std::vector<T> out(raw.size() / sizeof(T));
-    // Zero-length messages are legal (empty halo legs); memcpy's pointer
-    // arguments must not be null even for size 0, so skip the copy.
-    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
-    return out;
-  }
-  template <typename T>
-  void send_value(int dest, int tag, const T& value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    send_bytes(dest, tag, &value, sizeof(T));
-  }
-  template <typename T>
-  T recv_value(int source, int tag) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const auto raw = recv_bytes(source, tag);
-    EMBER_REQUIRE(raw.size() == sizeof(T), "message size mismatch");
-    T out;
-    std::memcpy(&out, raw.data(), sizeof(T));
-    return out;
-  }
-
-  // ---- collectives (all ranks must call) ----
-  void barrier();
-  double allreduce_sum(double value);
-  long allreduce_sum(long value);
-  double allreduce_max(double value);
-  bool allreduce_or(bool value);
-  // Gather one double per rank to root (result valid on root only).
-  std::vector<double> gather(double value, int root = 0);
-  // Broadcast a value from root to all ranks.
-  double broadcast(double value, int root = 0);
-
-  // Elapsed seconds this rank has spent blocked in communication calls.
-  [[nodiscard]] double comm_seconds() const { return comm_seconds_; }
-  void reset_comm_seconds() { comm_seconds_ = 0.0; }
 
  private:
   friend class World;
-  Communicator(World& world, int rank) : world_(world), rank_(rank) {}
+  ThreadTransport(World& world, int rank) : world_(world), rank_(rank) {}
+
+  void do_send_bytes(int dest, int tag, const void* data,
+                     std::size_t bytes) override;
+  [[nodiscard]] std::vector<std::byte> do_recv_bytes(int source,
+                                                     int tag) override;
+  [[nodiscard]] std::pair<int, std::vector<std::byte>> do_recv_bytes_any(
+      int tag) override;
+  void do_barrier() override;
+  double do_allreduce_sum(double value) override;
+  long do_allreduce_sum(long value) override;
+  double do_allreduce_max(double value) override;
+  bool do_allreduce_or(bool value) override;
 
   World& world_;
   int rank_;
-  double comm_seconds_ = 0.0;
 };
 
 class World {
@@ -100,10 +64,10 @@ class World {
 
   // Execute fn on every rank concurrently and join. Exceptions thrown by
   // any rank are rethrown (the first one) after all threads complete.
-  void run(const std::function<void(Communicator&)>& fn);
+  void run(const std::function<void(ThreadTransport&)>& fn);
 
  private:
-  friend class Communicator;
+  friend class ThreadTransport;
 
   struct Message {
     int tag;
@@ -139,6 +103,22 @@ class World {
   double reduce_result_double_ = 0.0;
   long reduce_result_long_ = 0;
   bool reduce_result_bool_ = false;
+};
+
+class ThreadContext final : public Context {
+ public:
+  explicit ThreadContext(int ranks) : world_(ranks) {}
+
+  [[nodiscard]] int size() const override { return world_.size(); }
+  [[nodiscard]] TransportKind kind() const override {
+    return TransportKind::Thread;
+  }
+
+  [[nodiscard]] std::vector<std::byte> run_gather(
+      const std::function<std::vector<std::byte>(Transport&)>& fn) override;
+
+ private:
+  World world_;
 };
 
 }  // namespace ember::comm

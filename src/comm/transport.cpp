@@ -1,0 +1,167 @@
+#include "transport.hpp"
+
+#include <cstdlib>
+
+#include "comm/communicator.hpp"
+#include "comm/socket_transport.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+
+namespace ember::comm {
+
+namespace {
+// Internal tags for the collectives built on point-to-point (user code
+// should use non-negative tags).
+constexpr int kTagGather = -101;
+constexpr int kTagBcast = -102;
+
+// Process-global traffic counters. Registered once; per-call cost is one
+// sharded relaxed fetch_add each. Both backends feed the same names, so
+// thread and socket runs of the same program report identical traffic.
+struct CommMetrics {
+  obs::Counter& messages;
+  obs::Counter& bytes;
+  static CommMetrics& get() {
+    static CommMetrics m{obs::Registry::global().counter("comm.messages"),
+                         obs::Registry::global().counter("comm.bytes")};
+    return m;
+  }
+};
+
+std::function<bool()>& probe_slot() {
+  static std::function<bool()> probe;
+  return probe;
+}
+}  // namespace
+
+const char* to_string(TransportKind kind) {
+  return kind == TransportKind::Thread ? "thread" : "socket";
+}
+
+TransportKind transport_kind_from_string(const std::string& s) {
+  if (s == "thread") return TransportKind::Thread;
+  if (s == "socket") return TransportKind::Socket;
+  EMBER_REQUIRE(false, "unknown transport '" + s + "' (thread|socket)");
+}
+
+TransportKind default_transport_kind() {
+  const char* env = std::getenv("EMBER_TRANSPORT");
+  if (env == nullptr || env[0] == '\0') return TransportKind::Thread;
+  return transport_kind_from_string(env);
+}
+
+void set_rank_failure_probe(std::function<bool()> probe) {
+  probe_slot() = std::move(probe);
+}
+
+const std::function<bool()>& rank_failure_probe() { return probe_slot(); }
+
+// ---- Transport base shells ------------------------------------------------
+
+void Transport::send_bytes(int dest, int tag, const void* data,
+                           std::size_t bytes) {
+  CommMetrics& m = CommMetrics::get();
+  m.messages.inc();
+  m.bytes.add(static_cast<double>(bytes));
+  ++traffic_.messages;
+  traffic_.bytes += static_cast<double>(bytes);
+  do_send_bytes(dest, tag, data, bytes);
+}
+
+std::vector<std::byte> Transport::recv_bytes(int source, int tag) {
+  WallTimer timer;
+  auto out = do_recv_bytes(source, tag);
+  comm_seconds_ += timer.seconds();
+  return out;
+}
+
+std::pair<int, std::vector<std::byte>> Transport::recv_bytes_any(int tag) {
+  WallTimer timer;
+  auto out = do_recv_bytes_any(tag);
+  comm_seconds_ += timer.seconds();
+  return out;
+}
+
+void Transport::barrier() {
+  WallTimer timer;
+  do_barrier();
+  comm_seconds_ += timer.seconds();
+}
+
+double Transport::allreduce_sum(double value) {
+  WallTimer timer;
+  const double out = do_allreduce_sum(value);
+  comm_seconds_ += timer.seconds();
+  return out;
+}
+
+long Transport::allreduce_sum(long value) {
+  WallTimer timer;
+  const long out = do_allreduce_sum(value);
+  comm_seconds_ += timer.seconds();
+  return out;
+}
+
+double Transport::allreduce_max(double value) {
+  WallTimer timer;
+  const double out = do_allreduce_max(value);
+  comm_seconds_ += timer.seconds();
+  return out;
+}
+
+bool Transport::allreduce_or(bool value) {
+  WallTimer timer;
+  const bool out = do_allreduce_or(value);
+  comm_seconds_ += timer.seconds();
+  return out;
+}
+
+std::vector<double> Transport::gather(double value, int root) {
+  if (rank() == root) {
+    std::vector<double> out(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] = value;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      out[static_cast<std::size_t>(r)] = recv_value<double>(r, kTagGather);
+    }
+    return out;
+  }
+  send_value(root, kTagGather, value);
+  return {};
+}
+
+double Transport::broadcast(double value, int root) {
+  if (rank() == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      send_value(r, kTagBcast, value);
+    }
+    return value;
+  }
+  return recv_value<double>(root, kTagBcast);
+}
+
+// ---- Context --------------------------------------------------------------
+
+void Context::run(const std::function<void(Transport&)>& fn) {
+  (void)run_gather([&fn](Transport& t) {
+    fn(t);
+    return std::vector<std::byte>{};
+  });
+}
+
+std::unique_ptr<Context> make_context(const TransportSpec& spec) {
+  EMBER_REQUIRE(spec.ranks >= 1, "transport context needs >= 1 rank");
+  // 0 = thread, 1 = socket: lets a metrics dump attribute a run to its
+  // backend (the launching process owns the registry either way).
+  obs::Registry::global()
+      .gauge("comm.transport")
+      .set(spec.kind == TransportKind::Thread ? 0.0 : 1.0);
+  obs::Registry::global().gauge("comm.ranks").set(spec.ranks);
+  if (spec.kind == TransportKind::Socket) {
+    return std::make_unique<SocketContext>(spec.ranks);
+  }
+  return std::make_unique<ThreadContext>(spec.ranks);
+}
+
+}  // namespace ember::comm

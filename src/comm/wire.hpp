@@ -1,0 +1,96 @@
+#pragma once
+
+// Length-prefixed wire format for the socket backend.
+//
+// Every message on a rank-to-rank stream is one frame: a fixed 16-byte
+// header (tag + payload length) followed by the payload bytes. Streams
+// are per-peer, so the source is implicit and per-source FIFO order is
+// the stream order; tag matching happens above this layer on decoded
+// frames. The same framing carries the control-channel reports a rank
+// child sends its launcher (status, traffic totals, rank-0 result).
+//
+// FrameBuffer is the reassembly half: sockets deliver arbitrary byte
+// runs, so incoming data is appended as it arrives and complete frames
+// are popped off the front once the length prefix is satisfied.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ember::comm::wire {
+
+struct FrameHeader {
+  std::int32_t tag = 0;
+  std::uint32_t reserved = 0;  // keeps the payload 8-byte aligned
+  std::uint64_t payload_bytes = 0;
+};
+static_assert(sizeof(FrameHeader) == 16);
+
+// Refuse obviously-corrupt length prefixes before allocating: no single
+// in-node MD message approaches 1 TiB.
+inline constexpr std::uint64_t kMaxFrameBytes = 1ULL << 40;
+
+struct Frame {
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+// Header + payload as one contiguous buffer (small messages; large
+// payloads are better written as header then payload to skip the copy).
+[[nodiscard]] inline std::vector<std::byte> encode_frame(
+    int tag, const void* data, std::size_t bytes) {
+  FrameHeader header;
+  header.tag = tag;
+  header.payload_bytes = bytes;
+  std::vector<std::byte> out(sizeof(FrameHeader) + bytes);
+  std::memcpy(out.data(), &header, sizeof(FrameHeader));
+  if (bytes > 0) std::memcpy(out.data() + sizeof(FrameHeader), data, bytes);
+  return out;
+}
+
+class FrameBuffer {
+ public:
+  void append(const std::byte* data, std::size_t bytes) {
+    buffer_.insert(buffer_.end(), data, data + bytes);
+  }
+
+  // Pop the next complete frame, or nullopt while bytes are still
+  // outstanding. Throws ember::Error on a corrupt length prefix.
+  [[nodiscard]] std::optional<Frame> pop() {
+    if (buffer_.size() - start_ < sizeof(FrameHeader)) return std::nullopt;
+    FrameHeader header;
+    std::memcpy(&header, buffer_.data() + start_, sizeof(FrameHeader));
+    EMBER_REQUIRE(header.payload_bytes <= kMaxFrameBytes,
+                  "corrupt wire frame: implausible payload length");
+    const std::size_t need =
+        sizeof(FrameHeader) + static_cast<std::size_t>(header.payload_bytes);
+    if (buffer_.size() - start_ < need) return std::nullopt;
+    Frame frame;
+    frame.tag = header.tag;
+    frame.payload.assign(
+        buffer_.begin() + static_cast<std::ptrdiff_t>(start_ +
+                                                      sizeof(FrameHeader)),
+        buffer_.begin() + static_cast<std::ptrdiff_t>(start_ + need));
+    start_ += need;
+    // Compact once the consumed prefix dominates, amortizing the erase.
+    if (start_ > 4096 && start_ * 2 > buffer_.size()) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(start_));
+      start_ = 0;
+    }
+    return frame;
+  }
+
+  [[nodiscard]] bool empty() const { return buffer_.size() == start_; }
+
+ private:
+  std::vector<std::byte> buffer_;
+  std::size_t start_ = 0;
+};
+
+}  // namespace ember::comm::wire

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -26,19 +27,19 @@ constexpr std::uint64_t kMagic = 0x454d424552435031ULL;       // "EMBERCP1"
 constexpr std::uint64_t kMagicBatch = 0x454d424552435032ULL;  // "EMBERCP2"
 
 template <typename T>
-void put(std::ofstream& os, const T& value) {
+void put(std::ostream& os, const T& value) {
   os.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
-T get(std::ifstream& is) {
+T get(std::istream& is) {
   T value{};
   is.read(reinterpret_cast<char*>(&value), sizeof(T));
   EMBER_REQUIRE(is.good(), "checkpoint truncated");
   return value;
 }
 
-void put_system(std::ofstream& os, const System& sys) {
+void put_system(std::ostream& os, const System& sys) {
   put(os, sys.box().length(0));
   put(os, sys.box().length(1));
   put(os, sys.box().length(2));
@@ -53,7 +54,7 @@ void put_system(std::ofstream& os, const System& sys) {
   }
 }
 
-System get_system(std::ifstream& is) {
+System get_system(std::istream& is) {
   const double lx = get<double>(is);
   const double ly = get<double>(is);
   const double lz = get<double>(is);
@@ -84,6 +85,24 @@ System read_checkpoint(const std::string& path) {
   EMBER_REQUIRE(is.good(), "cannot open " + path);
   EMBER_REQUIRE(get<std::uint64_t>(is) == kMagic,
                 "not an ember checkpoint: " + path);
+  return get_system(is);
+}
+
+std::vector<std::byte> checkpoint_bytes(const System& sys) {
+  std::ostringstream os(std::ios::binary);
+  put(os, kMagic);
+  put_system(os, sys);
+  const std::string s = os.str();
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return {p, p + s.size()};
+}
+
+System system_from_checkpoint_bytes(std::span<const std::byte> bytes) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()),
+      std::ios::binary);
+  EMBER_REQUIRE(get<std::uint64_t>(is) == kMagic,
+                "not an ember checkpoint payload");
   return get_system(is);
 }
 

@@ -7,6 +7,7 @@
 // write_checkpoint/read_checkpoint provide the same capability (and the
 // production bench measures their cost the same way).
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <vector>
@@ -22,6 +23,13 @@ void write_xyz(const System& sys, const std::string& path,
 // Binary checkpoint: box, mass, ids, positions, velocities.
 void write_checkpoint(const System& sys, const std::string& path);
 System read_checkpoint(const std::string& path);
+
+// The same checkpoint record in memory: what a process-backed comm rank
+// ships its gathered System through (comm::Context::run_gather). The
+// bytes are the file format, so they can also be written verbatim to
+// disk and read back with read_checkpoint.
+std::vector<std::byte> checkpoint_bytes(const System& sys);
+System system_from_checkpoint_bytes(std::span<const std::byte> bytes);
 
 // Multi-replica checkpoint (BatchedSimulation): the same per-system
 // record repeated, each replica with its own box. read_checkpoint_batch

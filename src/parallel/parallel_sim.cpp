@@ -28,7 +28,7 @@ struct PackedGhost {
 };
 }  // namespace
 
-ParallelSimulation::ParallelSimulation(comm::Communicator& comm,
+ParallelSimulation::ParallelSimulation(comm::Transport& comm,
                                        const md::System& global,
                                        std::shared_ptr<md::PairPotential> pot,
                                        double dt_ps, double skin,

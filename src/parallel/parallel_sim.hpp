@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "comm/communicator.hpp"
+#include "comm/transport.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "md/step_loop.hpp"
@@ -47,7 +47,7 @@ class ParallelSimulation : private md::StepStages {
  public:
   // Every rank passes the same global initial System; atoms are scattered
   // by ownership. The potential object must be rank-private.
-  ParallelSimulation(comm::Communicator& comm, const md::System& global,
+  ParallelSimulation(comm::Transport& comm, const md::System& global,
                      std::shared_ptr<md::PairPotential> pot, double dt_ps,
                      double skin = 0.5, std::uint64_t seed = 12345,
                      ExecutionPolicy policy = {});
@@ -110,7 +110,7 @@ class ParallelSimulation : private md::StepStages {
   void exchange_ghosts();
   [[nodiscard]] md::System gather(bool on_all_ranks);
 
-  comm::Communicator& comm_;
+  comm::Transport& comm_;
   md::Box global_box_;
   Domain domain_;
   md::StepLoop loop_;

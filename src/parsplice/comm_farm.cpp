@@ -1,0 +1,72 @@
+#include "comm_farm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ember::parsplice {
+
+namespace {
+constexpr int kTagRequest = 11;
+constexpr int kTagBatch = 12;
+}  // namespace
+
+FarmStats run_task_farm(comm::Transport& t, const FarmConfig& config,
+                        const std::function<double(long)>& task) {
+  EMBER_REQUIRE(config.total_tasks >= 0, "negative task count");
+  EMBER_REQUIRE(config.batch >= 1, "batch must be >= 1");
+
+  long local_count = 0;
+  double local_sum = 0.0;
+  long batches_served = 0;
+
+  if (t.size() == 1) {
+    // Nobody to delegate to: the manager works through the list itself.
+    for (long id = 0; id < config.total_tasks; ++id) {
+      local_sum += task(id);
+      ++local_count;
+    }
+    batches_served =
+        (config.total_tasks + config.batch - 1) / config.batch;
+  } else if (t.rank() == 0) {
+    // Work manager: deal the next batch to whichever worker asks first.
+    long next = 0;
+    int retired = 0;
+    const int workers = t.size() - 1;
+    while (retired < workers) {
+      const auto [worker, ignored] = t.recv_bytes_any(kTagRequest);
+      std::vector<long> ids;
+      const long end =
+          std::min(config.total_tasks, next + static_cast<long>(config.batch));
+      ids.reserve(static_cast<std::size_t>(end - next));
+      for (long id = next; id < end; ++id) ids.push_back(id);
+      next = end;
+      t.send(worker, kTagBatch, ids);
+      if (ids.empty()) {
+        ++retired;
+      } else {
+        ++batches_served;
+      }
+    }
+  } else {
+    // Worker: pull until the empty-batch sentinel.
+    for (;;) {
+      t.send_bytes(0, kTagRequest, nullptr, 0);
+      const auto ids = t.recv<long>(0, kTagBatch);
+      if (ids.empty()) break;
+      for (const long id : ids) {
+        local_sum += task(id);
+        ++local_count;
+      }
+    }
+  }
+
+  FarmStats stats;
+  stats.tasks_completed = t.allreduce_sum(local_count);
+  stats.result_sum = t.allreduce_sum(local_sum);
+  stats.batches_served = t.allreduce_sum(batches_served);
+  return stats;
+}
+
+}  // namespace ember::parsplice

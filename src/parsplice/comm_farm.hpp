@@ -1,0 +1,42 @@
+#pragma once
+
+// EXAALT-style pull-model task farm over the comm::Transport layer.
+//
+// taskmgr.hpp *simulates* the deck's work-manager architecture with a
+// discrete-event model; this is the real thing on real ranks: rank 0 is
+// the work manager serving batches of task ids, every other rank is a
+// worker that pulls a batch, executes it, and asks for more. Workers
+// that finish early pull more often — the load balancing that makes the
+// pull model worth its middleman — which is why the work manager serves
+// requests with the any-source receive rather than polling ranks in
+// order. An empty batch is the retirement sentinel; the farm ends when
+// every worker has been retired, and the aggregate statistics are
+// allreduced so every rank returns the same FarmStats.
+//
+// Runs on either transport backend (thread ranks or forked processes)
+// since it only speaks the Transport interface.
+
+#include <functional>
+
+#include "comm/transport.hpp"
+
+namespace ember::parsplice {
+
+struct FarmConfig {
+  long total_tasks = 0;
+  int batch = 8;  // task ids handed out per pull
+};
+
+struct FarmStats {
+  long tasks_completed = 0;  // across all workers
+  double result_sum = 0.0;   // sum of task(id) over every task
+  long batches_served = 0;   // non-empty batches the work manager issued
+};
+
+// Collective: every rank of the transport must call with the same
+// config. `task` executes on worker ranks (on rank 0 only when the farm
+// is single-rank and there is nobody else to do the work).
+FarmStats run_task_farm(comm::Transport& t, const FarmConfig& config,
+                        const std::function<double(long)>& task);
+
+}  // namespace ember::parsplice

@@ -188,6 +188,74 @@ TEST(Interpreter, RanksCommandRunsDomainDecomposed) {
   EXPECT_EQ(interp.total_steps(), 35);
 }
 
+TEST(Interpreter, TransportCommandSelectsBackend) {
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.execute("transport socket");
+  EXPECT_NE(out.str().find("transport socket"), std::string::npos);
+  interp.execute("transport thread");
+  EXPECT_NE(out.str().find("transport thread"), std::string::npos);
+  EXPECT_THROW(interp.execute("transport avian"), Error);
+  EXPECT_THROW(interp.execute("transport"), Error);
+}
+
+TEST(Interpreter, SocketTransportRunsDomainDecomposed) {
+  // Same protocol as RanksCommandRunsDomainDecomposed, but the ranks are
+  // forked processes. Log lines land on the child's stdout, not on our
+  // ostringstream, so assert on the gathered state instead.
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.run_script(R"(
+    mass 39.948
+    lattice fcc 5.26 repeat 3 3 3
+    potential lj 0.0104 3.4 6.5
+    thermalize 40 seed 7
+    timestep 0.002
+    transport socket
+    ranks 2
+    run 30
+  )");
+  EXPECT_EQ(interp.total_steps(), 30);
+  EXPECT_EQ(interp.system().nlocal(), 108);
+  EXPECT_EQ(interp.simulation(), nullptr);
+  // The gathered state keeps evolving back in serial mode.
+  interp.execute("ranks 1");
+  interp.execute("run 5");
+  EXPECT_EQ(interp.total_steps(), 35);
+}
+
+TEST(Interpreter, ElasticRescaleAcrossCheckpoint) {
+  // The rescaling story from DESIGN.md: checkpoint a 4-rank socket run,
+  // then restart the same trajectory on 2 ranks. The checkpoint is a
+  // plain global-system file, so rank geometry is free to change.
+  const std::string ckpt = "/tmp/ember_interp_rescale.bin";
+  std::remove(ckpt.c_str());
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.run_script("mass 39.948\n"
+                    "lattice fcc 5.26 repeat 3 3 3\n"
+                    "potential lj 0.0104 3.4 6.5\n"
+                    "thermalize 40 seed 11\n"
+                    "timestep 0.002\n"
+                    "transport socket\n"
+                    "ranks 4\n"
+                    "checkpoint every 20 " + ckpt + "\n"
+                    "run 20\n");
+  EXPECT_EQ(interp.system().nlocal(), 108);
+
+  std::ostringstream out2;
+  Interpreter interp2(out2);
+  interp2.run_script("read_checkpoint " + ckpt + "\n"
+                     "potential lj 0.0104 3.4 6.5\n"
+                     "timestep 0.002\n"
+                     "transport socket\n"
+                     "ranks 2\n"
+                     "run 10\n");
+  EXPECT_EQ(interp2.total_steps(), 10);
+  EXPECT_EQ(interp2.system().nlocal(), 108);
+  std::remove(ckpt.c_str());
+}
+
 TEST(Interpreter, ReplicasCommandRunsLockstepBatch) {
   const std::string ckpt = "/tmp/ember_interp_batch.bin";
   std::remove(ckpt.c_str());

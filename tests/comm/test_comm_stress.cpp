@@ -1,19 +1,29 @@
 // Stress and edge-case coverage for the message-passing layer: large
-// payloads, interleaved tags, all-to-all patterns, and mixed collectives.
+// payloads, interleaved tags, all-to-all patterns, and mixed
+// collectives — run against both transport backends. For the socket
+// backend the large-payload and all-to-all cases double as deadlock
+// tests of the send-side progress engine (everyone pushing at once must
+// keep draining).
 
 #include <gtest/gtest.h>
 
 #include <numeric>
 
-#include "comm/communicator.hpp"
+#include "comm/transport.hpp"
 #include "common/rng.hpp"
+#include "transport_test_util.hpp"
 
 namespace ember::comm {
 namespace {
 
-TEST(CommStress, LargePayloadRoundTrip) {
-  World world(2);
-  world.run([](Communicator& c) {
+using test::kBothKinds;
+using test::make;
+
+class CommStress : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(CommStress, LargePayloadRoundTrip) {
+  const auto ctx = make(GetParam(), 2);
+  ctx->run([](Transport& c) {
     if (c.rank() == 0) {
       std::vector<double> big(1 << 20);  // 8 MB
       std::iota(big.begin(), big.end(), 0.0);
@@ -27,9 +37,23 @@ TEST(CommStress, LargePayloadRoundTrip) {
   });
 }
 
-TEST(CommStress, EmptyMessagesAreDelivered) {
-  World world(2);
-  world.run([](Communicator& c) {
+TEST_P(CommStress, LargePayloadsBothDirectionsAtOnce) {
+  // Both ranks send 8 MB before either receives: a transport whose send
+  // blocks without draining incoming data deadlocks here.
+  const auto ctx = make(GetParam(), 2);
+  ctx->run([](Transport& c) {
+    std::vector<double> big(1 << 20, 1.5 + c.rank());
+    c.send(1 - c.rank(), 2, big);
+    const auto got = c.recv<double>(1 - c.rank(), 2);
+    ASSERT_EQ(got.size(), big.size());
+    EXPECT_DOUBLE_EQ(got.front(), 1.5 + (1 - c.rank()));
+    EXPECT_DOUBLE_EQ(got.back(), 1.5 + (1 - c.rank()));
+  });
+}
+
+TEST_P(CommStress, EmptyMessagesAreDelivered) {
+  const auto ctx = make(GetParam(), 2);
+  ctx->run([](Transport& c) {
     if (c.rank() == 0) {
       c.send(1, 9, std::vector<double>{});
     } else {
@@ -38,10 +62,10 @@ TEST(CommStress, EmptyMessagesAreDelivered) {
   });
 }
 
-TEST(CommStress, AllToAllExchange) {
+TEST_P(CommStress, AllToAllExchange) {
   const int n = 6;
-  World world(n);
-  world.run([n](Communicator& c) {
+  const auto ctx = make(GetParam(), n);
+  ctx->run([n](Transport& c) {
     // Everyone sends rank*100+dest to everyone (including self).
     for (int dest = 0; dest < n; ++dest) {
       c.send_value(dest, 7, c.rank() * 100 + dest);
@@ -56,9 +80,9 @@ TEST(CommStress, AllToAllExchange) {
   });
 }
 
-TEST(CommStress, InterleavedTagsAcrossManyRounds) {
-  World world(2);
-  world.run([](Communicator& c) {
+TEST_P(CommStress, InterleavedTagsAcrossManyRounds) {
+  const auto ctx = make(GetParam(), 2);
+  ctx->run([](Transport& c) {
     Rng rng(40 + c.rank());
     if (c.rank() == 0) {
       // Interleave the three tags randomly while each tag's own sequence
@@ -82,10 +106,10 @@ TEST(CommStress, InterleavedTagsAcrossManyRounds) {
   });
 }
 
-TEST(CommStress, ReductionsInterleaveWithPointToPoint) {
+TEST_P(CommStress, ReductionsInterleaveWithPointToPoint) {
   const int n = 4;
-  World world(n);
-  world.run([n](Communicator& c) {
+  const auto ctx = make(GetParam(), n);
+  ctx->run([n](Transport& c) {
     for (int round = 0; round < 10; ++round) {
       const double s = c.allreduce_sum(1.0);
       EXPECT_DOUBLE_EQ(s, n);
@@ -98,9 +122,9 @@ TEST(CommStress, ReductionsInterleaveWithPointToPoint) {
   });
 }
 
-TEST(CommStress, MaxAndOrSemantics) {
-  World world(5);
-  world.run([](Communicator& c) {
+TEST_P(CommStress, MaxAndOrSemantics) {
+  const auto ctx = make(GetParam(), 5);
+  ctx->run([](Transport& c) {
     EXPECT_DOUBLE_EQ(c.allreduce_max(-static_cast<double>(c.rank())), 0.0);
     EXPECT_DOUBLE_EQ(c.allreduce_max(c.rank() == 3 ? 7.5 : -1e9), 7.5);
     EXPECT_FALSE(c.allreduce_or(false));
@@ -108,9 +132,9 @@ TEST(CommStress, MaxAndOrSemantics) {
   });
 }
 
-TEST(CommStress, CommSecondsAccumulate) {
-  World world(2);
-  world.run([](Communicator& c) {
+TEST_P(CommStress, CommSecondsAccumulate) {
+  const auto ctx = make(GetParam(), 2);
+  ctx->run([](Transport& c) {
     c.reset_comm_seconds();
     if (c.rank() == 0) {
       c.send_value(1, 1, 42);
@@ -122,6 +146,9 @@ TEST(CommStress, CommSecondsAccumulate) {
     }
   });
 }
+
+INSTANTIATE_TEST_SUITE_P(Comm, CommStress, ::testing::ValuesIn(kBothKinds),
+                         test::kind_name);
 
 }  // namespace
 }  // namespace ember::comm

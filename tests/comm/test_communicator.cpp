@@ -1,18 +1,27 @@
-// Tests of the in-process message-passing layer.
+// Tests of the message-passing layer, run against both transport
+// backends (thread ranks and forked socket-connected processes) through
+// the public comm::Transport interface.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
+#include <tuple>
 
-#include "comm/communicator.hpp"
+#include "comm/transport.hpp"
+#include "transport_test_util.hpp"
 
 namespace ember::comm {
 namespace {
 
-TEST(Communicator, PointToPointRoundTrip) {
-  World world(2);
-  world.run([](Communicator& c) {
+using test::kBothKinds;
+using test::make;
+
+class Transports : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(Transports, PointToPointRoundTrip) {
+  const auto ctx = make(GetParam(), 2);
+  ctx->run([](Transport& c) {
     if (c.rank() == 0) {
       std::vector<double> data{1.0, 2.0, 3.5};
       c.send(1, 7, data);
@@ -27,10 +36,10 @@ TEST(Communicator, PointToPointRoundTrip) {
   });
 }
 
-TEST(Communicator, TagsAreMatchedNotJustOrder) {
+TEST_P(Transports, TagsAreMatchedNotJustOrder) {
   // Send two messages with different tags; receive them out of order.
-  World world(2);
-  world.run([](Communicator& c) {
+  const auto ctx = make(GetParam(), 2);
+  ctx->run([](Transport& c) {
     if (c.rank() == 0) {
       c.send_value(1, 1, 111);
       c.send_value(1, 2, 222);
@@ -41,9 +50,9 @@ TEST(Communicator, TagsAreMatchedNotJustOrder) {
   });
 }
 
-TEST(Communicator, SameTagPreservesFifoPerSource) {
-  World world(2);
-  world.run([](Communicator& c) {
+TEST_P(Transports, SameTagPreservesFifoPerSource) {
+  const auto ctx = make(GetParam(), 2);
+  ctx->run([](Transport& c) {
     if (c.rank() == 0) {
       for (int i = 0; i < 10; ++i) c.send_value(1, 3, i);
     } else {
@@ -52,20 +61,75 @@ TEST(Communicator, SameTagPreservesFifoPerSource) {
   });
 }
 
-TEST(Communicator, SelfSendWorks) {
-  World world(1);
-  world.run([](Communicator& c) {
+TEST_P(Transports, SelfSendWorks) {
+  const auto ctx = make(GetParam(), 1);
+  ctx->run([](Transport& c) {
     c.send_value(0, 5, 3.25);
     EXPECT_DOUBLE_EQ(c.recv_value<double>(0, 5), 3.25);
   });
 }
 
-class CommCollectives : public ::testing::TestWithParam<int> {};
+TEST_P(Transports, AnySourceRecvDeliversFromEveryRank) {
+  const auto ctx = make(GetParam(), 4);
+  ctx->run([](Transport& c) {
+    if (c.rank() == 0) {
+      long seen_mask = 0;
+      for (int i = 0; i < c.size() - 1; ++i) {
+        const auto [source, payload] = c.recv_bytes_any(9);
+        EXPECT_EQ(from_bytes<int>(payload), source * 100);
+        seen_mask |= 1L << source;
+      }
+      EXPECT_EQ(seen_mask, 0b1110);
+    } else {
+      c.send_value(0, 9, c.rank() * 100);
+    }
+  });
+}
+
+TEST_P(Transports, KindAndSizeAreReported) {
+  const auto ctx = make(GetParam(), 2);
+  EXPECT_EQ(ctx->kind(), GetParam());
+  EXPECT_EQ(ctx->size(), 2);
+  const auto kind = GetParam();
+  ctx->run([kind](Transport& c) {
+    EXPECT_EQ(c.kind(), kind);
+    EXPECT_EQ(c.size(), 2);
+  });
+}
+
+TEST_P(Transports, RunGatherShipsRootResult) {
+  const auto ctx = make(GetParam(), 3);
+  const auto bytes = ctx->run_gather([](Transport& c) {
+    const double sum = c.allreduce_sum(static_cast<double>(c.rank()));
+    if (c.rank() != 0) return std::vector<std::byte>{};
+    return to_bytes(sum);
+  });
+  EXPECT_DOUBLE_EQ(from_bytes<double>(bytes), 3.0);
+}
+
+TEST_P(Transports, ExceptionsPropagateFromRanks) {
+  const auto ctx = make(GetParam(), 2);
+  EXPECT_THROW(ctx->run([](Transport& c) {
+                 if (c.rank() == 1) throw Error("rank 1 failed");
+                 // Rank 0 must not deadlock waiting: no communication here.
+               }),
+               Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Comm, Transports, ::testing::ValuesIn(kBothKinds),
+                         test::kind_name);
+
+class CommCollectives
+    : public ::testing::TestWithParam<std::tuple<TransportKind, int>> {
+ protected:
+  [[nodiscard]] TransportKind kind() const { return std::get<0>(GetParam()); }
+  [[nodiscard]] int ranks() const { return std::get<1>(GetParam()); }
+};
 
 TEST_P(CommCollectives, AllreduceSumAndMax) {
-  const int n = GetParam();
-  World world(n);
-  world.run([n](Communicator& c) {
+  const int n = ranks();
+  const auto ctx = make(kind(), n);
+  ctx->run([n](Transport& c) {
     const double sum = c.allreduce_sum(static_cast<double>(c.rank() + 1));
     EXPECT_DOUBLE_EQ(sum, n * (n + 1) / 2.0);
     const long lsum = c.allreduce_sum(static_cast<long>(2));
@@ -78,9 +142,9 @@ TEST_P(CommCollectives, AllreduceSumAndMax) {
 }
 
 TEST_P(CommCollectives, RepeatedReductionsStayConsistent) {
-  const int n = GetParam();
-  World world(n);
-  world.run([n](Communicator& c) {
+  const int n = ranks();
+  const auto ctx = make(kind(), n);
+  ctx->run([n](Transport& c) {
     for (int round = 0; round < 50; ++round) {
       const double sum = c.allreduce_sum(static_cast<double>(round));
       EXPECT_DOUBLE_EQ(sum, static_cast<double>(round) * n);
@@ -88,25 +152,10 @@ TEST_P(CommCollectives, RepeatedReductionsStayConsistent) {
   });
 }
 
-TEST_P(CommCollectives, BarrierSynchronizes) {
-  const int n = GetParam();
-  World world(n);
-  std::atomic<int> phase_count{0};
-  world.run([&](Communicator& c) {
-    for (int phase = 0; phase < 5; ++phase) {
-      phase_count.fetch_add(1, std::memory_order_seq_cst);
-      c.barrier();
-      // After the barrier every rank must have incremented for this phase.
-      EXPECT_GE(phase_count.load(std::memory_order_seq_cst), (phase + 1) * n);
-      c.barrier();
-    }
-  });
-}
-
 TEST_P(CommCollectives, GatherAndBroadcast) {
-  const int n = GetParam();
-  World world(n);
-  world.run([n](Communicator& c) {
+  const int n = ranks();
+  const auto ctx = make(kind(), n);
+  ctx->run([n](Transport& c) {
     const auto gathered = c.gather(static_cast<double>(c.rank() * 10), 0);
     if (c.rank() == 0) {
       ASSERT_EQ(static_cast<int>(gathered.size()), n);
@@ -117,16 +166,66 @@ TEST_P(CommCollectives, GatherAndBroadcast) {
   });
 }
 
-INSTANTIATE_TEST_SUITE_P(WorldSizes, CommCollectives,
+INSTANTIATE_TEST_SUITE_P(
+    Comm, CommCollectives,
+    ::testing::Combine(::testing::ValuesIn(kBothKinds),
+                       ::testing::Values(1, 2, 3, 4, 8)),
+    test::kind_size_name);
+
+// Thread-only: observes rank progress through a shared atomic, which
+// only exists when the ranks share an address space.
+class ThreadCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCollectives, BarrierSynchronizes) {
+  const int n = GetParam();
+  const auto ctx = make(TransportKind::Thread, n);
+  std::atomic<int> phase_count{0};
+  ctx->run([&](Transport& c) {
+    for (int phase = 0; phase < 5; ++phase) {
+      phase_count.fetch_add(1, std::memory_order_seq_cst);
+      c.barrier();
+      // After the barrier every rank must have incremented for this phase.
+      EXPECT_GE(phase_count.load(std::memory_order_seq_cst), (phase + 1) * n);
+      c.barrier();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, ThreadCollectives,
                          ::testing::Values(1, 2, 3, 4, 8));
 
-TEST(Communicator, ExceptionsPropagateFromRanks) {
-  World world(2);
-  EXPECT_THROW(world.run([](Communicator& c) {
-                 if (c.rank() == 1) throw Error("rank 1 failed");
-                 // Rank 0 must not deadlock waiting: no communication here.
-               }),
-               Error);
+// Barriers must synchronize process-backed ranks too; without shared
+// memory, prove it by bouncing a strictly-phased token through rank 0.
+class SocketCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(SocketCollectives, BarrierOrdersPhases) {
+  const int n = GetParam();
+  const auto ctx = make(TransportKind::Socket, n);
+  ctx->run([](Transport& c) {
+    for (int phase = 0; phase < 5; ++phase) {
+      if (c.rank() != 0) c.send_value(0, 21, phase);
+      c.barrier();
+      if (c.rank() == 0) {
+        // Every rank's phase message must have arrived before the
+        // barrier released us.
+        for (int r = 1; r < c.size(); ++r) {
+          EXPECT_EQ(c.recv_value<int>(r, 21), phase);
+        }
+      }
+      c.barrier();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, SocketCollectives,
+                         ::testing::Values(2, 3, 4, 8));
+
+TEST(TransportSpecTest, KindParsingRoundTrips) {
+  EXPECT_EQ(transport_kind_from_string("thread"), TransportKind::Thread);
+  EXPECT_EQ(transport_kind_from_string("socket"), TransportKind::Socket);
+  EXPECT_STREQ(to_string(TransportKind::Thread), "thread");
+  EXPECT_STREQ(to_string(TransportKind::Socket), "socket");
+  EXPECT_THROW((void)transport_kind_from_string("carrier-pigeon"), Error);
 }
 
 }  // namespace

@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared helpers for tests parameterized over the comm transport
+// backends. make() routes through comm::make_context like production
+// code, and installs the rank-failure probe so gtest EXPECT_* failures
+// inside a forked socket rank fail the launching test (the child exits
+// nonzero and the launcher raises ember::Error) instead of vanishing
+// with the child process.
+//
+// Name the instantiations via kind_name / kind_size_name: CI selects
+// the multi-process subset with `ctest -R Socket`, so the backend must
+// appear in the test name.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "comm/transport.hpp"
+
+namespace ember::comm::test {
+
+inline void install_failure_probe() {
+  static const bool once = [] {
+    set_rank_failure_probe([] { return ::testing::Test::HasFailure(); });
+    return true;
+  }();
+  (void)once;
+}
+
+[[nodiscard]] inline std::unique_ptr<Context> make(TransportKind kind,
+                                                   int ranks) {
+  install_failure_probe();
+  TransportSpec spec;
+  spec.kind = kind;
+  spec.ranks = ranks;
+  return make_context(spec);
+}
+
+inline constexpr TransportKind kBothKinds[] = {TransportKind::Thread,
+                                               TransportKind::Socket};
+
+[[nodiscard]] inline std::string kind_label(TransportKind kind) {
+  return kind == TransportKind::Thread ? "Thread" : "Socket";
+}
+
+[[nodiscard]] inline std::string kind_name(
+    const ::testing::TestParamInfo<TransportKind>& info) {
+  return kind_label(info.param);
+}
+
+// For Combine(kinds, sizes) params: e.g. "Socket4".
+[[nodiscard]] inline std::string kind_size_name(
+    const ::testing::TestParamInfo<std::tuple<TransportKind, int>>& info) {
+  return kind_label(std::get<0>(info.param)) +
+         std::to_string(std::get<1>(info.param));
+}
+
+}  // namespace ember::comm::test

@@ -1,0 +1,8 @@
+// Fixture: comm backend headers are private to src/comm/; everything
+// else programs against comm/transport.hpp.
+#include "comm/transport.hpp"
+#include "comm/communicator.hpp"
+#include "comm/socket_transport.hpp"
+
+// ember-lint: allow(comm-backend-include) -- fixture exercising the allow path
+#include "comm/communicator.hpp"

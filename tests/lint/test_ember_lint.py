@@ -49,9 +49,16 @@ class EmberLintSelfTest(unittest.TestCase):
         ]
         self.assertEqual(findings, expected)
 
+    def test_backend_include_fixture_reports_private_headers(self):
+        rc, findings = run_lint(FIXTURES / "backend_include.cpp")
+        self.assertEqual(rc, 1)
+        self.assertEqual(findings, [(4, "comm-backend-include"),
+                                    (5, "comm-backend-include")])
+
     def test_every_rule_has_fixture_coverage(self):
         _, findings = run_lint(FIXTURES / "violations.cpp",
-                               FIXTURES / "bare_allow.cpp")
+                               FIXTURES / "bare_allow.cpp",
+                               FIXTURES / "backend_include.cpp")
         covered = {rule for _, rule in findings}
         listed = subprocess.run(
             [sys.executable, str(LINT), "--list-rules"],

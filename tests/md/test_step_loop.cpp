@@ -11,7 +11,8 @@
 #include <memory>
 #include <vector>
 
-#include "comm/communicator.hpp"
+#include "comm/transport.hpp"
+#include "../comm/transport_test_util.hpp"
 #include "md/batched.hpp"
 #include "md/io.hpp"
 #include "md/lattice.hpp"
@@ -71,8 +72,8 @@ TEST_P(CrossDriverParity, DriversAgreeOnTrajectoryAndEnergy) {
 
   // One-rank parallel: same pipeline, but ghosts + self-halo reorder the
   // force accumulation — tight tolerance rather than bitwise.
-  comm::World world(1);
-  world.run([&](comm::Communicator& c) {
+  comm::test::make(comm::TransportKind::Thread, 1)
+      ->run([&](comm::Transport& c) {
     parallel::ParallelSimulation psim(c, init, lj(), 0.002, 0.4, 7, policy);
     psim.run(kSteps);
     const auto g = psim.global_state();
@@ -223,8 +224,8 @@ TEST(CheckpointRoundTrip, ParallelGatherOnRootRestartMatches) {
 
   System full_final(init.box(), init.mass());
   {
-    comm::World world(kRanks);
-    world.run([&](comm::Communicator& c) {
+    comm::test::make(comm::TransportKind::Thread, kRanks)
+        ->run([&](comm::Transport& c) {
       parallel::ParallelSimulation psim(c, init, lj(), 0.002, 0.4, 17);
       psim.run(60);
       System g = psim.gather_global();
@@ -233,8 +234,8 @@ TEST(CheckpointRoundTrip, ParallelGatherOnRootRestartMatches) {
   }
 
   {
-    comm::World world(kRanks);
-    world.run([&](comm::Communicator& c) {
+    comm::test::make(comm::TransportKind::Thread, kRanks)
+        ->run([&](comm::Transport& c) {
       parallel::ParallelSimulation psim(c, init, lj(), 0.002, 0.4, 17);
       psim.run(30);
       psim.save_checkpoint(path);  // rank 0 writes, everyone syncs
@@ -247,8 +248,8 @@ TEST(CheckpointRoundTrip, ParallelGatherOnRootRestartMatches) {
 
   System tail_final(init.box(), init.mass());
   {
-    comm::World world(kRanks);
-    world.run([&](comm::Communicator& c) {
+    comm::test::make(comm::TransportKind::Thread, kRanks)
+        ->run([&](comm::Transport& c) {
       parallel::ParallelSimulation psim(c, restored, lj(), 0.002, 0.4, 17);
       psim.run(30);
       System g = psim.gather_global();

@@ -6,11 +6,12 @@
 
 #include <memory>
 
-#include "comm/communicator.hpp"
+#include "comm/transport.hpp"
 #include "md/lattice.hpp"
 #include "md/simulation.hpp"
 #include "parallel/parallel_sim.hpp"
 #include "ref/pair_lj.hpp"
+#include "../comm/transport_test_util.hpp"
 
 namespace ember::parallel {
 namespace {
@@ -47,8 +48,8 @@ TEST_P(OddRankCounts, EnergyMatchesSerial) {
   serial.setup();
   const double e_serial = serial.potential_energy();
 
-  comm::World world(nranks);
-  world.run([&](comm::Communicator& c) {
+  comm::test::make(comm::TransportKind::Thread, nranks)
+      ->run([&](comm::Transport& c) {
     ParallelSimulation psim(c, global, shortlj(), 0.002, 0.4, 5);
     psim.setup();
     const auto g = psim.global_state();
@@ -62,8 +63,9 @@ TEST(OddRankGuard, RejectsSubdomainsSmallerThanTheHalo) {
   // The constructor must refuse configurations whose one-shell halo
   // cannot be satisfied, rather than silently computing wrong forces.
   md::System global = make_argon(3, 3, 3, 30.0, 5);
-  comm::World world(7);  // prime -> 15.8/7 = 2.3 A slabs << rghost
-  EXPECT_THROW(world.run([&](comm::Communicator& c) {
+  // prime -> 15.8/7 = 2.3 A slabs << rghost
+  const auto ctx = comm::test::make(comm::TransportKind::Thread, 7);
+  EXPECT_THROW(ctx->run([&](comm::Transport& c) {
                  ParallelSimulation psim(c, global, lj(), 0.002, 0.5, 5);
                }),
                Error);
@@ -91,8 +93,8 @@ TEST(AsymmetricGrid, NonCubicBoxGetsMatchingDecomposition) {
   md::Simulation serial(global, lj(), 0.002, 0.5, 7);
   serial.run(40);
 
-  comm::World world(8);
-  world.run([&](comm::Communicator& c) {
+  comm::test::make(comm::TransportKind::Thread, 8)
+      ->run([&](comm::Transport& c) {
     ParallelSimulation psim(c, global, lj(), 0.002, 0.5, 7);
     psim.run(40);
     md::System gathered = psim.gather_global();
@@ -111,8 +113,8 @@ TEST(Halo, GhostCountMatchesShellEstimate) {
   md::System global = make_argon(4, 4, 4, 0.0, 1);
   const double rho = global.nlocal() / global.box().volume();
 
-  comm::World world(8);
-  world.run([&](comm::Communicator& c) {
+  comm::test::make(comm::TransportKind::Thread, 8)
+      ->run([&](comm::Transport& c) {
     ParallelSimulation psim(c, global, lj(), 0.002, 0.5, 1);
     psim.setup();
     const Vec3 sub = psim.domain().lengths();
@@ -126,8 +128,8 @@ TEST(Halo, GhostCountMatchesShellEstimate) {
 
 TEST(ParallelDynamics, LangevinHeatsInParallel) {
   md::System global = make_argon(3, 3, 3, 10.0, 9);
-  comm::World world(4);
-  world.run([&](comm::Communicator& c) {
+  comm::test::make(comm::TransportKind::Thread, 4)
+      ->run([&](comm::Transport& c) {
     ParallelSimulation psim(c, global, lj(), 0.002, 0.5, 9);
     psim.integrator().set_langevin(md::LangevinParams{120.0, 0.05});
     psim.run(400);
@@ -139,8 +141,8 @@ TEST(ParallelDynamics, LangevinHeatsInParallel) {
 
 TEST(MigrationStress, HotLiquidManyRebuildsConservesEverything) {
   md::System global = make_argon(3, 3, 3, 400.0, 13);
-  comm::World world(8);
-  world.run([&](comm::Communicator& c) {
+  comm::test::make(comm::TransportKind::Thread, 8)
+      ->run([&](comm::Transport& c) {
     ParallelSimulation psim(c, global, lj(), 0.004, 0.25, 13);
     psim.integrator().set_langevin(md::LangevinParams{400.0, 0.1});
     psim.run(300);
@@ -167,8 +169,8 @@ TEST(MigrationStress, HotLiquidManyRebuildsConservesEverything) {
 
 TEST(GatherGlobal, VelocitiesSurviveTheRoundTrip) {
   md::System global = make_argon(4, 4, 4, 55.0, 17);
-  comm::World world(4);
-  world.run([&](comm::Communicator& c) {
+  comm::test::make(comm::TransportKind::Thread, 4)
+      ->run([&](comm::Transport& c) {
     ParallelSimulation psim(c, global, lj(), 0.002, 0.5, 17);
     psim.setup();
     md::System gathered = psim.gather_global();

@@ -1,18 +1,22 @@
 // Domain-decomposition validation: the parallel driver must reproduce the
 // serial engine — same energies and forces at setup, equivalent
-// trajectories over many steps, conservation across migrations.
+// trajectories over many steps, conservation across migrations. The
+// parity suite runs on every (transport backend, rank count) pair: the
+// same program must hold whether ranks are threads of this process or
+// forked socket-connected processes.
 
 #include <gtest/gtest.h>
 
 #include <map>
 #include <memory>
 
-#include "comm/communicator.hpp"
+#include "comm/transport.hpp"
 #include "md/lattice.hpp"
 #include "md/simulation.hpp"
 #include "parallel/parallel_sim.hpp"
 #include "ref/pair_lj.hpp"
 #include "snap/snap_potential.hpp"
+#include "../comm/transport_test_util.hpp"
 
 namespace ember::parallel {
 namespace {
@@ -66,18 +70,22 @@ TEST(Domain, OwnershipPartitionsTheBox) {
   }
 }
 
-class ParallelVsSerial : public ::testing::TestWithParam<int> {};
+class ParallelVsSerial
+    : public ::testing::TestWithParam<std::tuple<comm::TransportKind, int>> {
+ protected:
+  [[nodiscard]] std::unique_ptr<comm::Context> context() const {
+    return comm::test::make(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
 
 TEST_P(ParallelVsSerial, SetupEnergyMatchesSerial) {
-  const int nranks = GetParam();
   md::System global = make_argon(3, 30.0, 7);
 
   md::Simulation serial(global, make_lj(), 0.002, 0.5, 7);
   serial.setup();
   const double e_serial = serial.potential_energy();
 
-  comm::World world(nranks);
-  world.run([&](comm::Communicator& c) {
+  context()->run([&](comm::Transport& c) {
     ParallelSimulation psim(c, global, make_lj(), 0.002, 0.5, 7);
     psim.setup();
     const auto g = psim.global_state();
@@ -88,14 +96,12 @@ TEST_P(ParallelVsSerial, SetupEnergyMatchesSerial) {
 }
 
 TEST_P(ParallelVsSerial, TrajectoriesMatchOverManySteps) {
-  const int nranks = GetParam();
   md::System global = make_argon(3, 30.0, 13);
 
   md::Simulation serial(global, make_lj(), 0.002, 0.5, 13);
   serial.run(120);
 
-  comm::World world(nranks);
-  world.run([&](comm::Communicator& c) {
+  context()->run([&](comm::Transport& c) {
     ParallelSimulation psim(c, global, make_lj(), 0.002, 0.5, 13);
     psim.run(120);
     md::System gathered = psim.gather_global();
@@ -114,12 +120,10 @@ TEST_P(ParallelVsSerial, TrajectoriesMatchOverManySteps) {
 }
 
 TEST_P(ParallelVsSerial, MigrationConservesAtoms) {
-  const int nranks = GetParam();
   // Hot enough to force atoms across sub-domain boundaries.
   md::System global = make_argon(3, 300.0, 17);
 
-  comm::World world(nranks);
-  world.run([&](comm::Communicator& c) {
+  context()->run([&](comm::Transport& c) {
     ParallelSimulation psim(c, global, make_lj(), 0.004, 0.3, 17);
     psim.run(200);
     const auto g = psim.global_state();
@@ -138,7 +142,11 @@ TEST_P(ParallelVsSerial, MigrationConservesAtoms) {
   });
 }
 
-INSTANTIATE_TEST_SUITE_P(Ranks, ParallelVsSerial, ::testing::Values(1, 2, 4, 8));
+INSTANTIATE_TEST_SUITE_P(
+    Ranks, ParallelVsSerial,
+    ::testing::Combine(::testing::ValuesIn(comm::test::kBothKinds),
+                       ::testing::Values(1, 2, 4, 8)),
+    comm::test::kind_size_name);
 
 TEST(ParallelSnap, EnergyAndForcesMatchSerial) {
   // SNAP is the paper's potential: validate the many-body force path
@@ -166,8 +174,7 @@ TEST(ParallelSnap, EnergyAndForcesMatchSerial) {
                         0.4, 5);
   serial.run(25);
 
-  comm::World world(4);
-  world.run([&](comm::Communicator& c) {
+  comm::test::make(comm::TransportKind::Thread, 4)->run([&](comm::Transport& c) {
     ParallelSimulation psim(c, global,
                             std::make_shared<snap::SnapPotential>(model),
                             5e-4, 0.4, 5);
@@ -187,8 +194,7 @@ TEST(ParallelSnap, EnergyAndForcesMatchSerial) {
 
 TEST(ParallelTimers, BreakdownCoversCategories) {
   md::System global = make_argon(3, 30.0, 31);
-  comm::World world(4);
-  world.run([&](comm::Communicator& c) {
+  comm::test::make(comm::TransportKind::Thread, 4)->run([&](comm::Transport& c) {
     ParallelSimulation psim(c, global, make_lj(), 0.002, 0.5, 31);
     psim.run(30);
     const auto& t = psim.timers();
