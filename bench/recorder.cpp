@@ -14,6 +14,7 @@ obs::Json machine_json() {
   m.set("arch", info.arch);
   m.set("cpu_model", info.cpu_model);
   m.set("hardware_threads", info.hardware_threads);
+  m.set("clock_ghz", info.clock_ghz, "%.2f");
   return m;
 }
 

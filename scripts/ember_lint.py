@@ -33,6 +33,12 @@ scale (DESIGN.md section 11):
       programs against the comm/transport.hpp interface and obtains a
       backend through comm::make_context, so drivers stay portable
       across thread-rank and process-rank execution.
+  simd-intrinsics-include
+      <immintrin.h> (and the other x86 intrinsics headers) may be
+      included only by the per-ISA translation units in src/snap/simd/.
+      Everything else uses the runtime-dispatched SimdOps table via
+      snap/simd/dispatch.hpp, so the rest of the tree stays portable and
+      builds without any -m<isa> flags.
 
 Suppressions must carry a reason:
 
@@ -61,6 +67,7 @@ RULES = {
     "obs-span-early-return": "return inside a bare EMBER_OBS_SPAN instrumentation block",
     "timer-switch-exhaustive": "switch over TimerCategory missing enumerators or using default:",
     "comm-backend-include": "comm backend header included outside src/comm/",
+    "simd-intrinsics-include": "x86 intrinsics header included outside src/snap/simd/",
 }
 
 SOURCE_SUFFIXES = {".cpp", ".cc", ".hpp", ".h"}
@@ -382,6 +389,35 @@ def check_comm_backend_include(path, raw_lines, code, findings):
                 "comm::make_context instead" % m.group(1)))
 
 
+# SIMD intrinsics stay behind the runtime dispatcher: only the per-ISA
+# kernel TUs in src/snap/simd/ may include the x86 intrinsics headers
+# (they are the only files compiled with -m<isa> flags; an intrinsic
+# anywhere else would either fail to build or, worse, emit illegal
+# instructions on older hosts). Raw lines again, since strip_code blanks
+# the include path string.
+INTRIN_INCLUDE_RE = re.compile(
+    r"#\s*include\s*[<\"]("
+    r"immintrin\.h|x86intrin\.h|xmmintrin\.h|emmintrin\.h|pmmintrin\.h|"
+    r"tmmintrin\.h|smmintrin\.h|nmmintrin\.h|wmmintrin\.h|avxintrin\.h|"
+    r"avx2intrin\.h|avx512fintrin\.h"
+    r")[>\"]")
+
+
+def check_simd_intrinsics_include(path, raw_lines, code, findings):
+    posix = path.as_posix()
+    if "src/snap/simd/" in posix or posix.startswith("src/snap/simd"):
+        return
+    for idx, line in enumerate(raw_lines, start=1):
+        m = INTRIN_INCLUDE_RE.search(line)
+        if m and not allowed(raw_lines, idx, "simd-intrinsics-include",
+                             findings, path):
+            findings.append(Finding(
+                path, idx, "simd-intrinsics-include",
+                "`#include <%s>` outside src/snap/simd/: intrinsics are "
+                "confined to the per-ISA kernel TUs; program against "
+                "snap/simd/dispatch.hpp instead" % m.group(1)))
+
+
 CHECKS = [
     check_naked_new_delete,
     check_atomic_memory_order,
@@ -389,6 +425,7 @@ CHECKS = [
     check_obs_span_early_return,
     check_timer_switch_exhaustive,
     check_comm_backend_include,
+    check_simd_intrinsics_include,
 ]
 
 

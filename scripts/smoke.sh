@@ -42,6 +42,23 @@ echo "== [4/6] bench_record =="
 cmake --build build -j "$JOBS" --target bench_record
 if command -v python3 >/dev/null; then
   python3 -m json.tool BENCH_headline.json >/dev/null
+  # Thread counts beyond the hardware stay in the recording (stamped
+  # "oversubscribed" by bench_headline), but a smoke run on a small
+  # container should say so out loud rather than silently bless a flat
+  # scaling curve.
+  OVERSUB="$(python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_headline.json"))
+n = sum(1 for k in doc.get("kernels", [])
+        for e in k.get("grind_time", []) if e.get("oversubscribed"))
+print(n)
+EOF
+)"
+  if [ "$OVERSUB" -gt 0 ]; then
+    echo "smoke: WARNING: $OVERSUB oversubscribed grind_time entries in" \
+         "BENCH_headline.json (threads > hardware_threads); the scaling" \
+         "columns beyond the core count measure interleaving, not speedup."
+  fi
 fi
 
 echo "== [5/6] traced demo run =="

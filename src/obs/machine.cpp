@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -20,9 +21,9 @@ std::string trim(std::string s) {
   return s;
 }
 
-// Parse /proc/cpuinfo once for both the model string and a processor
-// count (the most robust source inside containers).
-void probe_cpuinfo(std::string* model, int* count) {
+// Parse /proc/cpuinfo once for the model string, a processor count (the
+// most robust source inside containers) and a clock estimate.
+void probe_cpuinfo(std::string* model, int* count, double* mhz) {
   std::ifstream is("/proc/cpuinfo");
   std::string line;
   while (std::getline(is, line)) {
@@ -31,7 +32,26 @@ void probe_cpuinfo(std::string* model, int* count) {
       const auto colon = line.find(':');
       if (colon != std::string::npos) *model = trim(line.substr(colon + 1));
     }
+    if (*mhz == 0.0 && line.rfind("cpu MHz", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        *mhz = std::strtod(line.c_str() + colon + 1, nullptr);
+      }
+    }
   }
+}
+
+// Nominal frequency from a model string like "... CPU @ 2.10GHz".
+double ghz_from_model(const std::string& model) {
+  const auto at = model.rfind('@');
+  if (at == std::string::npos) return 0.0;
+  char* end = nullptr;
+  const double value = std::strtod(model.c_str() + at + 1, &end);
+  if (end == nullptr || value <= 0.0) return 0.0;
+  std::string unit = trim(end);
+  if (unit.rfind("GHz", 0) == 0) return value;
+  if (unit.rfind("MHz", 0) == 0) return value / 1000.0;
+  return 0.0;
 }
 
 bool is_hex_sha(const std::string& s) {
@@ -84,9 +104,12 @@ MachineInfo probe_machine() {
   threads = std::max(threads, static_cast<int>(sysconf(_SC_NPROCESSORS_ONLN)));
 #endif
   int cpuinfo_count = 0;
-  probe_cpuinfo(&info.cpu_model, &cpuinfo_count);
+  double cpuinfo_mhz = 0.0;
+  probe_cpuinfo(&info.cpu_model, &cpuinfo_count, &cpuinfo_mhz);
   threads = std::max(threads, cpuinfo_count);
   info.hardware_threads = std::max(1, threads);
+  info.clock_ghz = ghz_from_model(info.cpu_model);
+  if (info.clock_ghz == 0.0) info.clock_ghz = cpuinfo_mhz / 1000.0;
   return info;
 }
 

@@ -25,6 +25,10 @@ struct MachineInfo {
   std::string arch;     // uname machine, e.g. "x86_64"
   std::string cpu_model;  // /proc/cpuinfo "model name" ("" if unknown)
   int hardware_threads = 1;
+  // Nominal core clock in GHz, for roofline peak estimates: parsed from
+  // the "@ X.XXGHz" suffix of the model name when present, else from the
+  // first "cpu MHz" line (a current, possibly scaled value), else 0.
+  double clock_ghz = 0.0;
 };
 
 [[nodiscard]] MachineInfo probe_machine();

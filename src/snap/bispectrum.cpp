@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/invariants.hpp"
 #include "common/error.hpp"
+#include "snap/simd/kernels.hpp"
 
 namespace ember::snap {
 
@@ -29,7 +31,16 @@ Bispectrum::Bispectrum(const SnapParams& params)
   blist_.resize(idx_.num_b());
   dblist_.resize(idx_.num_b());
 
-  if (params_.kernel == SnapKernel::Symmetric) {
+  if (params_.kernel == SnapKernel::Simd) {
+    // Resolve the backend once per instance: CPUID capability clamped by
+    // EMBER_SIMD. With no vector backend (non-x86, EMBER_SIMD=scalar) the
+    // instance runs the Symmetric code path unchanged.
+    simd_isa_ = simd::choose_isa();
+    simd_ops_ = simd::ops_for(simd_isa_);
+    if (simd_ops_ == nullptr) simd_isa_ = simd::SimdIsa::Scalar;
+  }
+
+  if (half_kernel()) {
     const int nh = idx_.u_half_total();
     utot_half_re_.resize(nh);
     utot_half_im_.resize(nh);
@@ -39,6 +50,22 @@ Bispectrum::Bispectrum(const SnapParams& params)
       du_half_re_[d].resize(nh);
       du_half_im_[d].resize(nh);
     }
+  }
+
+  if (simd_active()) {
+    const int nh = idx_.u_half_total();
+    const std::size_t w = static_cast<std::size_t>(simd_ops_->width);
+    simd_ck_.resize(static_cast<std::size_t>(simd::kCkSlots) * w);
+    simd_wfc_.resize(w);
+    simd_acc_re_.resize(static_cast<std::size_t>(nh) * w);
+    simd_acc_im_.resize(static_cast<std::size_t>(nh) * w);
+    for (int d = 0; d < 3; ++d) {
+      simd_du_re_[d].resize(static_cast<std::size_t>(nh) * w);
+      simd_du_im_[d].resize(static_cast<std::size_t>(nh) * w);
+    }
+    simd_out_.resize(3 * w);
+    u_gather_re_.resize(nh);
+    u_gather_im_.resize(nh);
   }
 
   // bzero: bispectrum of an isolated atom (self term only), obtained by
@@ -221,14 +248,108 @@ void Bispectrum::compute_ui_symmetric(std::span<const Vec3> rij,
   mirror_half_to_full(utot_half_re_.data(), utot_half_im_.data(), utot_);
 }
 
+void Bispectrum::pack_ck_lane(int k0, int lane, int width) {
+  // Padded lanes repeat the last active neighbor's mapping: the recursion
+  // stays finite and the zeroed weight slots erase their contributions.
+  const bool active = k0 + lane < nnbor_cached_;
+  const int k = active ? k0 + lane : nnbor_cached_ - 1;
+  const CayleyKlein& ck = ck_cache_[k];
+  double* s = simd_ck_.data();
+  s[simd::kCkARe * width + lane] = ck.a.re;
+  s[simd::kCkAIm * width + lane] = ck.a.im;
+  s[simd::kCkBRe * width + lane] = ck.b.re;
+  s[simd::kCkBIm * width + lane] = ck.b.im;
+  for (int d = 0; d < 3; ++d) {
+    s[(simd::kCkDaRe0 + d) * width + lane] = ck.da[d].re;
+    s[(simd::kCkDaIm0 + d) * width + lane] = ck.da[d].im;
+    s[(simd::kCkDbRe0 + d) * width + lane] = ck.db[d].re;
+    s[(simd::kCkDbIm0 + d) * width + lane] = ck.db[d].im;
+    s[(simd::kCkDfc0 + d) * width + lane] = ck.dfc[d];
+  }
+  s[simd::kCkFc * width + lane] = ck.fc;
+  s[simd::kCkW * width + lane] = active ? wj_cache_[k] : 0.0;
+  simd_wfc_[lane] = active ? wj_cache_[k] * ck.fc : 0.0;
+}
+
+void Bispectrum::compute_ui_simd(std::span<const Vec3> rij,
+                                 std::span<const double> wj) {
+  const int nh = idx_.u_half_total();
+  const int nn = static_cast<int>(rij.size());
+  const int w = simd_ops_->width;
+  const std::size_t plane = static_cast<std::size_t>(nh) * w;
+  nnbor_cached_ = nn;
+  ck_cache_.resize(nn);
+  wj_cache_.resize(nn);
+  const int nblk = (nn + w - 1) / w;
+  ucache_re_.resize(static_cast<std::size_t>(nblk) * plane);
+  ucache_im_.resize(static_cast<std::size_t>(nblk) * plane);
+  std::fill(simd_acc_re_.begin(), simd_acc_re_.end(), 0.0);
+  std::fill(simd_acc_im_.begin(), simd_acc_im_.end(), 0.0);
+  EMBER_CHECK(EMBER_REQUIRE(
+      is_aligned(ucache_re_.data()) && is_aligned(ucache_im_.data()) &&
+          is_aligned(simd_acc_re_.data()) && is_aligned(simd_acc_im_.data()),
+      "SNAP SIMD planes must be 64-byte aligned"));
+
+  for (int k = 0; k < nn; ++k) {
+    ck_cache_[k] = map_to_sphere(rij[k], params_.rcut, params_.rfac0,
+                                 params_.rmin0, params_.switch_flag);
+    wj_cache_[k] = wj.empty() ? 1.0 : wj[k];
+  }
+
+  for (int b = 0; b < nblk; ++b) {
+    for (int lane = 0; lane < w; ++lane) pack_ck_lane(b * w, lane, w);
+    simd::UiBlockArgs args;
+    args.twojmax = params_.twojmax;
+    args.half_block = idx_.u_half_block_data();
+    args.nh = nh;
+    args.rootpq = rootpq_.data();
+    args.a_re = simd_ck_.data() + simd::kCkARe * w;
+    args.a_im = simd_ck_.data() + simd::kCkAIm * w;
+    args.b_re = simd_ck_.data() + simd::kCkBRe * w;
+    args.b_im = simd_ck_.data() + simd::kCkBIm * w;
+    args.wfc = simd_wfc_.data();
+    args.ur = ucache_re_.data() + static_cast<std::size_t>(b) * plane;
+    args.ui = ucache_im_.data() + static_cast<std::size_t>(b) * plane;
+    args.acc_re = simd_acc_re_.data();
+    args.acc_im = simd_acc_im_.data();
+    simd_ops_->ui_block(args);
+  }
+
+  // Reduce the lane accumulator into the element-major half planes (the
+  // neighbor sum is re-associated across lanes; difference vs Symmetric
+  // is pure summation-order rounding, within the 1e-12 parity budget).
+  for (int e = 0; e < nh; ++e) {
+    double sr = 0.0;
+    double si = 0.0;
+    for (int lane = 0; lane < w; ++lane) {
+      sr += simd_acc_re_[static_cast<std::size_t>(e) * w + lane];
+      si += simd_acc_im_[static_cast<std::size_t>(e) * w + lane];
+    }
+    utot_half_re_[e] = sr;
+    utot_half_im_[e] = si;
+  }
+
+  for (int j = 0; j <= params_.twojmax; ++j) {
+    for (int ma = 0; ma <= j / 2; ++ma) {
+      utot_half_re_[idx_.u_half_index(j, ma, ma)] += params_.wself;
+    }
+  }
+
+  mirror_half_to_full(utot_half_re_.data(), utot_half_im_.data(), utot_);
+}
+
 void Bispectrum::compute_ui(std::span<const Vec3> rij,
                             std::span<const double> wj) {
   EMBER_REQUIRE(wj.empty() || wj.size() == rij.size(),
                 "weight array size mismatch");
   have_z_ = false;
 
-  if (params_.kernel == SnapKernel::Symmetric) {
-    compute_ui_symmetric(rij, wj);
+  if (half_kernel()) {
+    if (simd_active() && !rij.empty()) {
+      compute_ui_simd(rij, wj);
+    } else {
+      compute_ui_symmetric(rij, wj);
+    }
     return;
   }
 
@@ -359,7 +480,7 @@ void Bispectrum::compute_yi_coeffs(std::span<const double> coeffs) {
   EMBER_REQUIRE(coeffs.size() == triples.size(),
                 "coefficient array must have one entry per coupling triple");
 
-  if (params_.kernel == SnapKernel::Symmetric) {
+  if (half_kernel()) {
     // Half-column Y sweep: the z element of a dropped column follows the
     // same conjugation mirror as U, so only 2*mb <= t.j is accumulated.
     std::fill(y_half_re_.begin(), y_half_re_.end(), 0.0);
@@ -421,8 +542,8 @@ void Bispectrum::compute_duidrj(const Vec3& rij, double wj) {
 }
 
 void Bispectrum::compute_duidrj_cached(int k) {
-  EMBER_REQUIRE(params_.kernel == SnapKernel::Symmetric,
-                "compute_duidrj_cached requires the Symmetric kernel");
+  EMBER_REQUIRE(half_kernel(),
+                "compute_duidrj_cached requires the Symmetric or Simd kernel");
   EMBER_REQUIRE(k >= 0 && k < nnbor_cached_,
                 "neighbor index outside the cached compute_ui set");
   const int tj = params_.twojmax;
@@ -430,6 +551,20 @@ void Bispectrum::compute_duidrj_cached(int k) {
   const CayleyKlein& ck = ck_cache_[k];
   const double* ur = ucache_re_.data() + static_cast<std::size_t>(k) * nh;
   const double* ui = ucache_im_.data() + static_cast<std::size_t>(k) * nh;
+  if (simd_active()) {
+    // The Simd compute_ui cached bare U lane-interleaved; gather neighbor
+    // k's lane back into a contiguous plane so the scalar derivative
+    // recursion below runs unmodified.
+    const int w = simd_ops_->width;
+    const std::size_t base =
+        static_cast<std::size_t>(k / w) * nh * w + static_cast<std::size_t>(k % w);
+    for (int e = 0; e < nh; ++e) {
+      u_gather_re_[e] = ucache_re_[base + static_cast<std::size_t>(e) * w];
+      u_gather_im_[e] = ucache_im_[base + static_cast<std::size_t>(e) * w];
+    }
+    ur = u_gather_re_.data();
+    ui = u_gather_im_.data();
+  }
 
   // Derivative-only recursion over the half range: the bare U values the
   // chain rule needs come from the cache filled by compute_ui, so the
@@ -533,6 +668,57 @@ Vec3 Bispectrum::compute_deidrj() const {
   // the half-range branch above does exactly that through the
   // half_weight table.)
   return de;
+}
+
+void Bispectrum::compute_deidrj_all(std::span<Vec3> de) {
+  EMBER_REQUIRE(half_kernel(),
+                "compute_deidrj_all requires the Symmetric or Simd kernel");
+  EMBER_REQUIRE(static_cast<int>(de.size()) >= nnbor_cached_,
+                "force span smaller than the cached neighbor set");
+  if (!simd_active()) {
+    for (int k = 0; k < nnbor_cached_; ++k) {
+      compute_duidrj_cached(k);
+      de[k] = compute_deidrj();
+    }
+    return;
+  }
+
+  const int nh = idx_.u_half_total();
+  const int w = simd_ops_->width;
+  const std::size_t plane = static_cast<std::size_t>(nh) * w;
+  const int nblk = (nnbor_cached_ + w - 1) / w;
+  EMBER_CHECK(EMBER_REQUIRE(
+      is_aligned(y_half_re_.data()) && is_aligned(simd_du_re_[0].data()),
+      "SNAP SIMD planes must be 64-byte aligned"));
+
+  for (int b = 0; b < nblk; ++b) {
+    for (int lane = 0; lane < w; ++lane) pack_ck_lane(b * w, lane, w);
+    simd::DeiBlockArgs args;
+    args.twojmax = params_.twojmax;
+    args.half_block = idx_.u_half_block_data();
+    args.nh = nh;
+    args.rootpq = rootpq_.data();
+    args.ck = simd_ck_.data();
+    args.ur = ucache_re_.data() + static_cast<std::size_t>(b) * plane;
+    args.ui = ucache_im_.data() + static_cast<std::size_t>(b) * plane;
+    for (int d = 0; d < 3; ++d) {
+      args.du_re[d] = simd_du_re_[d].data();
+      args.du_im[d] = simd_du_im_[d].data();
+    }
+    args.y_re = y_half_re_.data();
+    args.y_im = y_half_im_.data();
+    args.out = simd_out_.data();
+    simd_ops_->dei_block(args);
+    const int active = std::min(w, nnbor_cached_ - b * w);
+    for (int lane = 0; lane < active; ++lane) {
+      de[b * w + lane] = Vec3{simd_out_[0 * w + lane],
+                              simd_out_[1 * w + lane],
+                              simd_out_[2 * w + lane]};
+    }
+  }
+  // The lane-interleaved dU scratch is not the scalar half layout; keep
+  // compute_deidrj from reading it.
+  du_half_valid_ = false;
 }
 
 void Bispectrum::compute_dbidrj() {
@@ -643,7 +829,10 @@ double z_half_outputs(const SnapIndex& idx) {
 }  // namespace
 
 double Bispectrum::flops_ui(int nnbor) const {
-  if (params_.kernel == SnapKernel::Symmetric) {
+  if (half_kernel()) {
+    // Also the Simd kernel's count: lanes execute the same recursion, and
+    // padded-lane work is *not* counted — fraction-of-peak readouts stay
+    // honest about useful flops.
     // mapping ~60, half recursion ~22 + accumulation 4 per half element,
     // plus the one-off mirror expansion (~2 per full element).
     return static_cast<double>(nnbor) *
@@ -668,7 +857,7 @@ double Bispectrum::flops_bi() const {
 }
 
 double Bispectrum::flops_yi() const {
-  if (params_.kernel == SnapKernel::Symmetric) {
+  if (half_kernel()) {
     // half-column z sweep + accumulation into the half planes (4 per
     // produced element) + mirror into ylist_ (~2 per full element).
     return z_sweep_flops(idx_, false, true) + 4.0 * z_half_outputs(idx_) +
@@ -684,7 +873,12 @@ double Bispectrum::flops_duidrj_full() const {
 }
 
 double Bispectrum::flops_duidrj() const {
-  if (params_.kernel == SnapKernel::Symmetric) {
+  if (simd_active()) {
+    // V8 fuses the product rule into the contraction (see flops_deidrj);
+    // the dU pass is the bare derivative recursion alone.
+    return 48.0 * static_cast<double>(idx_.u_half_total());
+  }
+  if (half_kernel()) {
     // cached scheme: no mapping, no U recursion; derivative recursion
     // (3 dims * 16) + product rule 12, over the half range only.
     return (48.0 + 12.0) * static_cast<double>(idx_.u_half_total());
@@ -693,7 +887,11 @@ double Bispectrum::flops_duidrj() const {
 }
 
 double Bispectrum::flops_deidrj() const {
-  if (params_.kernel == SnapKernel::Symmetric) {
+  if (simd_active()) {
+    // fused pass: S0 (4) + three Sd dots (12) per half element.
+    return 16.0 * static_cast<double>(idx_.u_half_total());
+  }
+  if (half_kernel()) {
     return 12.0 * static_cast<double>(idx_.u_half_total());
   }
   return 12.0 * static_cast<double>(idx_.u_total());

@@ -36,10 +36,20 @@
 //                          are still maintained, so the Z/B stages and any
 //                          mixed naive/symmetric stage sequence stay
 //                          valid.
+//   SnapKernel::Simd       the "V8" scheme: the Symmetric half-range math
+//                          executed over blocks of neighbors with explicit
+//                          SIMD, one neighbor per vector lane (4 for AVX2,
+//                          8 for AVX-512; see src/snap/simd/). The backend
+//                          is chosen at construction by a runtime CPUID
+//                          probe clamped by EMBER_SIMD=avx512|avx2|scalar;
+//                          when no vector backend applies (non-x86 builds,
+//                          EMBER_SIMD=scalar) the instance degrades to the
+//                          Symmetric code path exactly, bit for bit.
 //
-// Both kernels produce identical results to <= 1e-12 per force component
-// (pinned by tests/snap/test_symmetric_kernel.cpp); Naive is kept as the
-// correctness oracle.
+// All kernels produce identical results to <= 1e-12 per force component
+// (pinned by tests/snap/test_symmetric_kernel.cpp and
+// tests/snap/test_simd_kernel.cpp); Naive is kept as the correctness
+// oracle.
 //
 // The same instance can be reused across atoms (buffers are reset by
 // compute_ui). Instances are NOT thread-safe; create one per thread.
@@ -47,9 +57,11 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/vec3.hpp"
 #include "snap/cplx.hpp"
 #include "snap/indexing.hpp"
+#include "snap/simd/dispatch.hpp"
 #include "snap/wigner.hpp"
 
 namespace ember::snap {
@@ -57,6 +69,7 @@ namespace ember::snap {
 enum class SnapKernel {
   Naive,      // full (ma, mb) range, per-neighbor recursion run twice
   Symmetric,  // half range + cached neighbor U lists + SoA planes
+  Simd,       // Symmetric math over vector lanes of neighbors (V8)
 };
 
 struct SnapParams {
@@ -119,11 +132,24 @@ class Bispectrum {
   // Symmetric-kernel fast path: derivative recursion for neighbor k of
   // the last compute_ui call, reusing its cached Cayley-Klein mapping and
   // bare U list (half range, no U recomputation). Requires
-  // kernel == Symmetric.
+  // kernel == Symmetric or Simd (under Simd the lane-interleaved bare-U
+  // cache is gathered back into a contiguous scratch first).
   void compute_duidrj_cached(int k);
 
-  // Number of neighbors cached by the last Symmetric compute_ui.
+  // Number of neighbors cached by the last Symmetric/Simd compute_ui.
   [[nodiscard]] int cached_neighbors() const { return nnbor_cached_; }
+
+  // Blocked dU + dE pass over every neighbor cached by the last
+  // compute_ui: de[k] = dE_i/dr_k. Requires compute_yi/compute_yi_coeffs.
+  // Under an active SIMD backend each block of lane_width neighbors runs
+  // the derivative recursion and the fused Y : conj(dU) contraction in
+  // vector registers; otherwise this is exactly the per-neighbor
+  // compute_duidrj_cached + compute_deidrj loop.
+  void compute_deidrj_all(std::span<Vec3> de);
+
+  // ISA the Simd kernel dispatched to at construction (Scalar when the
+  // kernel is not Simd or no vector backend applies).
+  [[nodiscard]] simd::SimdIsa simd_isa() const { return simd_isa_; }
 
   // Adjoint force kernel: dE_i/dr_k = 2 Re sum_j Y_j : conj(dU_j).
   // Contracts over whichever dU form the last compute_duidrj* call
@@ -183,6 +209,23 @@ class Bispectrum {
   void compute_ui_symmetric(std::span<const Vec3> rij,
                             std::span<const double> wj);
 
+  // Simd kernel: lane-blocked variant; fills the lane-interleaved bare-U
+  // cache and reduces the lane accumulator into the half planes.
+  void compute_ui_simd(std::span<const Vec3> rij, std::span<const double> wj);
+
+  // True when this instance dispatched to a vector backend (kernel ==
+  // Simd and the CPU/binary/EMBER_SIMD resolution picked AVX2/AVX-512).
+  [[nodiscard]] bool simd_active() const { return simd_ops_ != nullptr; }
+
+  // True for the kernels built on the half-range SoA planes.
+  [[nodiscard]] bool half_kernel() const {
+    return params_.kernel != SnapKernel::Naive;
+  }
+
+  // Pack lane l of the block starting at neighbor k0 into simd_ck_ /
+  // simd_wfc_ (padded lanes repeat the last active neighbor, weight 0).
+  void pack_ck_lane(int k0, int lane, int width);
+
   // Expand a half-layout SoA plane pair into a full-range Cplx array via
   // the conjugation mirror.
   void mirror_half_to_full(const double* hre, const double* him,
@@ -214,22 +257,38 @@ class Bispectrum {
   std::vector<double> bzero_;
   bool have_z_ = false;
 
-  // ---- Symmetric-kernel state (half layout, SoA planes) ----
+  // ---- Symmetric/Simd-kernel state (half layout, SoA planes) ----
+  // All planes are 64-byte aligned (aligned_vector) so the V8 backend can
+  // issue aligned vector loads; the Symmetric scalar code is indifferent.
   std::vector<CayleyKlein> ck_cache_;   // per-neighbor mapping (V7)
   std::vector<double> wj_cache_;        // per-neighbor weights
-  std::vector<double> ucache_re_;       // nnbor x u_half_total bare U (V7)
-  std::vector<double> ucache_im_;
-  std::vector<double> utot_half_re_;    // half-range accumulation (V5/V6)
-  std::vector<double> utot_half_im_;
-  std::vector<double> y_half_re_;       // half-range adjoint (V5/V6)
-  std::vector<double> y_half_im_;
-  std::vector<double> du_half_re_[3];   // half-range d(w fc u)/dr (V6)
-  std::vector<double> du_half_im_[3];
+  aligned_vector<double> ucache_re_;    // bare U cache (V7): Symmetric
+  aligned_vector<double> ucache_im_;    //   nnbor x nh element-major, Simd
+                                        //   nblock x nh x width interleaved
+  aligned_vector<double> utot_half_re_; // half-range accumulation (V5/V6)
+  aligned_vector<double> utot_half_im_;
+  aligned_vector<double> y_half_re_;    // half-range adjoint (V5/V6)
+  aligned_vector<double> y_half_im_;
+  aligned_vector<double> du_half_re_[3]; // half-range d(w fc u)/dr (V6)
+  aligned_vector<double> du_half_im_[3];
   std::vector<double> yi_coeff_scratch_;  // per-triple beta fold
   int nnbor_cached_ = 0;
   // Which form the last compute_duidrj* call produced: half planes
   // (cached) or the full dulist_.
   bool du_half_valid_ = false;
+
+  // ---- Simd-kernel state (V8) ----
+  simd::SimdIsa simd_isa_ = simd::SimdIsa::Scalar;
+  const simd::SimdOps* simd_ops_ = nullptr;  // nullptr => Symmetric path
+  aligned_vector<double> simd_ck_;       // kCkSlots x width lane-packed CK
+  aligned_vector<double> simd_wfc_;      // wj * fc per lane (0 when padded)
+  aligned_vector<double> simd_acc_re_;   // lane-interleaved Utot accum
+  aligned_vector<double> simd_acc_im_;
+  aligned_vector<double> simd_du_re_[3]; // lane-interleaved dU scratch
+  aligned_vector<double> simd_du_im_[3];
+  aligned_vector<double> simd_out_;      // 3 x width force lanes
+  aligned_vector<double> u_gather_re_;   // contiguous single-neighbor U
+  aligned_vector<double> u_gather_im_;   //   (compute_duidrj_cached compat)
 };
 
 }  // namespace ember::snap

@@ -71,6 +71,11 @@ class SnapIndex {
   // (j/2 + 1) columns, row-major. The dropped columns are recovered via
   // U[j, ma, mb] = (-1)^(ma+mb) conj(U[j, j-ma, j-mb]).
   [[nodiscard]] int u_half_block(int j) const { return u_half_block_[j]; }
+  // Raw block-offset table (twojmax + 1 entries) for kernels that take
+  // plain pointers (src/snap/simd/).
+  [[nodiscard]] const int* u_half_block_data() const {
+    return u_half_block_.data();
+  }
   [[nodiscard]] int u_half_total() const { return u_half_total_; }
   [[nodiscard]] int u_half_index(int j, int ma, int mb) const {
     return u_half_block_[j] + ma * (j / 2 + 1) + mb;

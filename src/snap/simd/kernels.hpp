@@ -1,0 +1,91 @@
+#pragma once
+
+// Argument blocks and the per-ISA kernel table for the V8 SIMD backend.
+//
+// Lane layout. A block processes `width` neighbors at once, one per
+// vector lane. Every per-neighbor plane is *lane-interleaved*: the value
+// of half-layout element e for lane l lives at plane[e * width + l], so
+// one aligned vector load at offset e * width reads element e of all
+// neighbors in the block. Planes are 64-byte aligned (common/aligned.hpp)
+// and lane offsets are width multiples, so every access is aligned.
+//
+// Remainder policy. The caller pads short blocks: inactive lanes carry a
+// copy of the last active neighbor's Cayley-Klein parameters (keeps the
+// recursion finite) and a zero weight, so their contributions vanish in
+// the weighted accumulation and their force outputs are ignored.
+//
+// The structs below are plain pointers + sizes so this header needs no
+// intrinsics; the implementations live in kernels_avx2.cpp /
+// kernels_avx512.cpp (the only TUs allowed to include immintrin.h).
+
+namespace ember::snap::simd {
+
+// Lane-packed Cayley-Klein slots for dei_block: slot s of lane l lives at
+// ck[s * width + l]. da/db derivative slots are indexed by Cartesian dim.
+inline constexpr int kCkARe = 0;
+inline constexpr int kCkAIm = 1;
+inline constexpr int kCkBRe = 2;
+inline constexpr int kCkBIm = 3;
+inline constexpr int kCkDaRe0 = 4;   // .. kCkDaRe0 + d, d = 0..2
+inline constexpr int kCkDaIm0 = 7;
+inline constexpr int kCkDbRe0 = 10;
+inline constexpr int kCkDbIm0 = 13;
+inline constexpr int kCkFc = 16;
+inline constexpr int kCkDfc0 = 17;   // .. kCkDfc0 + d
+inline constexpr int kCkW = 20;      // bare neighbor weight wj
+inline constexpr int kCkSlots = 21;
+
+// Batched bare-U half-range recursion + weighted Utot accumulation for
+// one block. Writes the bare per-neighbor U planes (consumed later by
+// dei_block) and accumulates wfc * U into the lane-interleaved Utot
+// accumulator (reduced over lanes by the caller after the last block).
+struct UiBlockArgs {
+  int twojmax = 0;
+  const int* half_block = nullptr;  // u_half_block(j) offsets, twojmax+1
+  int nh = 0;                       // u_half_total()
+  const double* rootpq = nullptr;   // (twojmax+1)^2 sqrt(p/q) table
+  // width-packed Cayley-Klein parameters of the block's neighbors
+  const double* a_re = nullptr;
+  const double* a_im = nullptr;
+  const double* b_re = nullptr;
+  const double* b_im = nullptr;
+  const double* wfc = nullptr;      // wj * fc per lane (0 on padded lanes)
+  double* ur = nullptr;             // bare-U planes out, nh * width each
+  double* ui = nullptr;
+  double* acc_re = nullptr;         // Utot accumulator, += wfc * u
+  double* acc_im = nullptr;
+};
+
+// Batched derivative recursion + fused product rule + Y : dU* adjoint
+// contraction for one block: for each lane l and Cartesian dim d,
+//   out[d * width + l] = w_l * (dfc_dl * S0_l + fc_l * Sd_l)
+// with S0 = sum_e y[e] . u[e] and Sd = sum_e y[e] . du_d[e] over the
+// (weight-folded) half-range Y planes — algebraically identical to the
+// Symmetric kernel's product-rule pass followed by the plane dot product.
+struct DeiBlockArgs {
+  int twojmax = 0;
+  const int* half_block = nullptr;
+  int nh = 0;
+  const double* rootpq = nullptr;
+  const double* ck = nullptr;       // kCkSlots * width lane-packed slots
+  const double* ur = nullptr;       // cached bare-U planes of this block
+  const double* ui = nullptr;
+  double* du_re[3] = {};            // scratch planes, nh * width each
+  double* du_im[3] = {};
+  const double* y_re = nullptr;     // half-range Y, element-major,
+  const double* y_im = nullptr;     //   pre-folded with half_weights
+  double* out = nullptr;            // 3 * width: dim-major force lanes
+};
+
+struct SimdOps {
+  int width = 1;  // neighbor lanes per block
+  void (*ui_block)(const UiBlockArgs&) = nullptr;
+  void (*dei_block)(const DeiBlockArgs&) = nullptr;
+};
+
+// Defined in the per-ISA TUs; only compiled when the toolchain supports
+// the flags (EMBER_SNAP_HAVE_AVX2 / EMBER_SNAP_HAVE_AVX512).
+[[nodiscard]] const SimdOps& avx2_ops();
+[[nodiscard]] const SimdOps& avx512_ops();
+
+}  // namespace ember::snap::simd

@@ -58,9 +58,10 @@ void SnapModel::save(const std::string& path) const {
   os << "wself " << params.wself << '\n';
   os << "switch " << (params.switch_flag ? 1 : 0) << '\n';
   os << "bzero " << (params.bzero_flag ? 1 : 0) << '\n';
-  os << "kernel "
-     << (params.kernel == SnapKernel::Symmetric ? "symmetric" : "naive")
-     << '\n';
+  const char* kernel_name = "naive";
+  if (params.kernel == SnapKernel::Symmetric) kernel_name = "symmetric";
+  if (params.kernel == SnapKernel::Simd) kernel_name = "simd";
+  os << "kernel " << kernel_name << '\n';
   os << "beta0 " << beta0 << '\n';
   os << "ncoeff " << beta.size() << '\n';
   for (const double b : beta) os << b << '\n';
@@ -90,10 +91,11 @@ SnapModel SnapModel::load(const std::string& path) {
     else if (key == "kernel") {
       std::string v;
       ls >> v;
-      EMBER_REQUIRE(v == "symmetric" || v == "naive",
+      EMBER_REQUIRE(v == "symmetric" || v == "naive" || v == "simd",
                     "unknown kernel '" + v + "' in " + path);
-      m.params.kernel =
-          v == "symmetric" ? SnapKernel::Symmetric : SnapKernel::Naive;
+      if (v == "simd") m.params.kernel = SnapKernel::Simd;
+      else if (v == "symmetric") m.params.kernel = SnapKernel::Symmetric;
+      else m.params.kernel = SnapKernel::Naive;
     }
     else if (key == "beta0") ls >> m.beta0;
     else if (key == "ncoeff") {
@@ -132,6 +134,19 @@ SnapPotential::SnapPotential(SnapModel model, Path path)
   rij_.reserve(kNeighborReserve);
   jlist_.reserve(kNeighborReserve);
   beta_eff_.reserve(model_.beta.size());
+  de_.reserve(kNeighborReserve);
+
+  if (model_.params.kernel == SnapKernel::Simd) {
+    // Per-ISA stage timing: which backend the dispatcher picked is runtime
+    // state, so the counters are registered here (once) under the resolved
+    // ISA name, and a gauge exposes the lane width for roofline math.
+    const std::string isa = simd::to_string(bi_.simd_isa());
+    auto& reg = obs::Registry::global();
+    isa_ui_seconds_ = &reg.counter("snap.simd." + isa + ".ui_seconds");
+    isa_dei_seconds_ = &reg.counter("snap.simd." + isa + ".dei_seconds");
+    reg.gauge("snap.simd.lane_width")
+        .set(static_cast<double>(simd::lane_width(bi_.simd_isa())));
+  }
 }
 
 namespace {
@@ -144,6 +159,7 @@ struct SnapThreadScratch {
   std::vector<Vec3> rij;
   std::vector<int> jlist;
   std::vector<double> beta_eff;
+  std::vector<Vec3> de;
 };
 
 // Kernel-stage counters, populated only while obs::kernel_timing_enabled()
@@ -185,21 +201,24 @@ md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
     std::vector<int>* jlist = &jlist_;
     std::vector<double>* beta_eff = &beta_eff_;
     std::span<Vec3> f{sys.f};
+    std::vector<Vec3>* de_buf = &de_;
     if (tid != 0) {
       auto& th = ctx.cache<SnapThreadScratch>(tid, [&] {
-        SnapThreadScratch scratch{Bispectrum(model_.params), {}, {}, {}};
+        SnapThreadScratch scratch{Bispectrum(model_.params), {}, {}, {}, {}};
         scratch.rij.reserve(kNeighborReserve);
         scratch.jlist.reserve(kNeighborReserve);
         scratch.beta_eff.reserve(model_.beta.size());
+        scratch.de.reserve(kNeighborReserve);
         return scratch;
       });
       bi = &th.bi;
       rij = &th.rij;
       jlist = &th.jlist;
       beta_eff = &th.beta_eff;
+      de_buf = &th.de;
       f = std::span<Vec3>(s.f);
     }
-    const bool cached_du = bi->kernel() == SnapKernel::Symmetric;
+    const bool cached_du = bi->kernel() != SnapKernel::Naive;
     // Stage timing is opt-in ("trace on" / set_kernel_timing): the flag is
     // read once per chunk, stage seconds accumulate in chunk-local doubles
     // and hit the sharded counters once per chunk, so the cost when off is
@@ -248,16 +267,25 @@ md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
           yi_s += stage.seconds();
           stage.reset();
         }
-        for (int m = 0; m < nn; ++m) {
-          if (cached_du) {
-            bi->compute_duidrj_cached(m);
-          } else {
-            bi->compute_duidrj((*rij)[m], 1.0);
+        if (cached_du) {
+          // Blocked dU + dE pass (Symmetric: per-neighbor cached scheme;
+          // Simd: lane-vectorized blocks of neighbors).
+          de_buf->resize(nn);
+          bi->compute_deidrj_all(*de_buf);
+          for (int m = 0; m < nn; ++m) {
+            const Vec3 de = (*de_buf)[m];  // dE_i/dr_k
+            f[(*jlist)[m]] -= de;
+            f[i] += de;
+            s.virial += -dot((*rij)[m], de);
           }
-          const Vec3 de = bi->compute_deidrj();  // dE_i/dr_k
-          f[(*jlist)[m]] -= de;
-          f[i] += de;
-          s.virial += -dot((*rij)[m], de);
+        } else {
+          for (int m = 0; m < nn; ++m) {
+            bi->compute_duidrj((*rij)[m], 1.0);
+            const Vec3 de = bi->compute_deidrj();  // dE_i/dr_k
+            f[(*jlist)[m]] -= de;
+            f[i] += de;
+            s.virial += -dot((*rij)[m], de);
+          }
         }
         if (detail) dei_s += stage.seconds();
         s.flops += bi->flops_adjoint_atom(nn);
@@ -300,6 +328,10 @@ md::EnergyVirial SnapPotential::compute(const md::ComputeContext& ctx,
           .add(dei_s);
       m.atoms.add(static_cast<double>(atoms));
       m.neighbors.add(static_cast<double>(neighbors));
+      if (isa_ui_seconds_ != nullptr) {
+        isa_ui_seconds_->add(ui_s);
+        isa_dei_seconds_->add(dei_s);
+      }
     }
   });
 

@@ -16,6 +16,10 @@
 #include "md/potential.hpp"
 #include "snap/bispectrum.hpp"
 
+namespace ember::obs {
+class Counter;
+}  // namespace ember::obs
+
 namespace ember::snap {
 
 // A trained SNAP model:
@@ -86,6 +90,11 @@ class SnapPotential final : public md::PairPotential {
   std::vector<Vec3> rij_;
   std::vector<int> jlist_;
   std::vector<double> beta_eff_;
+  std::vector<Vec3> de_;  // blocked dE_i/dr_k results (half kernels)
+  // Per-ISA stage counters ("snap.simd.<isa>.*"), registered once at
+  // construction when the kernel is Simd; null otherwise.
+  obs::Counter* isa_ui_seconds_ = nullptr;
+  obs::Counter* isa_dei_seconds_ = nullptr;
 };
 
 }  // namespace ember::snap

@@ -1,0 +1,10 @@
+// Fixture: x86 intrinsics headers are confined to the per-ISA kernel
+// TUs in src/snap/simd/; everything else goes through the runtime
+// dispatcher (snap/simd/dispatch.hpp).
+#include "snap/simd/dispatch.hpp"
+#include <immintrin.h>
+#include <x86intrin.h>
+#include "emmintrin.h"
+
+// ember-lint: allow(simd-intrinsics-include) -- fixture exercising the allow path
+#include <immintrin.h>

@@ -55,10 +55,24 @@ class EmberLintSelfTest(unittest.TestCase):
         self.assertEqual(findings, [(4, "comm-backend-include"),
                                     (5, "comm-backend-include")])
 
+    def test_intrinsics_include_fixture_reports_confined_headers(self):
+        rc, findings = run_lint(FIXTURES / "intrinsics_include.cpp")
+        self.assertEqual(rc, 1)
+        self.assertEqual(findings, [(5, "simd-intrinsics-include"),
+                                    (6, "simd-intrinsics-include"),
+                                    (7, "simd-intrinsics-include")])
+
+    def test_intrinsics_include_allowed_inside_snap_simd(self):
+        # The rule keys off the path: the real per-ISA TUs include
+        # immintrin.h and must stay clean.
+        rc, findings = run_lint(REPO / "src" / "snap" / "simd")
+        self.assertEqual((rc, findings), (0, []))
+
     def test_every_rule_has_fixture_coverage(self):
         _, findings = run_lint(FIXTURES / "violations.cpp",
                                FIXTURES / "bare_allow.cpp",
-                               FIXTURES / "backend_include.cpp")
+                               FIXTURES / "backend_include.cpp",
+                               FIXTURES / "intrinsics_include.cpp")
         covered = {rule for _, rule in findings}
         listed = subprocess.run(
             [sys.executable, str(LINT), "--list-rules"],

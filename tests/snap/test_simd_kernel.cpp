@@ -1,0 +1,290 @@
+// Simd ("V8") kernel parity contract: the lane-blocked SIMD kernel must
+// reproduce the Symmetric (V7) kernel to <= 1e-12 per component across
+// 2J, neighbor counts that exercise every remainder-lane case, thread
+// counts, and the full SnapPotential evaluation. EMBER_SIMD=scalar must
+// degrade to the Symmetric code path *bitwise*, and the dispatcher must
+// reject unknown override values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "md/compute_context.hpp"
+#include "md/lattice.hpp"
+#include "md/neighbor.hpp"
+#include "parallel/thread_pool.hpp"
+#include "snap/simd/dispatch.hpp"
+#include "snap/snap_potential.hpp"
+
+namespace ember::snap {
+namespace {
+
+// Scoped EMBER_SIMD override (the dispatcher reads the environment at
+// every Bispectrum construction).
+class ScopedSimdEnv {
+ public:
+  explicit ScopedSimdEnv(const char* value) {
+    const char* old = std::getenv("EMBER_SIMD");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv("EMBER_SIMD", value, 1);
+    } else {
+      ::unsetenv("EMBER_SIMD");
+    }
+  }
+  ~ScopedSimdEnv() {
+    if (had_old_) {
+      ::setenv("EMBER_SIMD", old_.c_str(), 1);
+    } else {
+      ::unsetenv("EMBER_SIMD");
+    }
+  }
+  ScopedSimdEnv(const ScopedSimdEnv&) = delete;
+  ScopedSimdEnv& operator=(const ScopedSimdEnv&) = delete;
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+SnapParams base_params(int twojmax, SnapKernel kernel) {
+  SnapParams p;
+  p.twojmax = twojmax;
+  p.rcut = 3.4;
+  p.bzero_flag = true;
+  p.kernel = kernel;
+  return p;
+}
+
+std::vector<Vec3> random_shell(Rng& rng, int n, double rlo, double rhi) {
+  std::vector<Vec3> rij;
+  rij.reserve(n);
+  while (static_cast<int>(rij.size()) < n) {
+    Vec3 r{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+           rng.uniform(-1.0, 1.0)};
+    const double norm = r.norm();
+    if (norm < 0.2 || norm > 1.0) continue;
+    const double scale = rng.uniform(rlo, rhi) / norm;
+    rij.push_back(scale * r);
+  }
+  return rij;
+}
+
+class SimdKernelParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimdKernelParity, MatchesSymmetricAcrossNeighborCounts) {
+  const int twojmax = GetParam();
+  // n = 1 and 7 are pure remainder blocks on both AVX2 (width 4) and
+  // AVX-512 (width 8); 9 = full block(s) + 1; 22 mixes several blocks.
+  for (const int nn : {1, 7, 9, 22}) {
+    Rng rng(101 + static_cast<std::uint64_t>(16 * twojmax + nn));
+    const auto rij = random_shell(rng, nn, 0.8, 3.2);
+    const std::vector<double> wj(rij.size(), 1.0);
+
+    Bispectrum sym(base_params(twojmax, SnapKernel::Symmetric));
+    Bispectrum simd(base_params(twojmax, SnapKernel::Simd));
+    std::vector<double> beta(sym.num_b());
+    for (auto& b : beta) b = 0.01 * rng.uniform(-1.0, 1.0);
+
+    sym.compute_ui(rij, wj);
+    simd.compute_ui(rij, wj);
+    ASSERT_EQ(simd.cached_neighbors(), nn);
+    for (int e = 0; e < sym.index().u_total(); ++e) {
+      EXPECT_NEAR(simd.utot()[e].re, sym.utot()[e].re, 1e-12)
+          << "n=" << nn << " u " << e;
+      EXPECT_NEAR(simd.utot()[e].im, sym.utot()[e].im, 1e-12)
+          << "n=" << nn << " u " << e;
+    }
+
+    sym.compute_yi(beta);
+    simd.compute_yi(beta);
+    const double e_sym = sym.energy_from_yi(0.4, beta);
+    const double e_simd = simd.energy_from_yi(0.4, beta);
+    EXPECT_NEAR(e_simd, e_sym, 1e-12 * std::max(1.0, std::abs(e_sym)));
+
+    // Blocked force pass vs the per-neighbor cached scheme; the padded
+    // remainder lanes must not leak into any neighbor's force.
+    std::vector<Vec3> de_simd(rij.size());
+    simd.compute_deidrj_all(de_simd);
+    for (std::size_t m = 0; m < rij.size(); ++m) {
+      sym.compute_duidrj_cached(static_cast<int>(m));
+      const Vec3 de_sym = sym.compute_deidrj();
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_NEAR(de_simd[m][d], de_sym[d], 1e-12)
+            << "n=" << nn << " neighbor " << m << " dim " << d;
+      }
+    }
+
+    // The single-neighbor cached entry point stays valid under Simd (it
+    // gathers the lane-interleaved U cache back into scalar planes).
+    sym.compute_yi(beta);
+    simd.compute_yi(beta);
+    for (std::size_t m = 0; m < rij.size(); ++m) {
+      sym.compute_duidrj_cached(static_cast<int>(m));
+      const Vec3 de_sym = sym.compute_deidrj();
+      simd.compute_duidrj_cached(static_cast<int>(m));
+      const Vec3 de_one = simd.compute_deidrj();
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_NEAR(de_one[d], de_sym[d], 1e-12)
+            << "n=" << nn << " neighbor " << m << " dim " << d;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoJmaxSweep, SimdKernelParity,
+                         ::testing::Values(2, 4, 8));
+
+TEST(SimdDispatch, ScalarOverrideIsBitwiseSymmetric) {
+  ScopedSimdEnv env("scalar");
+  Rng rng(7);
+  const auto rij = random_shell(rng, 9, 0.8, 3.2);
+  std::vector<double> beta;
+
+  Bispectrum sym(base_params(8, SnapKernel::Symmetric));
+  Bispectrum simd(base_params(8, SnapKernel::Simd));
+  EXPECT_EQ(simd.simd_isa(), simd::SimdIsa::Scalar);
+  beta.resize(sym.num_b());
+  for (auto& b : beta) b = 0.01 * rng.uniform(-1.0, 1.0);
+
+  sym.compute_ui(rij, {});
+  simd.compute_ui(rij, {});
+  for (int e = 0; e < sym.index().u_total(); ++e) {
+    // Exact equality: the scalar fallback IS the Symmetric code path.
+    EXPECT_EQ(simd.utot()[e].re, sym.utot()[e].re) << "u " << e;
+    EXPECT_EQ(simd.utot()[e].im, sym.utot()[e].im) << "u " << e;
+  }
+
+  sym.compute_yi(beta);
+  simd.compute_yi(beta);
+  std::vector<Vec3> de_sym(rij.size());
+  std::vector<Vec3> de_simd(rij.size());
+  sym.compute_deidrj_all(de_sym);
+  simd.compute_deidrj_all(de_simd);
+  for (std::size_t m = 0; m < rij.size(); ++m) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(de_simd[m][d], de_sym[m][d]) << "neighbor " << m;
+    }
+  }
+}
+
+TEST(SimdDispatch, OverrideOnlyLowersTheIsa) {
+  const simd::SimdIsa cap = simd::max_supported_isa();
+  {
+    ScopedSimdEnv env("scalar");
+    EXPECT_EQ(simd::choose_isa(), simd::SimdIsa::Scalar);
+  }
+  {
+    // Requesting above capability clamps down instead of failing.
+    ScopedSimdEnv env("avx512");
+    EXPECT_EQ(simd::choose_isa(), cap);
+  }
+  {
+    ScopedSimdEnv env(nullptr);
+    EXPECT_EQ(simd::choose_isa(), cap);
+  }
+}
+
+TEST(SimdDispatch, UnknownOverrideThrows) {
+  ScopedSimdEnv env("sse9");
+  EXPECT_THROW(static_cast<void>(simd::choose_isa()), Error);
+  EXPECT_THROW(Bispectrum(base_params(2, SnapKernel::Simd)), Error);
+}
+
+TEST(SimdDispatch, LaneWidthMatchesIsa) {
+  EXPECT_EQ(simd::lane_width(simd::SimdIsa::Scalar), 1);
+  EXPECT_EQ(simd::lane_width(simd::SimdIsa::Avx2), 4);
+  EXPECT_EQ(simd::lane_width(simd::SimdIsa::Avx512), 8);
+  EXPECT_STREQ(simd::to_string(simd::SimdIsa::Avx2), "avx2");
+  // An instance reports the ISA it actually dispatched to.
+  Bispectrum simd_bi(base_params(2, SnapKernel::Simd));
+  EXPECT_EQ(simd_bi.simd_isa(), simd::choose_isa());
+}
+
+// ---- full-potential parity over a periodic system ------------------------
+
+SnapModel parity_model(int twojmax, SnapKernel kernel, std::uint64_t seed) {
+  SnapParams p = base_params(twojmax, kernel);
+  p.rcut = 2.6;
+  SnapModel m;
+  m.params = p;
+  Bispectrum bi(p);
+  Rng rng(seed);
+  m.beta.resize(bi.num_b());
+  for (auto& b : m.beta) b = 0.02 * rng.uniform(-1.0, 1.0);
+  m.beta0 = -1.0;
+  return m;
+}
+
+md::System perturbed_diamond(int reps, double sigma, std::uint64_t seed) {
+  md::LatticeSpec spec;
+  spec.kind = md::LatticeKind::Diamond;
+  spec.a = 3.567;
+  spec.nx = spec.ny = spec.nz = reps;
+  md::System sys = md::build_lattice(spec, 12.011);
+  Rng rng(seed);
+  md::perturb(sys, sigma, rng);
+  return sys;
+}
+
+struct ForceRun {
+  double energy = 0.0;
+  double virial = 0.0;
+  std::vector<Vec3> f;
+};
+
+ForceRun run_kernel(const SnapModel& model, const md::System& start,
+                    int nthreads) {
+  md::System sys = start;
+  SnapPotential pot(model);
+  const md::ComputeContext ctx{ExecutionPolicy{nthreads}};
+  md::NeighborList nl(pot.cutoff(), 0.3);
+  nl.build(sys, /*use_ghosts=*/false, &ctx);
+  sys.zero_forces();
+  const auto ev = pot.compute(ctx, sys, nl);
+  return {ev.energy, ev.virial,
+          std::vector<Vec3>(sys.f.begin(), sys.f.end())};
+}
+
+TEST(SimdKernel, PotentialMatchesSymmetricAcrossThreads) {
+  const md::System sys = perturbed_diamond(2, 0.1, 23);
+  SnapModel sym = parity_model(8, SnapKernel::Symmetric, 7);
+  SnapModel simd = sym;
+  simd.params.kernel = SnapKernel::Simd;
+
+  const ForceRun oracle = run_kernel(sym, sys, 1);
+  for (const int nth : {1, 4}) {
+    const ForceRun got = run_kernel(simd, sys, nth);
+    EXPECT_NEAR(got.energy, oracle.energy,
+                1e-12 * std::max(1.0, std::abs(oracle.energy)))
+        << nth << " threads";
+    EXPECT_NEAR(got.virial, oracle.virial,
+                1e-12 * std::max(1.0, std::abs(oracle.virial)))
+        << nth << " threads";
+    ASSERT_EQ(got.f.size(), oracle.f.size());
+    for (std::size_t i = 0; i < oracle.f.size(); ++i) {
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_NEAR(got.f[i][d], oracle.f[i][d], 1e-12)
+            << nth << " threads, atom " << i << " dim " << d;
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, ModelRoundTripsKernelChoice) {
+  SnapModel m = parity_model(4, SnapKernel::Simd, 3);
+  const char* path = "simd_kernel_model.tmp";
+  m.save(path);
+  const SnapModel back = SnapModel::load(path);
+  EXPECT_EQ(back.params.kernel, SnapKernel::Simd);
+  std::remove(path);
+}
+
+}  // namespace
+}  // namespace ember::snap
