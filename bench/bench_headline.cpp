@@ -28,23 +28,37 @@
 // (the paper's Table-I-style fraction-of-peak, at node scale in the
 // paper, at core scale here).
 
+// A sixth section benchmarks the output pipeline (DESIGN.md §13): the
+// same short MD run with dumps off, synchronous dumps, and asynchronous
+// dumps, plus the on-disk size of XYZ vs the compressed EMBT1
+// trajectory — recorded as the "io" stanza of BENCH_headline.json with
+// the io.stall_seconds / io.stalls_avoided_seconds counter deltas, so
+// the headline artifact states how much dump time the writer thread
+// actually took off the stepping thread.
+
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iterator>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "comm/transport.hpp"
 #include "common/timer.hpp"
 #include "recorder.hpp"
+#include "io/writer.hpp"
 #include "md/compute_context.hpp"
 #include "md/lattice.hpp"
 #include "md/neighbor.hpp"
+#include "md/simulation.hpp"
 #include "obs/machine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "perf/scaling.hpp"
+#include "ref/pair_lj.hpp"
 #include "snap/bispectrum.hpp"
 #include "snap/simd/dispatch.hpp"
 #include "snap/snap_potential.hpp"
@@ -240,6 +254,127 @@ double dp_peak_gflops_core(const ember::obs::MachineInfo& m) {
          2.0 * 2.0;
 }
 
+// == Output pipeline: dumps off vs sync vs async ============================
+
+struct IoModeRun {
+  const char* name = "";
+  const char* format = "";      // "" when dumps are off
+  double s_per_step = 0.0;      // wall clock per step, dump cost included
+  double stall_seconds = 0.0;   // io.stall_seconds delta (stepping thread)
+  double avoided_seconds = 0.0; // io.stalls_avoided_seconds delta (writer)
+  long bytes = 0;               // trajectory size on disk
+};
+
+struct IoBench {
+  int natoms = 0;
+  long steps = 0;
+  std::vector<IoModeRun> runs;
+};
+
+long file_size(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  return is ? static_cast<long>(is.tellg()) : 0;
+}
+
+// One MD run over a fixed initial state; mode == nullptr means dumps off.
+IoModeRun run_io_mode(const ember::md::System& initial, long steps,
+                      const char* name, const ember::io::Mode* mode,
+                      const std::string& path) {
+  using namespace ember;
+  namespace chrono = std::chrono;
+  auto& stall = obs::Registry::global().counter("io.stall_seconds");
+  auto& avoided = obs::Registry::global().counter("io.stalls_avoided_seconds");
+
+  md::Simulation sim(initial, std::make_shared<ref::PairLJ>(0.0104, 3.4, 6.5),
+                     0.002);
+  if (mode != nullptr) {
+    std::remove(path.c_str());
+    sim.set_writer(io::make_writer(*mode));
+    md::IoPlan plan;
+    plan.dump_every = 1;  // worst case: a dump behind every step
+    plan.dump_path = path;
+    plan.dump_format = io::format_from_path(path);
+    sim.set_io_plan(plan);
+  }
+  sim.setup();  // neighbor build + first forces outside the timed region
+
+  IoModeRun run;
+  run.name = name;
+  run.format = mode != nullptr ? io::to_string(io::format_from_path(path)) : "";
+  const double stall0 = stall.value();
+  const double avoided0 = avoided.value();
+  const auto t0 = chrono::steady_clock::now();
+  sim.run(steps);
+  sim.writer().drain();  // the async mode must pay for its queue too
+  const auto t1 = chrono::steady_clock::now();
+  run.s_per_step = chrono::duration<double>(t1 - t0).count() /
+                   static_cast<double>(steps);
+  run.stall_seconds = stall.value() - stall0;
+  run.avoided_seconds = avoided.value() - avoided0;
+  if (mode != nullptr) {
+    run.bytes = file_size(path);
+    std::remove(path.c_str());
+  }
+  return run;
+}
+
+IoBench run_io_bench() {
+  using namespace ember;
+  md::LatticeSpec spec;
+  spec.kind = md::LatticeKind::Fcc;
+  spec.a = 5.26;
+  spec.nx = spec.ny = spec.nz = 6;
+  md::System initial = md::build_lattice(spec, 39.948);
+  Rng rng(99);
+  initial.thermalize(40.0, rng);
+
+  IoBench b;
+  b.natoms = initial.nlocal();
+  b.steps = 150;
+  const io::Mode sync = io::Mode::Sync;
+  const io::Mode async = io::Mode::Async;
+  b.runs.push_back(run_io_mode(initial, b.steps, "off", nullptr, ""));
+  b.runs.push_back(run_io_mode(initial, b.steps, "sync", &sync,
+                               "/tmp/ember_bench_io.xyz"));
+  b.runs.push_back(run_io_mode(initial, b.steps, "async", &async,
+                               "/tmp/ember_bench_io_async.xyz"));
+  b.runs.push_back(run_io_mode(initial, b.steps, "async", &async,
+                               "/tmp/ember_bench_io.embt1"));
+  return b;
+}
+
+ember::obs::Json io_bench_json(const IoBench& b) {
+  using ember::obs::Json;
+  Json stanza = Json::object();
+  stanza.set("natoms", b.natoms);
+  stanza.set("steps", b.steps);
+  stanza.set("dump_every", 1);
+  Json modes = Json::array();
+  for (const IoModeRun& r : b.runs) {
+    Json entry = Json::object().set("mode", r.name);
+    if (r.format[0] != '\0') entry.set("format", r.format);
+    entry.set("s_per_step", r.s_per_step, "%.4g");
+    entry.set("stall_seconds", r.stall_seconds, "%.4g");
+    entry.set("stalls_avoided_seconds", r.avoided_seconds, "%.4g");
+    if (r.bytes > 0) entry.set("trajectory_bytes", r.bytes);
+    modes.push(std::move(entry));
+  }
+  stanza.set("modes", std::move(modes));
+  return stanza;
+}
+
+void print_io_bench(const IoBench& b) {
+  std::printf("\n== Output pipeline: %d atoms, %ld steps, dump every step ==\n\n",
+              b.natoms, b.steps);
+  std::printf("  mode    format      us/step   stall [ms]   avoided [ms]"
+              "   bytes\n");
+  for (const IoModeRun& r : b.runs) {
+    std::printf("  %-5s   %-9s   %7.1f   %10.2f   %12.2f   %7ld\n", r.name,
+                r.format[0] != '\0' ? r.format : "-", 1e6 * r.s_per_step,
+                1e3 * r.stall_seconds, 1e3 * r.avoided_seconds, r.bytes);
+  }
+}
+
 ember::bench::Recorder production_recording(const ProductionBench& b) {
   using ember::obs::Json;
   using ember::snap::simd::lane_width;
@@ -345,7 +480,12 @@ void print_production_bench(const char* json_path) {
   std::printf("  kernel parity (max |f_simd  - f_symmetric|):    %.3g\n",
               b.max_force_delta_simd);
 
-  production_recording(b).emit(json_path);
+  const IoBench io = run_io_bench();
+  print_io_bench(io);
+
+  ember::bench::Recorder rec = production_recording(b);
+  rec.root().set("io", io_bench_json(io));
+  rec.emit(json_path);
 }
 
 }  // namespace

@@ -24,9 +24,18 @@ scale (DESIGN.md section 11):
       of a region the trace claims completed, and under EMBER_OBS=OFF
       the block silently changes meaning.
   timer-switch-exhaustive
-      Any switch over TimerCategory must list all four enumerators and
-      carry no default:, so adding a category is a compile-time (and
-      lint-time) event, never a silently mis-bucketed timer.
+      Any switch over TimerCategory must list all five enumerators
+      (Pair, Neigh, Comm, Other, Dump) and carry no default:, so adding
+      a category is a compile-time (and lint-time) event, never a
+      silently mis-bucketed timer.
+  blocking-io-in-steploop
+      Code that participates in the step loop (any file outside src/io/
+      that names StepLoop or StepStages) must not open output streams or
+      call the path-level serializers directly: scheduled output goes
+      through io::Writer requests, so the async backend can take the
+      write off the stepping thread. A bare std::ofstream in a driver is
+      a stall the Dump timer cannot see. (Reads — std::ifstream,
+      read_checkpoint — are fine: restarts are not on the hot path.)
   comm-backend-include
       comm/communicator.hpp and comm/socket_transport.hpp are backend
       implementation headers, private to src/comm/. Everything else
@@ -66,6 +75,7 @@ RULES = {
     "neighbor-span-index": "unchecked operator[] on a NeighborList neighbor span",
     "obs-span-early-return": "return inside a bare EMBER_OBS_SPAN instrumentation block",
     "timer-switch-exhaustive": "switch over TimerCategory missing enumerators or using default:",
+    "blocking-io-in-steploop": "direct file output in step-loop code: submit an io::Writer request",
     "comm-backend-include": "comm backend header included outside src/comm/",
     "simd-intrinsics-include": "x86 intrinsics header included outside src/snap/simd/",
 }
@@ -335,7 +345,7 @@ def check_obs_span_early_return(path, raw_lines, code, findings):
 
 
 SWITCH_RE = re.compile(r"\bswitch\s*\(")
-TIMER_ENUMERATORS = ("Pair", "Neigh", "Comm", "Other")
+TIMER_ENUMERATORS = ("Pair", "Neigh", "Comm", "Other", "Dump")
 
 
 def check_timer_switch_exhaustive(path, raw_lines, code, findings):
@@ -362,6 +372,36 @@ def check_timer_switch_exhaustive(path, raw_lines, code, findings):
                 path, ln, "timer-switch-exhaustive",
                 "switch over TimerCategory must not use default: "
                 "(new categories must fail to compile, not mis-bucket)"))
+
+
+# The output pipeline (DESIGN.md section 13) hinges on one property: the
+# stepping thread never blocks on a file. Any file that participates in
+# the step loop — it names StepLoop or StepStages in code — must express
+# output as io::Writer requests instead of opening streams or calling
+# the path-level serializers itself, or the async backend silently
+# degrades to sync for that path. src/io/ is exempt (it IS the writer),
+# and input streams are exempt (restarts run off the hot path).
+STEPLOOP_RE = re.compile(r"\b(?:StepLoop|StepStages)\b")
+BLOCKING_IO_RE = re.compile(
+    r"std::ofstream|std::fstream\b|\bfopen\s*\(|"
+    r"\b(?:md|io)::write_(?:xyz|checkpoint_batch|checkpoint)\s*\(")
+
+
+def check_blocking_io_in_steploop(path, raw_lines, code, findings):
+    posix = path.as_posix()
+    if "src/io/" in posix or posix.startswith("src/io"):
+        return
+    if not STEPLOOP_RE.search(code):
+        return
+    for m in BLOCKING_IO_RE.finditer(code):
+        ln = line_of(code, m.start())
+        if not allowed(raw_lines, ln, "blocking-io-in-steploop",
+                       findings, path):
+            findings.append(Finding(
+                path, ln, "blocking-io-in-steploop",
+                f"`{m.group(0).strip()}` in step-loop code: output must go "
+                "through an io::Writer request so the async backend can "
+                "take the write off the stepping thread"))
 
 
 # The comm backends (thread mailboxes, socket processes) are private to
@@ -424,6 +464,7 @@ CHECKS = [
     check_neighbor_span_index,
     check_obs_span_early_return,
     check_timer_switch_exhaustive,
+    check_blocking_io_in_steploop,
     check_comm_backend_include,
     check_simd_intrinsics_include,
 ]

@@ -5,13 +5,18 @@
 #      wrapper skips with a notice in that case).
 #   2. Release build + the complete test suite (the tier-1 gate).
 #   3. ThreadSanitizer build + the thread-parity tests (the SNAP force
-#      engine is threaded; TSan pins the no-shared-mutable-state design).
+#      engine is threaded; TSan pins the no-shared-mutable-state design)
+#      and the AsyncIo suite (the writer thread's queue/backpressure/
+#      error handshake is exactly the kind of code TSan exists for).
 #   4. bench_record: re-measure the headline kernel curves and refresh
 #      BENCH_headline.json at the repo root (validated as JSON).
 #   5. Observability smoke: a traced ember_run demo; the Chrome trace
 #      and the metrics dump must both parse.
 #   6. Socket transport: the forked-process comm subset (ctest -R
 #      Socket) plus the multi-process elastic-rescaling example.
+#   7. Trajectory round-trip: the async-writer demo dumps a compressed
+#      EMBT1 trajectory and streams it back through `analyze
+#      trajectory`; every dumped frame must come back classified.
 #
 # Usage: scripts/smoke.sh [jobs]
 set -euo pipefail
@@ -19,26 +24,28 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/6] lint: ember_lint + clang-tidy =="
+echo "== [1/7] lint: ember_lint + clang-tidy =="
 python3 scripts/ember_lint.py src
 python3 tests/lint/test_ember_lint.py
 cmake -B build -S . >/dev/null
 scripts/run_clang_tidy.sh build
 
-echo "== [2/6] Release build + full test suite =="
+echo "== [2/7] Release build + full test suite =="
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [3/6] TSan build + threaded-kernel tests =="
+echo "== [3/7] TSan build + threaded-kernel tests =="
 cmake -B build-tsan -S . -DEMBER_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   test_thread_pool test_snap_symmetric_kernel test_md_dynamics \
-  test_md_step_loop test_obs_metrics test_obs_trace
+  test_md_step_loop test_obs_metrics test_obs_trace \
+  test_io_embt1 test_io_async_writer test_io_driver_parity \
+  test_app_interpreter
 TSAN_OPTIONS="suppressions=$PWD/scripts/suppressions/tsan.supp" \
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ThreadedForces|ComputeContext|SymmetricKernel|TwoJmaxSweep|Dynamics|CrossDriver|StepLoopTimers|StepLoopTrace|ObsMetrics|ObsTrace'
+  -R 'ThreadPool|ThreadedForces|ComputeContext|SymmetricKernel|TwoJmaxSweep|Dynamics|CrossDriver|StepLoopTimers|StepLoopTrace|ObsMetrics|ObsTrace|AsyncIo|Embt1'
 
-echo "== [4/6] bench_record =="
+echo "== [4/7] bench_record =="
 cmake --build build -j "$JOBS" --target bench_record
 if command -v python3 >/dev/null; then
   python3 -m json.tool BENCH_headline.json >/dev/null
@@ -61,7 +68,7 @@ EOF
   fi
 fi
 
-echo "== [5/6] traced demo run =="
+echo "== [5/7] traced demo run =="
 TRACE_TMP="$(mktemp -d)"
 (cd "$TRACE_TMP" && EMBER_NUM_THREADS=2 \
   "$OLDPWD/build/src/app/ember_run" "$OLDPWD/examples/inputs/trace_demo.in")
@@ -71,12 +78,20 @@ if command -v python3 >/dev/null; then
 fi
 rm -rf "$TRACE_TMP"
 
-echo "== [6/6] socket transport: forked-process subset + example =="
+echo "== [6/7] socket transport: forked-process subset + example =="
 ctest --test-dir build --output-on-failure -j "$JOBS" -R Socket
 SOCK_TMP="$(mktemp -d)"
 (cd "$SOCK_TMP" && EMBER_TRANSPORT=socket \
   "$OLDPWD/build/src/app/ember_run" \
   "$OLDPWD/examples/inputs/multiprocess_scaling.in")
 rm -rf "$SOCK_TMP"
+
+echo "== [7/7] trajectory round-trip: async EMBT1 dump -> analyze =="
+TRAJ_TMP="$(mktemp -d)"
+(cd "$TRAJ_TMP" &&
+  "$OLDPWD/build/src/app/ember_run" \
+    "$OLDPWD/examples/inputs/trajectory_demo.in" | tee run.log
+  grep -q "analyzed 4 frames from trajectory_demo.embt1" run.log)
+rm -rf "$TRAJ_TMP"
 
 echo "smoke: all green"

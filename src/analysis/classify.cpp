@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "io/embt1.hpp"
+#include "io/frame.hpp"
+
 namespace ember::analysis {
 
 const char* to_string(Phase phase) {
@@ -117,6 +120,21 @@ PhaseFractions analyze(const md::System& sys, const ClassifyOptions& opt) {
   md::NeighborList nl(opt.bond_cutoff + 0.4, 0.0);
   nl.build(sys);
   return phase_fractions(classify_atoms(sys, nl, opt));
+}
+
+std::vector<TrajectoryFrameSummary> analyze_trajectory(
+    const std::string& path, const ClassifyOptions& opt) {
+  io::TrajectoryReader reader(path);
+  std::vector<TrajectoryFrameSummary> out;
+  while (auto frame = reader.next()) {
+    TrajectoryFrameSummary s;
+    s.step = frame->step;
+    s.replica = frame->replica;
+    s.natoms = frame->natoms();
+    s.fractions = analyze(io::system_of(*frame), opt);
+    out.push_back(s);
+  }
+  return out;
 }
 
 }  // namespace ember::analysis

@@ -15,6 +15,7 @@
 // the bimodal angle signature, with thresholds wide enough to survive
 // thermal disorder (property-tested in tests/analysis).
 
+#include <string>
 #include <vector>
 
 #include "md/neighbor.hpp"
@@ -60,5 +61,20 @@ PhaseFractions phase_fractions(const std::vector<Phase>& phases);
 // Convenience: build a list and classify in one call.
 PhaseFractions analyze(const md::System& sys,
                        const ClassifyOptions& options = {});
+
+// One frame of a streamed trajectory analysis.
+struct TrajectoryFrameSummary {
+  long step = 0;
+  int replica = 0;
+  int natoms = 0;
+  PhaseFractions fractions;
+};
+
+// Classify every frame of an EMBT1 trajectory (io::TrajectoryReader),
+// streaming: memory stays one frame regardless of file size. This is the
+// paper's phase-vs-time readout (diamond -> BC8 emergence) consumed
+// straight off the dump the run produced.
+std::vector<TrajectoryFrameSummary> analyze_trajectory(
+    const std::string& path, const ClassifyOptions& options = {});
 
 }  // namespace ember::analysis

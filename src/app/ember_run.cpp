@@ -29,10 +29,18 @@ commands:
   thermostat <langevin T damp | berendsen T tau | nose_hoover T tdamp | none>
   barostat <berendsen P tau kappa | none>
   log every <n>
-  dump every <n> <file.xyz>
+  io <async|sync>         output backend for subsequent runs: async
+                          writes behind the step loop on a dedicated
+                          thread, sync writes inline (the default)
+  dump every <n> <file> [xyz|ember_traj]
+                          trajectory output; format defaults by
+                          extension (.embt1 -> compressed EMBT1)
   checkpoint every <n> <file.bin>
   run <steps>
   analyze
+  analyze trajectory <file.embt1>
+                          stream a trajectory through the phase
+                          classifier, one summary line per frame
   threads <n|auto>
   ranks <n>               domain-decomposed run on n ranks (state
                           gathers back after each 'run')
@@ -59,6 +67,8 @@ environment:
   EMBER_TRANSPORT=<thread|socket>
                           default comm backend for 'ranks' runs; a
                           script's own 'transport' command overrides it
+  EMBER_IO=<async|sync>   default output backend; a script's own 'io'
+                          command overrides it
 )";
 
 }  // namespace
@@ -68,8 +78,11 @@ int main(int argc, char** argv) {
     std::cout << kHelp;
     return argc == 2 ? 0 : 1;
   }
-  ember::app::Interpreter interp(std::cout);
   try {
+    // Construction inside the try: the interpreter reads EMBER_IO for its
+    // default output backend, and a bad value must report like any other
+    // script error rather than escaping main.
+    ember::app::Interpreter interp(std::cout);
     // Environment fallback: scripts that say nothing about threads run
     // with EMBER_NUM_THREADS workers (0 = hardware count). An explicit
     // 'threads' command inside the script wins, since it executes later.

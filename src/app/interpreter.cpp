@@ -9,6 +9,7 @@
 #include "analysis/classify.hpp"
 #include "comm/transport.hpp"
 #include "common/error.hpp"
+#include "io/writer.hpp"
 #include "md/io.hpp"
 #include "md/lattice.hpp"
 #include "obs/metrics.hpp"
@@ -47,8 +48,10 @@ struct Interpreter::Pending {
   long log_every = 0;
   long dump_every = 0;
   std::string dump_path;
+  io::Format dump_format = io::Format::Xyz;
   long checkpoint_every = 0;
   std::string checkpoint_path;
+  io::Mode io_mode = io::mode_from_env();  // `io async|sync` overrides
   int nthreads = 1;
   int ranks = 1;     // > 1: domain-decomposed runs (ParallelSimulation)
   int replicas = 1;  // > 1: lockstep replica runs (BatchedSimulation)
@@ -59,6 +62,14 @@ Interpreter::Interpreter(std::ostream& out)
     : out_(out), pending_(std::make_unique<Pending>()) {}
 
 Interpreter::~Interpreter() {
+  // Pending async writes still land if the script ends mid-queue.
+  if (writer_) {
+    try {
+      writer_->drain();
+    } catch (...) {
+      // Destructor: a failed write was already reported or is beyond help.
+    }
+  }
   // An active trace still flushes if the script ends without `trace off`.
   if (!trace_path_.empty()) {
     try {
@@ -67,6 +78,11 @@ Interpreter::~Interpreter() {
       // Destructor: a failed flush (bad path) must not terminate.
     }
   }
+}
+
+std::shared_ptr<io::Writer> Interpreter::writer() {
+  if (!writer_) writer_ = io::make_writer(pending_->io_mode);
+  return writer_;
 }
 
 const md::System& Interpreter::system() const {
@@ -115,6 +131,7 @@ void Interpreter::execute(const std::string& line) {
       {"thermostat", &Interpreter::cmd_thermostat},
       {"barostat", &Interpreter::cmd_barostat},
       {"log", &Interpreter::cmd_log},
+      {"io", &Interpreter::cmd_io},
       {"dump", &Interpreter::cmd_dump},
       {"checkpoint", &Interpreter::cmd_checkpoint},
       {"run", &Interpreter::cmd_run},
@@ -304,11 +321,42 @@ void Interpreter::cmd_log(std::istream& args) {
   pending_->log_every = need<long>(args, "interval");
 }
 
+void Interpreter::cmd_io(std::istream& args) {
+  const auto mode = need<std::string>(args, "'async' or 'sync'");
+  if (mode == "async") {
+    pending_->io_mode = io::Mode::Async;
+  } else if (mode == "sync") {
+    pending_->io_mode = io::Mode::Sync;
+  } else {
+    EMBER_REQUIRE(false, "expected 'io async' or 'io sync'");
+  }
+  if (writer_) {
+    writer_->drain();  // surface any pending error before switching
+    writer_.reset();   // next run builds the new backend
+  }
+  out_ << "io " << io::to_string(pending_->io_mode) << "\n";
+}
+
 void Interpreter::cmd_dump(std::istream& args) {
   const auto word = need<std::string>(args, "'every'");
-  EMBER_REQUIRE(word == "every", "expected 'dump every <n> <file>'");
+  EMBER_REQUIRE(word == "every",
+                "expected 'dump every <n> <file> [xyz|ember_traj]'");
   pending_->dump_every = need<long>(args, "interval");
   pending_->dump_path = need<std::string>(args, "file");
+  // Optional explicit format; default follows the extension (.embt1 ->
+  // the compressed ember_traj format, anything else extended XYZ).
+  std::string format;
+  if (args >> format) {
+    if (format == "xyz") {
+      pending_->dump_format = io::Format::Xyz;
+    } else if (format == "ember_traj") {
+      pending_->dump_format = io::Format::Embt1;
+    } else {
+      EMBER_REQUIRE(false, "unknown dump format: " + format);
+    }
+  } else {
+    pending_->dump_format = io::format_from_path(pending_->dump_path);
+  }
 }
 
 void Interpreter::cmd_checkpoint(std::istream& args) {
@@ -320,6 +368,8 @@ void Interpreter::cmd_checkpoint(std::istream& args) {
 
 void Interpreter::cmd_read_checkpoint(std::istream& args) {
   const auto path = need<std::string>(args, "checkpoint file");
+  // Restart barrier: the file may still be in the async queue.
+  if (writer_) writer_->drain();
   auto replicas = md::read_checkpoint_batch(path);
   sim_.reset();
   batch_.reset();
@@ -490,29 +540,35 @@ void Interpreter::cmd_run(std::istream& args) {
   } else {
     run_serial(steps);
   }
+  // End-of-command barrier: when `run` reports done, every scheduled dump
+  // and checkpoint is on disk and any write error has surfaced here (with
+  // the async backend the overlap happened within the run).
+  if (writer_) writer_->drain();
   total_steps_ += steps;
   out_ << "ran " << steps << " steps (total " << total_steps_ << ")\n";
 }
 
+md::IoPlan Interpreter::make_io_plan(bool append) const {
+  md::IoPlan plan;
+  plan.dump_every = pending_->dump_every;
+  plan.dump_path = pending_->dump_path;
+  plan.dump_format = pending_->dump_format;
+  plan.append = append;
+  plan.checkpoint_every = pending_->checkpoint_every;
+  plan.checkpoint_path = pending_->checkpoint_path;
+  return plan;
+}
+
 void Interpreter::run_serial(long steps) {
   ensure_simulation();
+  sim_->set_writer(writer());
+  sim_->set_io_plan(make_io_plan(/*append=*/total_steps_ > 0));
   const long log_every = pending_->log_every;
-  const long dump_every = pending_->dump_every;
-  const long ckpt_every = pending_->checkpoint_every;
-  bool first_dump = total_steps_ == 0;
 
   sim_->run(steps, [&](md::Simulation& s) {
     if (log_every > 0 && s.step() % log_every == 0) {
       out_ << "step " << s.step() << "  E " << s.total_energy() << "  T "
            << s.system().temperature() << "  P " << s.pressure() << "\n";
-    }
-    if (dump_every > 0 && s.step() % dump_every == 0) {
-      md::write_xyz(s.system(), pending_->dump_path,
-                    "step=" + std::to_string(s.step()), !first_dump);
-      first_dump = false;
-    }
-    if (ckpt_every > 0 && s.step() % ckpt_every == 0) {
-      s.save_checkpoint(pending_->checkpoint_path);
     }
   });
 }
@@ -525,10 +581,14 @@ void Interpreter::run_parallel(long steps) {
                 "barostat not supported with 'ranks' (per-rank virials "
                 "cannot drive a consistent box rescale)");
   const long log_every = pending_->log_every;
-  const long dump_every = pending_->dump_every;
-  const long ckpt_every = pending_->checkpoint_every;
-  const bool initial_first_dump = total_steps_ == 0;
+  const md::IoPlan plan = make_io_plan(/*append=*/total_steps_ > 0);
+  const io::Mode io_mode = pending_->io_mode;
   const md::System& global = *system_;
+
+  // The socket backend forks the ranks: quiesce this process's writer
+  // thread first, and give every rank its own post-fork writer inside
+  // the lambda (an inherited worker thread would not survive the fork).
+  if (writer_) writer_->drain();
 
   comm::TransportSpec spec;
   spec.kind = pending_->transport;
@@ -543,7 +603,8 @@ void Interpreter::run_parallel(long steps) {
                                       pending_->seed,
                                       ExecutionPolicy{pending_->nthreads});
     apply_integrator_settings(psim.integrator());
-    bool first_dump = initial_first_dump;  // rank-local; only root writes
+    psim.set_writer(io::make_writer(io_mode));  // rank-private, post-fork
+    psim.set_io_plan(plan);
     psim.run(steps, [&](parallel::ParallelSimulation& s) {
       if (log_every > 0 && s.step() % log_every == 0) {
         const auto g = s.global_state();  // collective
@@ -552,18 +613,8 @@ void Interpreter::run_parallel(long steps) {
                << g.temperature << "\n";
         }
       }
-      if (dump_every > 0 && s.step() % dump_every == 0) {
-        md::System snap_sys = s.gather_global();  // collective
-        if (c.rank() == 0) {
-          md::write_xyz(snap_sys, pending_->dump_path,
-                        "step=" + std::to_string(s.step()), !first_dump);
-          first_dump = false;
-        }
-      }
-      if (ckpt_every > 0 && s.step() % ckpt_every == 0) {
-        s.save_checkpoint(pending_->checkpoint_path);  // collective
-      }
     });
+    psim.writer().drain();  // all output durable before the rank reports
     md::System g = psim.gather_global();
     if (c.rank() != 0) return std::vector<std::byte>{};
     return md::checkpoint_bytes(g);
@@ -591,8 +642,10 @@ void Interpreter::run_batched(long steps) {
     apply_integrator_settings(batch_->integrator());
   }
   const long log_every = pending_->log_every;
-  const long ckpt_every = pending_->checkpoint_every;
-  const long dump_every = pending_->dump_every;
+  // Batched dumps always append (historical semantics: the trajectory
+  // interleaves one frame per replica per interval).
+  batch_->set_writer(writer());
+  batch_->set_io_plan(make_io_plan(/*append=*/true));
 
   batch_->run(steps, [&](md::BatchedSimulation& b) {
     if (log_every > 0 && b.step() % log_every == 0) {
@@ -603,23 +656,29 @@ void Interpreter::run_batched(long steps) {
       }
       out_ << "\n";
     }
-    if (dump_every > 0 && b.step() % dump_every == 0) {
-      // One frame per replica per dump interval.
-      for (int r = 0; r < b.num_replicas(); ++r) {
-        md::write_xyz(b.replica(r), pending_->dump_path,
-                      "step=" + std::to_string(b.step()) +
-                          " replica=" + std::to_string(r),
-                      /*append=*/true);
-      }
-    }
-    if (ckpt_every > 0 && b.step() % ckpt_every == 0) {
-      b.save_checkpoint(pending_->checkpoint_path);  // batch format
-    }
   });
   system_ = batch_->replica(0);  // keep analyze/log views current
 }
 
-void Interpreter::cmd_analyze(std::istream&) {
+void Interpreter::cmd_analyze(std::istream& args) {
+  std::string word;
+  if (args >> word) {
+    EMBER_REQUIRE(word == "trajectory",
+                  "expected 'analyze' or 'analyze trajectory <file>'");
+    const auto path = need<std::string>(args, "trajectory file");
+    if (writer_) writer_->drain();  // frames may still be in the queue
+    const auto frames = analysis::analyze_trajectory(path);
+    for (const auto& fr : frames) {
+      out_ << "frame step " << fr.step;
+      if (fr.replica != 0) out_ << " replica " << fr.replica;
+      out_ << "  atoms " << fr.natoms << "  diamond "
+           << 100.0 * fr.fractions.diamond << "%  bc8 "
+           << 100.0 * fr.fractions.bc8 << "%  disordered "
+           << 100.0 * (1.0 - fr.fractions.crystalline()) << "%\n";
+    }
+    out_ << "analyzed " << frames.size() << " frames from " << path << "\n";
+    return;
+  }
   EMBER_REQUIRE(system_.has_value() || sim_, "no system to analyze");
   const md::System& sys = sim_ ? sim_->system() : *system_;
   const auto f = analysis::analyze(sys);

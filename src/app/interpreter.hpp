@@ -39,6 +39,18 @@
 // in place.
 // Barostats only work in the default serial mode (per-rank virials and
 // fixed per-replica boxes make box coupling unsound elsewhere).
+//
+// Output goes through the io::Writer pipeline:
+//   io async|sync              pick the backend for subsequent runs (the
+//                              default honours EMBER_IO; sync otherwise)
+//   dump every N f [xyz|ember_traj]
+//                              trajectory format defaults by extension
+//                              (.embt1 -> compressed EMBT1)
+//   analyze trajectory <file>  stream an EMBT1 file through the phase
+//                              classifier, one summary line per frame
+// `run` drains the writer before reporting, so a finished run command
+// always means the files are on disk (async overlap happens inside the
+// run, where it matters).
 
 #include <functional>
 #include <iosfwd>
@@ -83,6 +95,7 @@ class Interpreter {
   void cmd_thermostat(std::istream& args);
   void cmd_barostat(std::istream& args);
   void cmd_log(std::istream& args);
+  void cmd_io(std::istream& args);
   void cmd_dump(std::istream& args);
   void cmd_checkpoint(std::istream& args);
   void cmd_run(std::istream& args);
@@ -100,6 +113,11 @@ class Interpreter {
   // Fold any live driver's state back into system_ (mode switches and
   // the parallel run path start from a plain System).
   void reclaim_system();
+  // The script-lifetime output backend (sync or async per `io`/EMBER_IO),
+  // created lazily and shared by the serial/batched drivers; parallel
+  // ranks build their own post-fork copies.
+  [[nodiscard]] std::shared_ptr<io::Writer> writer();
+  [[nodiscard]] md::IoPlan make_io_plan(bool append) const;
   void run_serial(long steps);
   void run_parallel(long steps);
   void run_batched(long steps);
@@ -120,6 +138,7 @@ class Interpreter {
   std::unique_ptr<md::Simulation> sim_;
   std::unique_ptr<md::BatchedSimulation> batch_;
   std::vector<md::System> staged_replicas_;  // from a batch checkpoint
+  std::shared_ptr<io::Writer> writer_;       // lazily built; see writer()
   std::unique_ptr<Pending> pending_;
   double mass_ = 12.011;
   long total_steps_ = 0;

@@ -34,13 +34,14 @@ class WallTimer {
 // The canonical step-time taxonomy (declaration order == report order).
 // The paper's Fig. 4 presentation names ("SNAP", "MPI Comm") are a
 // display mapping applied once in the bench layer via md::fig4_label.
-enum class TimerCategory : int { Pair = 0, Neigh, Comm, Other };
+enum class TimerCategory : int { Pair = 0, Neigh, Comm, Other, Dump };
 
-inline constexpr int kNumTimerCategories = 4;
+inline constexpr int kNumTimerCategories = 5;
 
 inline constexpr std::array<TimerCategory, kNumTimerCategories>
     kTimerCategories = {TimerCategory::Pair, TimerCategory::Neigh,
-                        TimerCategory::Comm, TimerCategory::Other};
+                        TimerCategory::Comm, TimerCategory::Other,
+                        TimerCategory::Dump};
 
 [[nodiscard]] constexpr const char* timer_category_name(TimerCategory c) {
   switch (c) {
@@ -48,6 +49,7 @@ inline constexpr std::array<TimerCategory, kNumTimerCategories>
     case TimerCategory::Neigh: return "Neigh";
     case TimerCategory::Comm: return "Comm";
     case TimerCategory::Other: return "Other";
+    case TimerCategory::Dump: return "Dump";
   }
   return "?";
 }

@@ -1,0 +1,255 @@
+#include "embt1.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ember::io {
+
+namespace {
+constexpr char kMagic[6] = {'E', 'M', 'B', 'T', '1', '\n'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::uint32_t kFrameMarker = 0x524d4645u;  // "EFMR" in memory
+
+constexpr std::uint8_t kFlagVelocities = 0x01;
+constexpr std::uint8_t kFlagKeyFrame = 0x02;
+
+void put_uvarint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+void put_svarint(std::ostream& os, std::int64_t v) {
+  // Zigzag: small magnitudes of either sign stay small.
+  const auto u = static_cast<std::uint64_t>(v);
+  put_uvarint(os, (u << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+std::uint64_t get_uvarint(std::istream& is, const std::string& path) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const int c = is.get();
+    if (c == std::char_traits<char>::eof()) {
+      throw Error("trajectory truncated: " + path);
+    }
+    v |= static_cast<std::uint64_t>(c & 0x7F) << shift;
+    if ((c & 0x80) == 0) return v;
+    shift += 7;
+    if (shift >= 64) throw Error("corrupt varint in trajectory: " + path);
+  }
+}
+
+std::int64_t get_svarint(std::istream& is, const std::string& path) {
+  const std::uint64_t u = get_uvarint(is, path);
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+template <typename T>
+void put_raw(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get_raw(std::istream& is, const std::string& path) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is.good()) throw Error("trajectory truncated: " + path);
+  return value;
+}
+
+double comp(const Vec3& v, int axis) {
+  return axis == 0 ? v.x : (axis == 1 ? v.y : v.z);
+}
+
+double& comp(Vec3& v, int axis) {
+  return axis == 0 ? v.x : (axis == 1 ? v.y : v.z);
+}
+
+// One coordinate stream: XOR each atom's bit pattern against its
+// predictor (temporal: same atom, previous frame; key frame: previous
+// atom, same frame) and varint-encode the result.
+void put_axis(std::ostream& os, const std::vector<Vec3>& cur,
+              const std::vector<Vec3>& prev, bool key_frame, int axis) {
+  std::uint64_t ref = 0;
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    const auto bits = std::bit_cast<std::uint64_t>(comp(cur[i], axis));
+    if (!key_frame) ref = std::bit_cast<std::uint64_t>(comp(prev[i], axis));
+    put_uvarint(os, bits ^ ref);
+    if (key_frame) ref = bits;
+  }
+}
+
+void get_axis(std::istream& is, std::vector<Vec3>& cur,
+              const std::vector<Vec3>& prev, bool key_frame, int axis,
+              const std::string& path) {
+  std::uint64_t ref = 0;
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    if (!key_frame) ref = std::bit_cast<std::uint64_t>(comp(prev[i], axis));
+    const std::uint64_t bits = get_uvarint(is, path) ^ ref;
+    comp(cur[i], axis) = std::bit_cast<double>(bits);
+    if (key_frame) ref = bits;
+  }
+}
+}  // namespace
+
+Embt1Writer::Embt1Writer(std::string path, bool truncate)
+    : path_(std::move(path)) {
+  bool fresh = truncate;
+  if (!truncate) {
+    // Appending: a nonexistent or empty file still needs the header, and
+    // an existing one must actually be an EMBT1 trajectory.
+    std::ifstream probe(path_, std::ios::binary);
+    char magic[sizeof(kMagic)] = {};
+    if (!probe.read(magic, sizeof(magic))) {
+      fresh = true;
+    } else if (!std::equal(std::begin(magic), std::end(magic), kMagic)) {
+      throw Error("not an EMBT1 trajectory: " + path_);
+    }
+  }
+  os_.open(path_, std::ios::binary |
+                      (truncate ? std::ios::trunc : std::ios::app));
+  if (!os_.good()) throw Error("cannot open " + path_ + " for writing");
+  if (fresh) {
+    os_.write(kMagic, sizeof(kMagic));
+    put_raw(os_, kVersion);
+  }
+  os_.flush();
+  if (!os_.good()) {
+    throw Error("trajectory write failed (disk full or path unwritable): " +
+                path_);
+  }
+}
+
+std::size_t Embt1Writer::append(const Frame& frame) {
+  const bool has_v = !frame.v.empty();
+  // Key frame when the temporal predictor is unusable: no previous frame,
+  // or a shape change (atom count / velocity presence flipped).
+  const bool key_frame = !have_prev_ || prev_.natoms() != frame.natoms() ||
+                         prev_.v.empty() == has_v;
+
+  // Encode into memory first: one write syscall per frame, and the byte
+  // count for the io.bytes metric falls out exactly.
+  std::ostringstream buf(std::ios::binary);
+  put_raw(buf, kFrameMarker);
+  const std::uint8_t flags =
+      static_cast<std::uint8_t>((has_v ? kFlagVelocities : 0) |
+                                (key_frame ? kFlagKeyFrame : 0));
+  put_raw(buf, flags);
+  put_svarint(buf, frame.step);
+  put_svarint(buf, frame.replica);
+  put_raw(buf, frame.box.length(0));
+  put_raw(buf, frame.box.length(1));
+  put_raw(buf, frame.box.length(2));
+  put_raw(buf, frame.mass);
+  put_uvarint(buf, static_cast<std::uint64_t>(frame.natoms()));
+  put_uvarint(buf, frame.comment.size());
+  buf.write(frame.comment.data(),
+            static_cast<std::streamsize>(frame.comment.size()));
+
+  std::int64_t prev_id = 0;
+  for (const long id : frame.id) {
+    put_svarint(buf, static_cast<std::int64_t>(id) - prev_id);
+    prev_id = static_cast<std::int64_t>(id);
+  }
+  for (int axis = 0; axis < 3; ++axis) {
+    put_axis(buf, frame.x, prev_.x, key_frame, axis);
+  }
+  if (has_v) {
+    for (int axis = 0; axis < 3; ++axis) {
+      put_axis(buf, frame.v, prev_.v, key_frame, axis);
+    }
+  }
+
+  const std::string bytes = buf.str();
+  os_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os_.flush();
+  if (!os_.good()) {
+    throw Error("trajectory write failed (disk full or path unwritable): " +
+                path_);
+  }
+  prev_ = frame;
+  have_prev_ = true;
+  return bytes.size();
+}
+
+TrajectoryReader::TrajectoryReader(std::string path) : path_(std::move(path)) {
+  is_.open(path_, std::ios::binary);
+  if (!is_.good()) throw Error("cannot open " + path_);
+  char magic[sizeof(kMagic)] = {};
+  is_.read(magic, sizeof(magic));
+  if (!is_.good() ||
+      !std::equal(std::begin(magic), std::end(magic), kMagic)) {
+    throw Error("not an EMBT1 trajectory: " + path_);
+  }
+  const auto version = get_raw<std::uint16_t>(is_, path_);
+  EMBER_REQUIRE(version == kVersion,
+                "unsupported EMBT1 version in " + path_);
+}
+
+std::optional<Frame> TrajectoryReader::next() {
+  std::uint32_t marker = 0;
+  is_.read(reinterpret_cast<char*>(&marker), sizeof(marker));
+  if (is_.gcount() == 0 && is_.eof()) return std::nullopt;  // clean EOF
+  if (!is_.good()) throw Error("trajectory truncated: " + path_);
+  if (marker != kFrameMarker) {
+    throw Error("corrupt frame marker in trajectory: " + path_);
+  }
+
+  const auto flags = get_raw<std::uint8_t>(is_, path_);
+  const bool has_v = (flags & kFlagVelocities) != 0;
+  const bool key_frame = (flags & kFlagKeyFrame) != 0;
+
+  Frame f;
+  f.step = get_svarint(is_, path_);
+  f.replica = static_cast<int>(get_svarint(is_, path_));
+  const double lx = get_raw<double>(is_, path_);
+  const double ly = get_raw<double>(is_, path_);
+  const double lz = get_raw<double>(is_, path_);
+  f.box = md::Box(lx, ly, lz);
+  f.mass = get_raw<double>(is_, path_);
+  const auto natoms = get_uvarint(is_, path_);
+  const auto comment_len = get_uvarint(is_, path_);
+  f.comment.resize(comment_len);
+  is_.read(f.comment.data(), static_cast<std::streamsize>(comment_len));
+  if (!is_.good() && comment_len > 0) {
+    throw Error("trajectory truncated: " + path_);
+  }
+
+  if (!key_frame &&
+      (!have_prev_ || prev_.natoms() != static_cast<int>(natoms) ||
+       prev_.v.empty() == has_v)) {
+    throw Error("corrupt trajectory (delta frame without matching key): " +
+                path_);
+  }
+
+  f.id.resize(natoms);
+  std::int64_t prev_id = 0;
+  for (auto& id : f.id) {
+    prev_id += get_svarint(is_, path_);
+    id = static_cast<long>(prev_id);
+  }
+  f.x.resize(natoms);
+  for (int axis = 0; axis < 3; ++axis) {
+    get_axis(is_, f.x, prev_.x, key_frame, axis, path_);
+  }
+  if (has_v) {
+    f.v.resize(natoms);
+    for (int axis = 0; axis < 3; ++axis) {
+      get_axis(is_, f.v, prev_.v, key_frame, axis, path_);
+    }
+  }
+
+  prev_ = f;
+  have_prev_ = true;
+  return f;
+}
+
+}  // namespace ember::io

@@ -1,0 +1,95 @@
+#pragma once
+
+// EMBT1 — ember's compressed streaming trajectory format.
+//
+// Why not XYZ: a formatted-text frame costs ~50 bytes/atom and loses
+// precision; a raw binary frame costs 24 bytes/axis-triple. EMBT1 keeps
+// full double precision (the round-trip is bitwise exact, which trivially
+// satisfies the <= 1e-12 parity requirement) while typically writing far
+// fewer bytes for the smooth trajectories MD produces.
+//
+// Codec (the "per-axis delta + LEB128" option of ISSUE 8):
+//
+//   * Every coordinate stream (x then y then z, velocities likewise) is a
+//     sequence of IEEE-754 bit patterns XORed against a predictor and
+//     LEB128-encoded. XOR of similar doubles zeroes the leading
+//     sign/exponent/high-mantissa bits, so the varint shrinks to a few
+//     bytes; XOR of arbitrary doubles is still lossless, so compression
+//     never costs correctness (Gorilla-style float compression).
+//   * Non-key frames predict temporally: atom i is XORed against atom i
+//     of the previous frame in the file — between two dumps an atom moves
+//     a tiny fraction of the box, so this is the tight predictor.
+//   * Key frames predict intra-frame: atom i is XORed against atom i-1 of
+//     the same frame (atom 0 against zero). A frame is a key frame when
+//     there is no usable previous frame: the first frame a writer emits
+//     into a file (including append restarts — the writer never reads
+//     back what an earlier process wrote) or when the atom count or
+//     velocity presence changed.
+//   * Atom ids are delta + zigzag-LEB128 within the frame (ids are
+//     usually sorted, so deltas are 1).
+//
+// On-disk layout (all multi-byte scalars native-endian, matching the
+// EMBERCP checkpoints; doubles raw 8 bytes unless stated):
+//
+//   file header:  "EMBT1\n" (6 bytes) + u16 version (= 1)
+//   per frame:    u32 marker 'EMFR' | u8 flags (bit0 velocities,
+//                 bit1 key frame) | zigzag step | zigzag replica |
+//                 box lx,ly,lz | mass | uvarint natoms |
+//                 uvarint comment length + bytes |
+//                 id stream | x,y,z streams | [vx,vy,vz streams]
+//
+// Readers stream: TrajectoryReader::next() decodes one frame at a time
+// holding only the previous frame, so analysis over a multi-GB file
+// never loads it whole.
+
+#include <cstddef>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "io/frame.hpp"
+
+namespace ember::io {
+
+inline constexpr const char* kEmbt1Extension = ".embt1";
+
+// Appending encoder. Opens the file on construction (truncate=false keeps
+// existing frames and validates the header; a fresh/empty file gets the
+// header written). Any open/write failure raises ember::Error naming the
+// path. Frames are flushed per append so a crashed run keeps every
+// completed frame.
+class Embt1Writer {
+ public:
+  Embt1Writer(std::string path, bool truncate);
+
+  // Encode and write one frame; returns the bytes it added to the file.
+  std::size_t append(const Frame& frame);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream os_;
+  Frame prev_;             // previous frame = temporal predictor
+  bool have_prev_ = false; // false => next frame is a key frame
+};
+
+// Streaming decoder: next() returns frames in file order, std::nullopt at
+// a clean end-of-file. Truncated or corrupt data raises ember::Error
+// naming the path.
+class TrajectoryReader {
+ public:
+  explicit TrajectoryReader(std::string path);
+
+  [[nodiscard]] std::optional<Frame> next();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ifstream is_;
+  Frame prev_;
+  bool have_prev_ = false;
+};
+
+}  // namespace ember::io

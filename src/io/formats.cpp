@@ -1,0 +1,169 @@
+#include "formats.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ember::io {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x454d424552435031ULL;       // "EMBERCP1"
+constexpr std::uint64_t kMagicBatch = 0x454d424552435032ULL;  // "EMBERCP2"
+
+template <typename T>
+void put(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  EMBER_REQUIRE(is.good(), "checkpoint truncated");
+  return value;
+}
+
+md::System get_system(std::istream& is) {
+  const double lx = get<double>(is);
+  const double ly = get<double>(is);
+  const double lz = get<double>(is);
+  const double mass = get<double>(is);
+  const auto n = get<std::int64_t>(is);
+  md::System sys(md::Box(lx, ly, lz), mass);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto id = get<std::int64_t>(is);
+    const auto x = get<Vec3>(is);
+    const auto v = get<Vec3>(is);
+    sys.add_atom(x, v);
+    sys.id[static_cast<std::size_t>(i)] = id;
+  }
+  return sys;
+}
+
+// The per-system checkpoint record (shared by CP1 and CP2).
+void put_system_payload(std::ostream& os, const Frame& frame) {
+  put(os, frame.box.length(0));
+  put(os, frame.box.length(1));
+  put(os, frame.box.length(2));
+  put(os, frame.mass);
+  put(os, static_cast<std::int64_t>(frame.natoms()));
+  for (int i = 0; i < frame.natoms(); ++i) {
+    put(os, static_cast<std::int64_t>(frame.id[static_cast<std::size_t>(i)]));
+    // Canonicalize: positions are stored wrapped so a restart is
+    // independent of how far past a reneighboring the run was.
+    put(os, frame.box.wrap(frame.x[static_cast<std::size_t>(i)]));
+    put(os, frame.v[static_cast<std::size_t>(i)]);
+  }
+}
+
+// A stream left !good() after a write means a short write (full disk,
+// revoked permissions, dead pipe): report it with the path, never return
+// a silently truncated file.
+void require_written(const std::ostream& os, const std::string& path,
+                     const char* what) {
+  if (!os.good()) {
+    throw Error(std::string(what) + " write failed (disk full or path "
+                                    "unwritable): " +
+                path);
+  }
+}
+}  // namespace
+
+void write_xyz_frame(std::ostream& os, const Frame& frame) {
+  os << frame.natoms() << '\n';
+  os << "Lattice=\"" << frame.box.length(0) << " 0 0 0 "
+     << frame.box.length(1) << " 0 0 0 " << frame.box.length(2) << "\" "
+     << frame.comment << '\n';
+  for (const Vec3& r : frame.x) {
+    os << "C " << r.x << ' ' << r.y << ' ' << r.z << '\n';
+  }
+}
+
+void write_checkpoint_frame(std::ostream& os, const Frame& frame) {
+  put(os, kMagic);
+  put_system_payload(os, frame);
+}
+
+void write_checkpoint_frames(std::ostream& os, std::span<const Frame> frames) {
+  EMBER_REQUIRE(!frames.empty(), "batch checkpoint needs >= 1 replica");
+  put(os, kMagicBatch);
+  put(os, static_cast<std::int64_t>(frames.size()));
+  for (const Frame& f : frames) put_system_payload(os, f);
+}
+
+void write_xyz(const md::System& sys, const std::string& path,
+               const std::string& comment, bool append) {
+  std::ofstream os(path, append ? std::ios::app : std::ios::trunc);
+  if (!os.good()) throw Error("cannot open " + path + " for writing");
+  write_xyz_frame(os, frame_of(sys, /*step=*/0, /*replica=*/0, comment));
+  os.flush();
+  require_written(os, path, "xyz");
+}
+
+void write_checkpoint(const md::System& sys, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os.good()) throw Error("cannot open " + path + " for writing");
+  write_checkpoint_frame(os, frame_of(sys));
+  os.flush();
+  require_written(os, path, "checkpoint");
+}
+
+md::System read_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw Error("cannot open " + path);
+  EMBER_REQUIRE(get<std::uint64_t>(is) == kMagic,
+                "not an ember checkpoint: " + path);
+  return get_system(is);
+}
+
+std::vector<std::byte> checkpoint_bytes(const md::System& sys) {
+  std::ostringstream os(std::ios::binary);
+  write_checkpoint_frame(os, frame_of(sys));
+  const std::string s = os.str();
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return {p, p + s.size()};
+}
+
+md::System system_from_checkpoint_bytes(std::span<const std::byte> bytes) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()),
+      std::ios::binary);
+  EMBER_REQUIRE(get<std::uint64_t>(is) == kMagic,
+                "not an ember checkpoint payload");
+  return get_system(is);
+}
+
+void write_checkpoint_batch(std::span<const md::System> replicas,
+                            const std::string& path) {
+  EMBER_REQUIRE(!replicas.empty(), "batch checkpoint needs >= 1 replica");
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os.good()) throw Error("cannot open " + path + " for writing");
+  std::vector<Frame> frames;
+  frames.reserve(replicas.size());
+  for (const md::System& sys : replicas) frames.push_back(frame_of(sys));
+  write_checkpoint_frames(os, frames);
+  os.flush();
+  require_written(os, path, "checkpoint");
+}
+
+std::vector<md::System> read_checkpoint_batch(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw Error("cannot open " + path);
+  const auto magic = get<std::uint64_t>(is);
+  std::vector<md::System> replicas;
+  if (magic == kMagic) {
+    replicas.push_back(get_system(is));
+    return replicas;
+  }
+  EMBER_REQUIRE(magic == kMagicBatch, "not an ember checkpoint: " + path);
+  const auto count = get<std::int64_t>(is);
+  EMBER_REQUIRE(count > 0, "batch checkpoint with no replicas: " + path);
+  replicas.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t r = 0; r < count; ++r) replicas.push_back(get_system(is));
+  return replicas;
+}
+
+}  // namespace ember::io

@@ -1,0 +1,60 @@
+#pragma once
+
+// Format backends: extended-XYZ snapshots and the EMBERCP1/EMBERCP2
+// binary checkpoints (EMBT1, the compressed trajectory, lives in
+// embt1.hpp). Each format serializes io::Frame snapshots into a stream,
+// so the synchronous and asynchronous writers share one byte layout;
+// the path-level System functions are the historical md:: API (they
+// forward through md/io.hpp) plus hardened error reporting: any failed
+// open, short write or full disk raises ember::Error naming the path —
+// never a silent truncation.
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/frame.hpp"
+#include "md/system.hpp"
+
+namespace ember::io {
+
+// --- stream-level frame serializers (the Writer backends) ---------------
+
+// One extended-XYZ frame: atom count, Lattice= comment line, positions.
+void write_xyz_frame(std::ostream& os, const Frame& frame);
+
+// One EMBERCP1 single-system checkpoint record (magic + system payload).
+// Positions are canonicalized (wrapped into the frame's box) so a
+// restart is independent of how far past a reneighboring the run was.
+void write_checkpoint_frame(std::ostream& os, const Frame& frame);
+
+// EMBERCP2 multi-replica checkpoint: the per-system record repeated.
+void write_checkpoint_frames(std::ostream& os, std::span<const Frame> frames);
+
+// --- path-level System API (compat surface, re-exported as md::) --------
+
+// Extended-XYZ snapshot (positions only), appending when append=true.
+void write_xyz(const md::System& sys, const std::string& path,
+               const std::string& comment = "", bool append = false);
+
+// Binary checkpoint: box, mass, ids, positions, velocities.
+void write_checkpoint(const md::System& sys, const std::string& path);
+md::System read_checkpoint(const std::string& path);
+
+// The same checkpoint record in memory: what a process-backed comm rank
+// ships its gathered System through (comm::Context::run_gather). The
+// bytes are the file format, so they can also be written verbatim to
+// disk and read back with read_checkpoint.
+std::vector<std::byte> checkpoint_bytes(const md::System& sys);
+md::System system_from_checkpoint_bytes(std::span<const std::byte> bytes);
+
+// Multi-replica checkpoint (BatchedSimulation): the same per-system
+// record repeated, each replica with its own box. read_checkpoint_batch
+// also accepts a single-system checkpoint and returns one replica.
+void write_checkpoint_batch(std::span<const md::System> replicas,
+                            const std::string& path);
+std::vector<md::System> read_checkpoint_batch(const std::string& path);
+
+}  // namespace ember::io

@@ -1,0 +1,63 @@
+#pragma once
+
+// io::Frame — an owned snapshot of a System's persistent state.
+//
+// The async writer pipeline (DESIGN.md §13) decouples serialization from
+// the live SoA arrays: the step loop copies the atoms it wants written
+// into a Frame (cheap, memcpy-speed vector copies) and hands it to an
+// io::Writer, after which the simulation is free to keep integrating
+// while the writer thread encodes and writes the snapshot. Every format
+// backend (XYZ, checkpoint, EMBT1) serializes Frames, so the sync and
+// async writers are bitwise-identical by construction — they run the
+// same serializer over the same snapshot.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "md/system.hpp"
+
+namespace ember::io {
+
+struct Frame {
+  md::Box box;
+  double mass = 0.0;
+  long step = 0;     // step counter at snapshot time
+  int replica = 0;   // batched driver: which replica this frame is
+  std::string comment;  // XYZ comment-line payload ("step=1200")
+  std::vector<Vec3> x;  // positions, as stored (wrapping is per-format)
+  std::vector<Vec3> v;  // velocities (empty for position-only frames)
+  std::vector<long> id; // global ids, same length as x
+
+  [[nodiscard]] int natoms() const { return static_cast<int>(x.size()); }
+};
+
+// Snapshot the local (owner) atoms of a System. Ghost copies are never
+// part of a frame: every dump path gathers or owns its atoms first.
+[[nodiscard]] inline Frame frame_of(const md::System& sys, long step = 0,
+                                    int replica = 0, std::string comment = {}) {
+  Frame f;
+  f.box = sys.box();
+  f.mass = sys.mass();
+  f.step = step;
+  f.replica = replica;
+  f.comment = std::move(comment);
+  const auto n = static_cast<std::size_t>(sys.nlocal());
+  f.x.assign(sys.x.begin(), sys.x.begin() + static_cast<long>(n));
+  f.v.assign(sys.v.begin(), sys.v.begin() + static_cast<long>(n));
+  f.id.assign(sys.id.begin(), sys.id.begin() + static_cast<long>(n));
+  return f;
+}
+
+// Rebuild a System from a frame (trajectory analysis, restarts).
+[[nodiscard]] inline md::System system_of(const Frame& f) {
+  md::System sys(f.box, f.mass);
+  for (std::size_t i = 0; i < f.x.size(); ++i) {
+    sys.add_atom(f.x[i], i < f.v.size() ? f.v[i] : Vec3{});
+    sys.id[i] = f.id[i];
+  }
+  return sys;
+}
+
+}  // namespace ember::io

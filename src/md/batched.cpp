@@ -1,7 +1,7 @@
 #include "batched.hpp"
 
 #include "common/units.hpp"
-#include "md/io.hpp"
+#include "io/frame.hpp"
 
 namespace ember::md {
 
@@ -79,11 +79,35 @@ void BatchedSimulation::build_neighbors(StepLoop& loop, bool /*initial*/) {
                                      &loop.context());
 }
 
-void BatchedSimulation::write_checkpoint(StepLoop&, const std::string& path) {
-  std::vector<System> reps;
-  reps.reserve(static_cast<std::size_t>(num_replicas()));
-  for (int r = 0; r < num_replicas(); ++r) reps.push_back(replica(r));
-  write_checkpoint_batch(reps, path);
+void BatchedSimulation::dump(StepLoop& loop, const IoPlan& plan,
+                             bool truncate) {
+  // One request carries every replica's frame, so the whole lockstep
+  // snapshot lands in the trajectory contiguously in replica order.
+  io::Request req;
+  req.kind = io::Request::Kind::Trajectory;
+  req.path = plan.dump_path;
+  req.format = plan.dump_format;
+  req.truncate = truncate;
+  req.frames.reserve(static_cast<std::size_t>(num_replicas()));
+  for (int r = 0; r < num_replicas(); ++r) {
+    req.frames.push_back(io::frame_of(replica(r), loop.step(), r,
+                                      "step=" + std::to_string(loop.step()) +
+                                          " replica=" + std::to_string(r)));
+    req.frames.back().v.clear();  // dumps are position-only (see StepStages)
+  }
+  loop.writer().submit(std::move(req));
+}
+
+void BatchedSimulation::write_checkpoint(StepLoop& loop,
+                                         const std::string& path) {
+  io::Request req;
+  req.kind = io::Request::Kind::CheckpointBatch;
+  req.path = path;
+  req.frames.reserve(static_cast<std::size_t>(num_replicas()));
+  for (int r = 0; r < num_replicas(); ++r) {
+    req.frames.push_back(io::frame_of(replica(r)));
+  }
+  loop.writer().submit(std::move(req));
 }
 
 void BatchedSimulation::run(long nsteps, const StepCallback& callback) {

@@ -80,8 +80,17 @@ class BatchedSimulation : private StepStages {
     loop_.save_checkpoint(path);
   }
 
+  // Scheduled output: one frame per replica per dump, multi-replica
+  // checkpoints; all routed through the loop's io::Writer.
+  void set_io_plan(IoPlan plan) { loop_.set_io_plan(std::move(plan)); }
+  void set_writer(std::shared_ptr<io::Writer> writer) {
+    loop_.set_writer(std::move(writer));
+  }
+  [[nodiscard]] io::Writer& writer() { return loop_.writer(); }
+
  private:
   void build_neighbors(StepLoop& loop, bool initial) override;
+  void dump(StepLoop& loop, const IoPlan& plan, bool truncate) override;
   void write_checkpoint(StepLoop& loop, const std::string& path) override;
   void wrap_replicas();
   static System combine(std::vector<System>& replicas,

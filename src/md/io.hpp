@@ -1,41 +1,23 @@
 #pragma once
 
-// Trajectory and checkpoint I/O.
+// Trajectory and checkpoint I/O — forwarding header.
 //
-// The production run of the paper (Fig. 7) writes periodic binary
-// checkpoint files whose cost shows up as dips in the performance trace;
-// write_checkpoint/read_checkpoint provide the same capability (and the
-// production bench measures their cost the same way).
+// PR 8 moved the format code into the src/io layer (io/formats.hpp for
+// XYZ + EMBERCP checkpoints, io/embt1.hpp for the compressed trajectory,
+// io/writer.hpp for the sync/async pipeline). The md:: names below are
+// the historical API and remain the convenient path-level calls for
+// tests and tools; the step loop itself goes through io::Writer.
 
-#include <cstddef>
-#include <span>
-#include <string>
-#include <vector>
-
-#include "md/system.hpp"
+#include "io/formats.hpp"
 
 namespace ember::md {
 
-// Extended-XYZ snapshot (positions only), appending when append=true.
-void write_xyz(const System& sys, const std::string& path,
-               const std::string& comment = "", bool append = false);
-
-// Binary checkpoint: box, mass, ids, positions, velocities.
-void write_checkpoint(const System& sys, const std::string& path);
-System read_checkpoint(const std::string& path);
-
-// The same checkpoint record in memory: what a process-backed comm rank
-// ships its gathered System through (comm::Context::run_gather). The
-// bytes are the file format, so they can also be written verbatim to
-// disk and read back with read_checkpoint.
-std::vector<std::byte> checkpoint_bytes(const System& sys);
-System system_from_checkpoint_bytes(std::span<const std::byte> bytes);
-
-// Multi-replica checkpoint (BatchedSimulation): the same per-system
-// record repeated, each replica with its own box. read_checkpoint_batch
-// also accepts a single-system checkpoint and returns one replica.
-void write_checkpoint_batch(std::span<const System> replicas,
-                            const std::string& path);
-std::vector<System> read_checkpoint_batch(const std::string& path);
+using io::checkpoint_bytes;
+using io::read_checkpoint;
+using io::read_checkpoint_batch;
+using io::system_from_checkpoint_bytes;
+using io::write_checkpoint;
+using io::write_checkpoint_batch;
+using io::write_xyz;
 
 }  // namespace ember::md

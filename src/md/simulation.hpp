@@ -74,6 +74,14 @@ class Simulation : private StepStages {
     loop_.save_checkpoint(path);
   }
 
+  // Scheduled output (trajectory dumps + periodic checkpoints), routed
+  // through the loop's io::Writer (sync by default, async via set_writer).
+  void set_io_plan(IoPlan plan) { loop_.set_io_plan(std::move(plan)); }
+  void set_writer(std::shared_ptr<io::Writer> writer) {
+    loop_.set_writer(std::move(writer));
+  }
+  [[nodiscard]] io::Writer& writer() { return loop_.writer(); }
+
  private:
   StepLoop loop_;
 };

@@ -1,6 +1,6 @@
 #include "step_loop.hpp"
 
-#include "md/io.hpp"
+#include "io/frame.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -54,8 +54,27 @@ void StepStages::forward_positions(StepLoop&) {}
 
 void StepStages::reverse_forces(StepLoop&) {}
 
+void StepStages::dump(StepLoop& loop, const IoPlan& plan, bool truncate) {
+  io::Request req;
+  req.kind = io::Request::Kind::Trajectory;
+  req.path = plan.dump_path;
+  req.format = plan.dump_format;
+  req.truncate = truncate;
+  req.frames.push_back(io::frame_of(loop.system(), loop.step(), /*replica=*/0,
+                                    "step=" + std::to_string(loop.step())));
+  // Trajectory dumps are position-only in every format: XYZ has no
+  // velocity column, and keeping EMBT1 to the same information makes the
+  // compressed trajectory strictly smaller. Restarts use checkpoints.
+  req.frames.back().v.clear();
+  loop.writer().submit(std::move(req));
+}
+
 void StepStages::write_checkpoint(StepLoop& loop, const std::string& path) {
-  md::write_checkpoint(loop.system(), path);
+  io::Request req;
+  req.kind = io::Request::Kind::Checkpoint;
+  req.path = path;
+  req.frames.push_back(io::frame_of(loop.system()));
+  loop.writer().submit(std::move(req));
 }
 
 void StepStages::verify_exchange(StepLoop& loop, bool /*initial*/) {
@@ -105,6 +124,25 @@ void StepLoop::compute_forces() {
   add_thread_times(TimerCategory::Pair);
   EMBER_CHECK(
       check::check_finite(sys_.f, sys_.nlocal(), "force", "force", step_));
+}
+
+// The Dump-timed stage: snapshotting + submit for async writers, the full
+// write for sync ones — exactly the stall Fig.-4-style breakdowns should
+// attribute to output, not to Other.
+void StepLoop::scheduled_output() {
+  if (io_plan_.dumps() && step_ % io_plan_.dump_every == 0) {
+    EMBER_OBS_SPAN("dump", "io");
+    ScopedTimer t(timers_, TimerCategory::Dump);
+    stages_->dump(*this, io_plan_, !dump_started_ && !io_plan_.append);
+    dump_started_ = true;
+  }
+  if (io_plan_.checkpoints() && step_ % io_plan_.checkpoint_every == 0) {
+    EMBER_OBS_SPAN("checkpoint", "io");
+    ScopedTimer t(timers_, TimerCategory::Dump);
+    // No drain: the writer tmp+renames checkpoints, so the file on disk
+    // is always complete even while the queue is in flight.
+    stages_->write_checkpoint(*this, io_plan_.checkpoint_path);
+  }
 }
 
 void StepLoop::observe_drift() {
@@ -168,6 +206,7 @@ void StepLoop::run(long nsteps, const std::function<void()>& after_step) {
     }
     ++step_;
     EMBER_CHECK(observe_drift());
+    scheduled_output();
     LoopMetrics& m = LoopMetrics::get();
     m.steps.inc();
     m.step_seconds.record(step_timer.seconds());

@@ -13,6 +13,7 @@
 //   force compute                  potential->compute       [Pair]
 //   force reverse-comm             stages.reverse_forces    [Comm]
 //   final_integrate                                         [Other]
+//   scheduled output (IoPlan)      stages.dump / write_checkpoint [Dump]
 //   step callback
 //
 // Every driver (Simulation, BatchedSimulation, ParallelSimulation)
@@ -29,6 +30,7 @@
 #include "check/invariants.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "io/writer.hpp"
 #include "md/integrate.hpp"
 #include "md/potential.hpp"
 #include "md/system.hpp"
@@ -45,11 +47,29 @@ namespace ember::md {
     case TimerCategory::Comm: return "MPI Comm";
     case TimerCategory::Neigh: return "Neigh";
     case TimerCategory::Other: return "Other";
+    case TimerCategory::Dump: return "Output";
   }
   return "?";
 }
 
 class StepLoop;
+
+// Scheduled output: what the loop's dump/checkpoint stages do each step.
+// Every count is matched against the loop's cumulative step counter
+// (`step % every == 0`), so plans survive across successive run calls.
+struct IoPlan {
+  long dump_every = 0;  // 0 = no trajectory output
+  std::string dump_path;
+  io::Format dump_format = io::Format::Xyz;
+  // true: the first dump of this plan appends to an existing trajectory
+  // (a continued run); false: it starts the file over.
+  bool append = false;
+  long checkpoint_every = 0;  // 0 = no scheduled checkpoints
+  std::string checkpoint_path;
+
+  [[nodiscard]] bool dumps() const { return dump_every > 0; }
+  [[nodiscard]] bool checkpoints() const { return checkpoint_every > 0; }
+};
 
 // Stage hooks a driver fills in. Defaults implement the serial
 // single-box pipeline: no communication, wrap-on-rebuild, ghost-free
@@ -85,9 +105,19 @@ class StepStages {
   // Push ghost forces back onto their owners after the force pass. Comm.
   virtual void reverse_forces(StepLoop& loop);
 
-  // Serialize the driver's full restartable state. Default: single-System
-  // binary checkpoint (md::write_checkpoint); the parallel driver gathers
-  // on root, the batched driver writes the multi-replica format.
+  // Emit one trajectory frame through the loop's io::Writer. Timed as
+  // Dump. Default: snapshot the local System into a single-frame
+  // Trajectory request ("step=N" comment); the parallel driver gathers on
+  // root first, the batched driver submits one frame per replica.
+  // truncate is true only for the first dump of a fresh (non-append) plan.
+  virtual void dump(StepLoop& loop, const IoPlan& plan, bool truncate);
+
+  // Serialize the driver's full restartable state through the loop's
+  // io::Writer (checkpoint requests are tmp+renamed, so the file on disk
+  // is always complete). Default: single-System EMBERCP1 request; the
+  // parallel driver gathers on root, the batched driver writes the
+  // multi-replica format. Does NOT drain — StepLoop::save_checkpoint adds
+  // the barrier for explicit restart points.
   virtual void write_checkpoint(StepLoop& loop, const std::string& path);
 
   // --- checked-build invariants (DESIGN.md §11) -------------------------
@@ -148,15 +178,38 @@ class StepLoop {
   // completed step (drivers wrap it into their typed StepCallback).
   void run(long nsteps, const std::function<void()>& after_step = {});
 
+  // Scheduled output. Setting a plan restarts its first-dump truncation
+  // decision (IoPlan::append).
+  void set_io_plan(IoPlan plan) {
+    io_plan_ = std::move(plan);
+    dump_started_ = false;
+  }
+  [[nodiscard]] const IoPlan& io_plan() const { return io_plan_; }
+
+  // Route output through a specific backend (shared across drivers /
+  // ranks as the caller likes). Without one, a private synchronous
+  // writer is created on first use — the pre-async behavior.
+  void set_writer(std::shared_ptr<io::Writer> writer) {
+    writer_ = std::move(writer);
+  }
+  [[nodiscard]] io::Writer& writer() {
+    if (!writer_) writer_ = io::make_writer(io::Mode::Sync);
+    return *writer_;
+  }
+
   // Checkpoint through the driver's stage hook (serial: plain file;
-  // parallel: gather-on-root collective; batched: multi-replica file).
+  // parallel: gather-on-root collective; batched: multi-replica file),
+  // then drain the writer: when this returns the file is on disk and
+  // readable — the restart barrier.
   void save_checkpoint(const std::string& path) {
     stages_->write_checkpoint(*this, path);
+    writer().drain();
   }
 
  private:
   void compute_forces();
   void rebuild_neighbors(bool initial);
+  void scheduled_output();
   void add_thread_times(TimerCategory category);
   // Checked build only: arm the tripwire on the first completed step and
   // compare every later step's total energy against it.
@@ -180,6 +233,9 @@ class StepLoop {
   Rng rng_;
   EnergyVirial ev_;
   TimerSet timers_;
+  IoPlan io_plan_;
+  std::shared_ptr<io::Writer> writer_;  // lazily a SyncWriter when unset
+  bool dump_started_ = false;  // has this plan written its first frames?
   long step_ = 0;
   bool ready_ = false;
   // Energy-drift tripwire (checked builds; armed when the

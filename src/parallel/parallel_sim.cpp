@@ -4,7 +4,7 @@
 #include <numeric>
 
 #include "common/units.hpp"
-#include "md/io.hpp"
+#include "io/frame.hpp"
 #include "obs/trace.hpp"
 
 namespace ember::parallel {
@@ -242,11 +242,38 @@ double ParallelSimulation::total_energy(md::StepLoop& loop) {
          comm_.allreduce_sum(loop.system().kinetic_energy());
 }
 
-void ParallelSimulation::write_checkpoint(md::StepLoop&,
+void ParallelSimulation::dump(md::StepLoop& loop, const md::IoPlan& plan,
+                              bool truncate) {
+  // Collective: every rank pays the gather (that part stays on the step
+  // critical path), then only root hands the frame to its writer — with
+  // an async writer the encode+write happens behind the loop.
+  const md::System global = gather(/*on_all_ranks=*/false);
+  if (comm_.rank() != 0) return;
+  io::Request req;
+  req.kind = io::Request::Kind::Trajectory;
+  req.path = plan.dump_path;
+  req.format = plan.dump_format;
+  req.truncate = truncate;
+  req.frames.push_back(io::frame_of(global, loop.step(), /*replica=*/0,
+                                    "step=" + std::to_string(loop.step())));
+  req.frames.back().v.clear();  // dumps are position-only (see StepStages)
+  loop.writer().submit(std::move(req));
+}
+
+void ParallelSimulation::write_checkpoint(md::StepLoop& loop,
                                           const std::string& path) {
   const md::System global = gather(/*on_all_ranks=*/false);
-  if (comm_.rank() == 0) md::write_checkpoint(global, path);
-  // No rank resumes stepping until the file is on disk.
+  if (comm_.rank() == 0) {
+    io::Request req;
+    req.kind = io::Request::Kind::Checkpoint;
+    req.path = path;
+    req.frames.push_back(io::frame_of(global));
+    loop.writer().submit(std::move(req));
+  }
+  // No rank resumes stepping before the request is in the pipeline; the
+  // tmp+rename executor keeps the on-disk file complete while an async
+  // queue is in flight, and save_checkpoint() drains for explicit
+  // restart points.
   comm_.barrier();
 }
 

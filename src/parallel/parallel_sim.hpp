@@ -89,6 +89,15 @@ class ParallelSimulation : private md::StepStages {
     loop_.save_checkpoint(path);
   }
 
+  // Scheduled output (gather-on-root dumps + periodic checkpoints). The
+  // writer is rank-private: with process-backed transports each rank
+  // must construct its own writer after the fork.
+  void set_io_plan(md::IoPlan plan) { loop_.set_io_plan(std::move(plan)); }
+  void set_writer(std::shared_ptr<io::Writer> writer) {
+    loop_.set_writer(std::move(writer));
+  }
+  [[nodiscard]] io::Writer& writer() { return loop_.writer(); }
+
  private:
   [[nodiscard]] bool communicates() const override { return true; }
   [[nodiscard]] bool check_rebuild(md::StepLoop& loop) override;
@@ -96,6 +105,8 @@ class ParallelSimulation : private md::StepStages {
   void build_neighbors(md::StepLoop& loop, bool initial) override;
   void forward_positions(md::StepLoop& loop) override;
   void reverse_forces(md::StepLoop& loop) override;
+  void dump(md::StepLoop& loop, const md::IoPlan& plan,
+            bool truncate) override;
   void write_checkpoint(md::StepLoop& loop, const std::string& path) override;
 
   // Checked-build invariants (EMBER_CHECKED=ON): every exchange must

@@ -257,6 +257,52 @@ TEST(Interpreter, ElasticRescaleAcrossCheckpoint) {
   std::remove(ckpt.c_str());
 }
 
+TEST(Interpreter, AsyncIoElasticRestartAcrossRankCounts) {
+  // The PR-8 restart story: the checkpoint is written through the async
+  // writer pipeline by forked socket ranks (rank 0 drains before the
+  // gather, and tmp+rename means the file on disk is always complete),
+  // then a fresh interpreter restarts the run on a DIFFERENT rank count,
+  // dumping a compressed trajectory that streams back through the
+  // analysis layer.
+  const std::string ckpt = "/tmp/ember_interp_async_rescale.bin";
+  const std::string traj = "/tmp/ember_interp_async_rescale.embt1";
+  std::remove(ckpt.c_str());
+  std::remove(traj.c_str());
+  std::ostringstream out;
+  Interpreter interp(out);
+  interp.run_script("io async\n"
+                    "mass 39.948\n"
+                    "lattice fcc 5.26 repeat 3 3 3\n"
+                    "potential lj 0.0104 3.4 6.5\n"
+                    "thermalize 40 seed 13\n"
+                    "timestep 0.002\n"
+                    "transport socket\n"
+                    "ranks 4\n"
+                    "checkpoint every 20 " + ckpt + "\n"
+                    "run 20\n");
+  EXPECT_EQ(interp.system().nlocal(), 108);
+
+  std::ostringstream out2;
+  Interpreter interp2(out2);
+  interp2.run_script("io async\n"
+                     "read_checkpoint " + ckpt + "\n"
+                     "potential lj 0.0104 3.4 6.5\n"
+                     "timestep 0.002\n"
+                     "transport socket\n"
+                     "ranks 2\n"
+                     "dump every 5 " + traj + " ember_traj\n"
+                     "run 10\n"
+                     "analyze trajectory " + traj + "\n");
+  EXPECT_EQ(interp2.total_steps(), 10);
+  EXPECT_EQ(interp2.system().nlocal(), 108);
+  EXPECT_NE(out2.str().find("analyzed 2 frames from " + traj),
+            std::string::npos)
+      << out2.str();
+  EXPECT_NE(out2.str().find("atoms 108"), std::string::npos) << out2.str();
+  std::remove(ckpt.c_str());
+  std::remove(traj.c_str());
+}
+
 TEST(Interpreter, ReplicasCommandRunsLockstepBatch) {
   const std::string ckpt = "/tmp/ember_interp_batch.bin";
   std::remove(ckpt.c_str());

@@ -1,0 +1,54 @@
+// ember_lint self-test fixture for blocking-io-in-steploop: a driver
+// that participates in the step loop (it names StepLoop) but writes
+// files directly instead of submitting io::Writer requests. Never
+// compiled — the linter must report the (rule, line) pairs asserted in
+// test_ember_lint.py.
+//
+// NOTE: line numbers matter. If you edit this file, update the expected
+// findings table in test_ember_lint.py.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+struct StepLoop {
+  long step;
+};
+
+namespace md {
+struct System {};
+void write_xyz(const System&, const std::string&);
+void write_checkpoint(const System&, const std::string&);
+}  // namespace md
+
+// --- blocking-io-in-steploop (lines 29, 31, 34, 36) ------------------------
+void dump_inline(StepLoop& loop, const md::System& sys) {
+  // An output stream on the stepping thread: the async writer never sees it.
+  std::ofstream os("traj.xyz", std::ios::app);
+  os << loop.step << '\n';
+  std::FILE* f = fopen("traj.bin", "wb");
+  static_cast<void>(f);
+  // Path-level serializers are just as blocking as a raw stream.
+  md::write_xyz(sys, "traj.xyz");
+  if (loop.step % 100 == 0) {
+    md::write_checkpoint(sys, "state.bin");
+  }
+}
+
+// Reads stay legal: restarts are not on the hot path.
+long restart(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  long step = 0;
+  is.read(reinterpret_cast<char*>(&step), sizeof(step));
+  return step;
+}
+
+void annotated_escape(const md::System& sys) {
+  // ember-lint: allow(blocking-io-in-steploop) -- fixture for the
+  // annotated escape: a deliberate synchronous debug write.
+  md::write_checkpoint(sys, "debug.bin");
+}
+
+}  // namespace fixture

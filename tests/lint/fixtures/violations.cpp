@@ -51,7 +51,7 @@ int early_return_in_span_block(bool flag) {
 }
 
 // --- timer-switch-exhaustive (lines 56, 64) --------------------------------
-enum class TimerCategory { Pair, Neigh, Comm, Other };
+enum class TimerCategory { Pair, Neigh, Comm, Other, Dump };
 int missing_case(TimerCategory c) {
   switch (c) {
     case TimerCategory::Pair: return 0;
@@ -66,6 +66,7 @@ int has_default(TimerCategory c) {
     case TimerCategory::Neigh: return 1;
     case TimerCategory::Comm: return 2;
     case TimerCategory::Other: return 3;
+    case TimerCategory::Dump: return 4;
     default: return -1;
   }
 }

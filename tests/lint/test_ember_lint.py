@@ -62,6 +62,14 @@ class EmberLintSelfTest(unittest.TestCase):
                                     (6, "simd-intrinsics-include"),
                                     (7, "simd-intrinsics-include")])
 
+    def test_steploop_io_fixture_reports_blocking_output(self):
+        rc, findings = run_lint(FIXTURES / "steploop_io.cpp")
+        self.assertEqual(rc, 1)
+        self.assertEqual(findings, [(29, "blocking-io-in-steploop"),
+                                    (31, "blocking-io-in-steploop"),
+                                    (34, "blocking-io-in-steploop"),
+                                    (36, "blocking-io-in-steploop")])
+
     def test_intrinsics_include_allowed_inside_snap_simd(self):
         # The rule keys off the path: the real per-ISA TUs include
         # immintrin.h and must stay clean.
@@ -72,7 +80,8 @@ class EmberLintSelfTest(unittest.TestCase):
         _, findings = run_lint(FIXTURES / "violations.cpp",
                                FIXTURES / "bare_allow.cpp",
                                FIXTURES / "backend_include.cpp",
-                               FIXTURES / "intrinsics_include.cpp")
+                               FIXTURES / "intrinsics_include.cpp",
+                               FIXTURES / "steploop_io.cpp")
         covered = {rule for _, rule in findings}
         listed = subprocess.run(
             [sys.executable, str(LINT), "--list-rules"],
