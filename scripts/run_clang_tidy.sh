@@ -7,9 +7,13 @@
 #
 # The build dir must contain compile_commands.json — every configure
 # exports it (CMAKE_EXPORT_COMPILE_COMMANDS is ON in CMakeLists.txt).
-# When clang-tidy is not installed (the minimal dev container ships only
-# gcc) the script skips with a notice and exit 0 so local smoke runs
-# stay usable; the CI lint job installs clang-tidy and runs this for real.
+#
+# Exit status: 0 clean or skipped (tool absent), 1 when clang-tidy
+# reports findings. The finding scan is explicit — it does not trust
+# clang-tidy's own exit code, which historically returned 0 for
+# warnings-promoted-to-errors under --quiet on some versions, letting
+# CI go green on real findings. Findings are counted from the captured
+# diagnostics, so a crash of one invocation also fails the run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,7 +21,9 @@ BUILD="${1:-build}"
 
 TIDY="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "$TIDY" >/dev/null 2>&1; then
-  echo "run_clang_tidy: '$TIDY' not found; skipping (CI's lint job runs it)" >&2
+  echo "run_clang_tidy: SKIPPED — '$TIDY' is not installed (the minimal" >&2
+  echo "run_clang_tidy: dev container ships only gcc; the CI lint job" >&2
+  echo "run_clang_tidy: installs clang-tidy and runs this for real)" >&2
   exit 0
 fi
 
@@ -28,6 +34,21 @@ fi
 
 mapfile -t FILES < <(find src -name '*.cpp' | sort)
 echo "run_clang_tidy: ${#FILES[@]} translation units, $(command -v "$TIDY")"
+
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+# Run every TU even after a failure so the log holds the full picture;
+# the explicit scan below decides the exit status.
+XARGS_RC=0
 printf '%s\n' "${FILES[@]}" |
-  xargs -P "$(nproc)" -n 4 "$TIDY" -p "$BUILD" --quiet
+  xargs -P "$(nproc)" -n 4 "$TIDY" -p "$BUILD" --quiet >"$LOG" 2>&1 ||
+  XARGS_RC=$?
+
+FINDINGS="$(grep -cE '(warning|error):' "$LOG" || true)"
+if [ "$FINDINGS" -gt 0 ] || [ "$XARGS_RC" -ne 0 ]; then
+  cat "$LOG"
+  echo "run_clang_tidy: FAILED — $FINDINGS finding line(s)," \
+       "xargs exit $XARGS_RC" >&2
+  exit 1
+fi
 echo "run_clang_tidy: clean"

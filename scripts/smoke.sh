@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full pre-merge smoke run:
-#   1. Lint: ember_lint.py over src/ (project invariants) plus clang-tidy
-#      when available (the minimal dev container ships only gcc; the
-#      wrapper skips with a notice in that case).
+#   1. Lint + analyze: ember_lint.py (project invariants) and
+#      ember_analyze.py (flow-aware collective-symmetry / lock-discipline
+#      / determinism rules) over src/, both with their self-tests, plus
+#      clang-tidy when available (the minimal dev container ships only
+#      gcc; the wrapper prints the skip reason in that case).
 #   2. Release build + the complete test suite (the tier-1 gate).
 #   3. ThreadSanitizer build + the thread-parity tests (the SNAP force
 #      engine is threaded; TSan pins the no-shared-mutable-state design)
@@ -24,9 +26,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/7] lint: ember_lint + clang-tidy =="
+echo "== [1/7] lint: ember_lint + ember_analyze + clang-tidy =="
 python3 scripts/ember_lint.py src
+python3 scripts/ember_analyze.py src
 python3 tests/lint/test_ember_lint.py
+python3 tests/analyze/test_ember_analyze.py
 cmake -B build -S . >/dev/null
 scripts/run_clang_tidy.sh build
 

@@ -54,7 +54,7 @@ void ThreadTransport::do_send_bytes(int dest, int tag, const void* data,
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
   {
-    std::lock_guard lock(mb.mutex);
+    LockGuard lock(mb.mutex);
     mb.from[rank_].push_back(std::move(msg));
   }
   mb.cv.notify_all();
@@ -63,7 +63,7 @@ void ThreadTransport::do_send_bytes(int dest, int tag, const void* data,
 std::vector<std::byte> ThreadTransport::do_recv_bytes(int source, int tag) {
   EMBER_REQUIRE(source >= 0 && source < world_.size(), "invalid source");
   auto& mb = world_.mailbox(rank_);
-  std::unique_lock lock(mb.mutex);
+  LockGuard lock(mb.mutex);
   auto& queue = mb.from[source];
   for (;;) {
     const auto it = std::find_if(queue.begin(), queue.end(),
@@ -75,14 +75,14 @@ std::vector<std::byte> ThreadTransport::do_recv_bytes(int source, int tag) {
       queue.erase(it);
       return payload;
     }
-    mb.cv.wait(lock);
+    mb.cv.wait(mb.mutex);
   }
 }
 
 std::pair<int, std::vector<std::byte>> ThreadTransport::do_recv_bytes_any(
     int tag) {
   auto& mb = world_.mailbox(rank_);
-  std::unique_lock lock(mb.mutex);
+  LockGuard lock(mb.mutex);
   for (;;) {
     for (int s = 0; s < world_.size(); ++s) {
       auto& queue = mb.from[s];
@@ -96,21 +96,21 @@ std::pair<int, std::vector<std::byte>> ThreadTransport::do_recv_bytes_any(
         return {s, std::move(payload)};
       }
     }
-    mb.cv.wait(lock);
+    mb.cv.wait(mb.mutex);
   }
 }
 
 void ThreadTransport::do_barrier() {
-  std::unique_lock lock(world_.barrier_mutex_);
+  LockGuard lock(world_.barrier_mutex_);
   const long gen = world_.barrier_generation_;
   if (++world_.barrier_count_ == world_.size_) {
     world_.barrier_count_ = 0;
     ++world_.barrier_generation_;
     world_.barrier_cv_.notify_all();
   } else {
-    world_.barrier_cv_.wait(lock, [this, gen] {
-      return world_.barrier_generation_ != gen;
-    });
+    while (world_.barrier_generation_ == gen) {
+      world_.barrier_cv_.wait(world_.barrier_mutex_);
+    }
   }
 }
 
@@ -120,7 +120,7 @@ void ThreadTransport::do_barrier() {
 // ranks enter it, which requires all ranks to have returned (and thus
 // read the result) from this one.
 #define EMBER_REDUCE_BODY(scratch_field, result_field, op_expr, init_value) \
-  std::unique_lock lock(world_.reduce_mutex_);                              \
+  LockGuard lock(world_.reduce_mutex_);                                     \
   const long gen = world_.reduce_generation_;                               \
   if (world_.reduce_count_ == 0) world_.scratch_field = (init_value);       \
   world_.scratch_field = (op_expr);                                         \
@@ -130,9 +130,9 @@ void ThreadTransport::do_barrier() {
     ++world_.reduce_generation_;                                            \
     world_.reduce_cv_.notify_all();                                         \
   } else {                                                                  \
-    world_.reduce_cv_.wait(lock, [this, gen] {                              \
-      return world_.reduce_generation_ != gen;                              \
-    });                                                                     \
+    while (world_.reduce_generation_ == gen) {                              \
+      world_.reduce_cv_.wait(world_.reduce_mutex_);                         \
+    }                                                                       \
   }                                                                         \
   return world_.result_field;
 

@@ -13,16 +13,16 @@
 // comm::make_context and program against Transport (ember_lint's
 // comm-backend-include rule enforces the boundary).
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "comm/transport.hpp"
 #include "common/error.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace ember::comm {
 
@@ -74,35 +74,37 @@ class World {
     std::vector<std::byte> payload;
   };
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
+    Mutex mutex;
+    CondVar cv;
     // One queue per source rank: (source, tag) matching scans only the
     // source's queue, preserving per-source FIFO order like MPI.
-    std::vector<std::deque<Message>> from;
+    std::vector<std::deque<Message>> from EMBER_GUARDED_BY(mutex);
   };
 
   Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
 
+  // size_ and the mailbox pointers are set in the constructor before any
+  // rank thread exists and never change: immutable topology, no guard.
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // Barrier state (central counter, generation-stamped).
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  int barrier_count_ = 0;
-  long barrier_generation_ = 0;
+  Mutex barrier_mutex_;
+  CondVar barrier_cv_;
+  int barrier_count_ EMBER_GUARDED_BY(barrier_mutex_) = 0;
+  long barrier_generation_ EMBER_GUARDED_BY(barrier_mutex_) = 0;
 
   // Reduction scratch (protected by barrier-style phases).
-  std::mutex reduce_mutex_;
-  std::condition_variable reduce_cv_;
-  double reduce_double_ = 0.0;
-  long reduce_long_ = 0;
-  bool reduce_bool_ = false;
-  int reduce_count_ = 0;
-  long reduce_generation_ = 0;
-  double reduce_result_double_ = 0.0;
-  long reduce_result_long_ = 0;
-  bool reduce_result_bool_ = false;
+  Mutex reduce_mutex_;
+  CondVar reduce_cv_;
+  double reduce_double_ EMBER_GUARDED_BY(reduce_mutex_) = 0.0;
+  long reduce_long_ EMBER_GUARDED_BY(reduce_mutex_) = 0;
+  bool reduce_bool_ EMBER_GUARDED_BY(reduce_mutex_) = false;
+  int reduce_count_ EMBER_GUARDED_BY(reduce_mutex_) = 0;
+  long reduce_generation_ EMBER_GUARDED_BY(reduce_mutex_) = 0;
+  double reduce_result_double_ EMBER_GUARDED_BY(reduce_mutex_) = 0.0;
+  long reduce_result_long_ EMBER_GUARDED_BY(reduce_mutex_) = 0;
+  bool reduce_result_bool_ EMBER_GUARDED_BY(reduce_mutex_) = false;
 };
 
 class ThreadContext final : public Context {

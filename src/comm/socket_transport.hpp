@@ -80,6 +80,11 @@ class SocketTransport final : public Transport {
   void progress_wait(int want_write_dest);
   [[noreturn]] void peer_dead_error(int peer, const char* when) const;
 
+  // No mutexes and no GUARDED_BY on purpose: every rank is a forked
+  // single-threaded process, so this state is process-private — the OS
+  // socket layer is the only synchronization between ranks. If a rank
+  // ever grows a second thread, this state must move behind a Mutex
+  // first (DESIGN.md §14).
   int rank_;
   std::vector<int> fds_;
   std::vector<wire::FrameBuffer> inbuf_;

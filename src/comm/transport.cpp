@@ -28,6 +28,9 @@ struct CommMetrics {
   }
 };
 
+// Set-before-run contract, so no lock: the harness installs the probe
+// once on the main thread before any Context::run spawns rank threads or
+// forks rank processes, and nothing mutates it while ranks are live.
 std::function<bool()>& probe_slot() {
   static std::function<bool()> probe;
   return probe;

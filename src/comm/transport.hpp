@@ -172,6 +172,13 @@ class Transport {
   virtual bool do_allreduce_or(bool value) = 0;
 
  private:
+  // Thread-confinement contract (why these carry no GUARDED_BY): a
+  // Transport is one rank's endpoint, and exactly one thread — that
+  // rank's thread — ever calls into it. The shells below mutate these on
+  // that thread only; cross-thread state lives behind do_* in the
+  // backend (World's guarded mailboxes / barrier / reduce scratch).
+  // Sharing one Transport across threads is a contract violation, not a
+  // supported-but-racy mode.
   double comm_seconds_ = 0.0;
   Traffic traffic_;
 };

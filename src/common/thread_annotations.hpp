@@ -1,0 +1,64 @@
+#pragma once
+
+// Clang Thread Safety Analysis attribute macros (DESIGN.md §14).
+//
+// Every threaded subsystem (parallel/thread_pool, obs/metrics, obs/trace,
+// io/writer, comm/communicator) declares its locking contract with these
+// macros: a guarded member names the mutex that protects it, a helper
+// that expects the lock held says EMBER_REQUIRES, and RAII guards are
+// scoped capabilities. On clang the contract is checked at compile time
+// (`-Wthread-safety -Wthread-safety-beta`, promoted to error by the CI
+// clang-thread-safety job and the EMBER_THREAD_SAFETY CMake option); on
+// other compilers the macros expand to nothing, so the annotations cost
+// zero and gcc builds are unaffected.
+//
+// The spellings follow the official Clang capability nomenclature
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Use the
+// ember::Mutex / ember::LockGuard / ember::CondVar wrappers in
+// common/mutex.hpp rather than std::mutex so the analysis actually sees
+// acquire/release events.
+
+#if defined(__clang__)
+#define EMBER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EMBER_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+// Type-level: this class is a lock (capability) / RAII lock holder.
+#define EMBER_CAPABILITY(x) EMBER_THREAD_ANNOTATION(capability(x))
+#define EMBER_SCOPED_CAPABILITY EMBER_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: reading or writing requires holding the named mutex
+// (GUARDED_BY for the value, PT_GUARDED_BY for data behind a pointer).
+#define EMBER_GUARDED_BY(x) EMBER_THREAD_ANNOTATION(guarded_by(x))
+#define EMBER_PT_GUARDED_BY(x) EMBER_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: caller must hold / must not hold the named mutexes.
+#define EMBER_REQUIRES(...) \
+  EMBER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EMBER_REQUIRES_SHARED(...) \
+  EMBER_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define EMBER_EXCLUDES(...) EMBER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire / release the capability themselves (the
+// Mutex wrapper's own lock/unlock, and scoped-guard constructors).
+#define EMBER_ACQUIRE(...) \
+  EMBER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define EMBER_ACQUIRE_SHARED(...) \
+  EMBER_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define EMBER_RELEASE(...) \
+  EMBER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define EMBER_RELEASE_SHARED(...) \
+  EMBER_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define EMBER_TRY_ACQUIRE(...) \
+  EMBER_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Escape hatches. EMBER_NO_THREAD_SAFETY_ANALYSIS is the blanket
+// suppression and is banned in src/ by policy (ISSUE 10 acceptance:
+// zero blanket suppressions) — it exists only so test doubles and
+// benchmark harnesses can opt out explicitly and greppably.
+#define EMBER_RETURN_CAPABILITY(x) EMBER_THREAD_ANNOTATION(lock_returned(x))
+#define EMBER_ASSERT_CAPABILITY(x) \
+  EMBER_THREAD_ANNOTATION(assert_capability(x))
+#define EMBER_NO_THREAD_SAFETY_ANALYSIS \
+  EMBER_THREAD_ANNOTATION(no_thread_safety_analysis)

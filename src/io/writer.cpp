@@ -1,20 +1,20 @@
 #include "writer.hpp"
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <string_view>
 #include <thread>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "io/embt1.hpp"
 #include "io/formats.hpp"
 #include "obs/metrics.hpp"
@@ -154,17 +154,25 @@ class AsyncWriter final : public Writer {
 
   ~AsyncWriter() override {
     {
-      std::lock_guard lk(mutex_);
+      LockGuard lk(mutex_);
       stopping_ = true;
     }
     worker_cv_.notify_all();
     worker_.join();  // drain-on-destruct: the worker empties the queue first
-    if (error_ != nullptr) {
+    // The worker is gone, but error_ is guarded state: take the lock like
+    // everyone else (uncontended here) rather than carving out an exempt
+    // read the analysis would rightly flag.
+    std::exception_ptr err;
+    {
+      LockGuard lk(mutex_);
+      err = std::exchange(error_, nullptr);
+    }
+    if (err != nullptr) {
       // Destructors cannot throw; this is the one place an error can
       // surface without a caller to rethrow into. Callers that must
       // observe errors (checkpoint barriers, end-of-run) call drain().
       try {
-        std::rethrow_exception(error_);
+        std::rethrow_exception(err);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "ember: io error during writer shutdown: %s\n",
                      e.what());
@@ -173,15 +181,15 @@ class AsyncWriter final : public Writer {
   }
 
   void submit(Request req) override {
-    std::unique_lock lk(mutex_);
+    LockGuard lk(mutex_);
     rethrow_pending();
     if (queue_.size() >= capacity_) {
       // Backpressure: the producer outran the disk. The blocked time is
       // the stall the double buffer could not hide.
       const auto t0 = std::chrono::steady_clock::now();
-      caller_cv_.wait(lk, [this] {
-        return queue_.size() < capacity_ || error_ != nullptr;
-      });
+      while (queue_.size() >= capacity_ && error_ == nullptr) {
+        caller_cv_.wait(mutex_);
+      }
       IoMetrics::get().stall_seconds.add(seconds_since(t0));
       rethrow_pending();
     }
@@ -190,11 +198,11 @@ class AsyncWriter final : public Writer {
   }
 
   void drain() override {
-    std::unique_lock lk(mutex_);
+    LockGuard lk(mutex_);
     const auto t0 = std::chrono::steady_clock::now();
-    caller_cv_.wait(lk, [this] {
-      return (queue_.empty() && !in_flight_) || error_ != nullptr;
-    });
+    while (!(queue_.empty() && !in_flight_) && error_ == nullptr) {
+      caller_cv_.wait(mutex_);
+    }
     IoMetrics::get().stall_seconds.add(seconds_since(t0));
     rethrow_pending();
   }
@@ -202,10 +210,9 @@ class AsyncWriter final : public Writer {
   [[nodiscard]] bool async() const override { return true; }
 
  private:
-  // Pre: mutex_ held. Rethrows the worker's first error once; later
-  // requests start from a clean slate (the interpreter keeps running
-  // after a failed run).
-  void rethrow_pending() {
+  // Rethrows the worker's first error once; later requests start from a
+  // clean slate (the interpreter keeps running after a failed run).
+  void rethrow_pending() EMBER_REQUIRES(mutex_) {
     if (error_ != nullptr) {
       std::rethrow_exception(std::exchange(error_, nullptr));
     }
@@ -213,15 +220,20 @@ class AsyncWriter final : public Writer {
 
   void run() {
     obs::TraceSession::global().set_thread_name("io-writer");
-    std::unique_lock lk(mutex_);
-    while (true) {
-      worker_cv_.wait(lk, [this] { return !queue_.empty() || stopping_; });
-      if (queue_.empty()) break;  // stopping_ and fully drained
-      Request req = std::move(queue_.front());
-      queue_.pop_front();
-      in_flight_ = true;
-      lk.unlock();
+    for (;;) {
+      Request req;
+      {
+        LockGuard lk(mutex_);
+        while (queue_.empty() && !stopping_) worker_cv_.wait(mutex_);
+        if (queue_.empty()) return;  // stopping_ and fully drained
+        req = std::move(queue_.front());
+        queue_.pop_front();
+        in_flight_ = true;
+      }
 
+      // The filesystem work runs outside the lock (ember_analyze
+      // blocking-under-lock pins this): submit() stays wait-free while a
+      // frame is being written, which is the whole point of the backend.
       const auto t0 = std::chrono::steady_clock::now();
       std::exception_ptr err;
       try {
@@ -231,29 +243,31 @@ class AsyncWriter final : public Writer {
       }
       const double write_seconds = seconds_since(t0);
 
-      lk.lock();
-      in_flight_ = false;
-      if (err != nullptr) {
-        if (error_ == nullptr) error_ = err;
-        // Not a silent drop: the error is rethrown at the caller's next
-        // submit()/drain(), and later requests could depend on this one.
-        queue_.clear();
-      } else {
-        IoMetrics::get().stalls_avoided_seconds.add(write_seconds);
+      {
+        LockGuard lk(mutex_);
+        in_flight_ = false;
+        if (err != nullptr) {
+          if (error_ == nullptr) error_ = err;
+          // Not a silent drop: the error is rethrown at the caller's next
+          // submit()/drain(), and later requests could depend on this one.
+          queue_.clear();
+        } else {
+          IoMetrics::get().stalls_avoided_seconds.add(write_seconds);
+        }
+        caller_cv_.notify_all();
       }
-      caller_cv_.notify_all();
     }
   }
 
   Executor executor_;
   const std::size_t capacity_;
-  std::mutex mutex_;
-  std::condition_variable worker_cv_;  // signals work / stop to the worker
-  std::condition_variable caller_cv_;  // signals space / completion / error
-  std::deque<Request> queue_;
-  bool in_flight_ = false;
-  bool stopping_ = false;
-  std::exception_ptr error_;
+  Mutex mutex_;
+  CondVar worker_cv_;  // signals work / stop to the worker
+  CondVar caller_cv_;  // signals space / completion / error
+  std::deque<Request> queue_ EMBER_GUARDED_BY(mutex_);
+  bool in_flight_ EMBER_GUARDED_BY(mutex_) = false;
+  bool stopping_ EMBER_GUARDED_BY(mutex_) = false;
+  std::exception_ptr error_ EMBER_GUARDED_BY(mutex_);
   std::thread worker_;  // last member: starts after the state it reads
 };
 

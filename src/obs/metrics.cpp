@@ -65,7 +65,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (const auto it = counter_index_.find(name); it != counter_index_.end()) {
     return *it->second;
   }
@@ -75,7 +75,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (const auto it = gauge_index_.find(name); it != gauge_index_.end()) {
     return *it->second;
   }
@@ -86,7 +86,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name,
                                std::span<const double> bounds) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (const auto it = histogram_index_.find(name);
       it != histogram_index_.end()) {
     return *it->second;
@@ -97,7 +97,7 @@ Histogram& Registry::histogram(std::string_view name,
 }
 
 Json Registry::to_json() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   Json root = Json::object();
   Json counters = Json::object();
   for (const auto& [name, c] : counter_index_) counters.set(name, c->value());
@@ -129,7 +129,7 @@ Json Registry::to_json() const {
 }
 
 void Registry::reset() {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   for (auto& c : counters_) c.reset();
   for (auto& g : gauges_) g.reset();
   for (auto& h : histograms_) h.reset();

@@ -26,12 +26,13 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/json.hpp"
 
 namespace ember::obs {
@@ -155,13 +156,21 @@ class Registry {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<Counter> counters_;       // deque: stable addresses
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
-  std::map<std::string, Counter*, std::less<>> counter_index_;
-  std::map<std::string, Gauge*, std::less<>> gauge_index_;
-  std::map<std::string, Histogram*, std::less<>> histogram_index_;
+  // mutex_ guards registration state only (the containers and indices);
+  // metric *updates* go through the returned references and stay
+  // lock-free. std::map (not unordered) keeps dump output name-sorted —
+  // the ember_analyze unordered-iteration-reduction rule pins this.
+  mutable Mutex mutex_;
+  // deque: stable addresses
+  std::deque<Counter> counters_ EMBER_GUARDED_BY(mutex_);
+  std::deque<Gauge> gauges_ EMBER_GUARDED_BY(mutex_);
+  std::deque<Histogram> histograms_ EMBER_GUARDED_BY(mutex_);
+  std::map<std::string, Counter*, std::less<>> counter_index_
+      EMBER_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge*, std::less<>> gauge_index_
+      EMBER_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram*, std::less<>> histogram_index_
+      EMBER_GUARDED_BY(mutex_);
 };
 
 }  // namespace ember::obs

@@ -3,7 +3,9 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
-#include <mutex>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace ember::obs {
 
@@ -19,16 +21,19 @@ std::int64_t now_ns() {
 // buffer's mutex serializes that thread's appends against snapshot() from
 // readers; appends are uncontended in steady state.
 struct TraceSession::ThreadBuffer {
-  mutable std::mutex mutex;
-  std::vector<SpanEvent> events;
+  mutable Mutex mutex;
+  std::vector<SpanEvent> events EMBER_GUARDED_BY(mutex);
+  std::string name EMBER_GUARDED_BY(mutex);
+  // tid is written once under Impl::mutex when the buffer is created and
+  // read-only afterwards; depth is touched only by the owning thread
+  // (ScopedSpan nests strictly on one stack). Neither needs this mutex.
   int tid = 0;
-  int depth = 0;  // only touched by the owning thread
-  std::string name;
+  int depth = 0;
 };
 
 struct TraceSession::Impl {
-  std::mutex mutex;                  // guards the buffer list
-  std::deque<ThreadBuffer> buffers;  // stable addresses
+  Mutex mutex;  // guards the buffer list
+  std::deque<ThreadBuffer> buffers EMBER_GUARDED_BY(mutex);  // stable addrs
 };
 
 TraceSession& TraceSession::global() {
@@ -45,7 +50,7 @@ TraceSession::TraceSession()
 TraceSession::ThreadBuffer& TraceSession::buffer() {
   thread_local ThreadBuffer* mine = nullptr;
   if (mine == nullptr) {
-    std::lock_guard lock(impl_->mutex);
+    LockGuard lock(impl_->mutex);
     mine = &impl_->buffers.emplace_back();
     mine->tid = static_cast<int>(impl_->buffers.size()) - 1;
   }
@@ -56,24 +61,24 @@ void TraceSession::start() { enabled_.store(true, std::memory_order_relaxed); }
 void TraceSession::stop() { enabled_.store(false, std::memory_order_relaxed); }
 
 void TraceSession::clear() {
-  std::lock_guard lock(impl_->mutex);
+  LockGuard lock(impl_->mutex);
   for (auto& b : impl_->buffers) {
-    std::lock_guard blk(b.mutex);
+    LockGuard blk(b.mutex);
     b.events.clear();
   }
 }
 
 void TraceSession::set_thread_name(const std::string& name) {
   ThreadBuffer& b = buffer();
-  std::lock_guard lock(b.mutex);
+  LockGuard lock(b.mutex);
   b.name = name;
 }
 
 std::vector<SpanEvent> TraceSession::snapshot() const {
   std::vector<SpanEvent> out;
-  std::lock_guard lock(impl_->mutex);
+  LockGuard lock(impl_->mutex);
   for (const auto& b : impl_->buffers) {
-    std::lock_guard blk(b.mutex);
+    LockGuard blk(b.mutex);
     out.insert(out.end(), b.events.begin(), b.events.end());
   }
   return out;
@@ -90,9 +95,9 @@ long TraceSession::count(const char* name) const {
 Json TraceSession::chrome_trace() const {
   Json events = Json::array();
   {
-    std::lock_guard lock(impl_->mutex);
+    LockGuard lock(impl_->mutex);
     for (const auto& b : impl_->buffers) {
-      std::lock_guard blk(b.mutex);
+      LockGuard blk(b.mutex);
       if (!b.name.empty()) {
         Json meta = Json::object();
         meta.set("ph", "M");
@@ -154,7 +159,7 @@ ScopedSpan::~ScopedSpan() {
   if (buf_ == nullptr) return;
   ev_.dur_ns = (now_ns() - TraceSession::global().t0_ns_) - ev_.start_ns;
   buf_->depth--;
-  std::lock_guard lock(buf_->mutex);
+  LockGuard lock(buf_->mutex);
   buf_->events.push_back(ev_);
 }
 

@@ -81,7 +81,9 @@ class TraceSession {
   ThreadBuffer& buffer();  // this thread's buffer, created on first use
 
   std::atomic<bool> enabled_{false};
-  std::int64_t t0_ns_ = 0;
+  // Session epoch: written once in the constructor, read concurrently by
+  // every span — const so no lock discipline can ever apply to it.
+  const std::int64_t t0_ns_;
 
   struct Impl;
   Impl* impl_;  // leaked singleton internals (threads may outlive exit order)

@@ -19,14 +19,24 @@ ThreadPool::ThreadPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run_chunks(int tid) {
+ThreadPool::Sweep ThreadPool::current_sweep() const {
+  Sweep s;
+  s.fn = &job_;
+  s.begin = job_begin_;
+  s.end = job_end_;
+  s.grain = job_grain_;
+  s.nchunks = nchunks_;
+  return s;
+}
+
+void ThreadPool::run_chunks(int tid, const Sweep& sweep) {
   // One span per worker per sweep: with tracing on, every parallel_for
   // shows up as a "pool.sweep" bar on each participating thread's track.
   EMBER_OBS_SPAN("pool.sweep", "pool");
@@ -34,10 +44,10 @@ void ThreadPool::run_chunks(int tid) {
   // Static round-robin chunk map: chunk c -> worker c % nthreads, chunks
   // ascending per worker. Depends only on the job geometry, so the work
   // (and thus each worker's accumulation order) is schedule-independent.
-  for (int c = tid; c < nchunks_; c += nthreads_) {
-    const int b = job_begin_ + c * job_grain_;
-    const int e = std::min(job_end_, b + job_grain_);
-    job_(tid, b, e);
+  for (int c = tid; c < sweep.nchunks; c += nthreads_) {
+    const int b = sweep.begin + c * sweep.grain;
+    const int e = std::min(sweep.end, b + sweep.grain);
+    (*sweep.fn)(tid, b, e);
   }
   busy_seconds_[tid] = timer.seconds();
 }
@@ -49,15 +59,20 @@ void ThreadPool::worker_loop(int tid) {
 #endif
   std::uint64_t seen = 0;
   for (;;) {
+    Sweep sweep;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      LockGuard lock(mutex_);
+      while (!shutdown_ && generation_ == seen) start_cv_.wait(mutex_);
       if (shutdown_) return;
       seen = generation_;
+      // Copy the geometry while the lock is held: run_chunks then reads
+      // no guarded state. job_ itself stays alive until remaining_ hits
+      // zero, which this worker signals only after its last chunk.
+      sweep = current_sweep();
     }
-    run_chunks(tid);
+    run_chunks(tid, sweep);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       if (--remaining_ == 0) done_cv_.notify_all();
     }
   }
@@ -77,8 +92,9 @@ void ThreadPool::parallel_for(int begin, int end, int grain,
   if (grain <= 0) grain = (n + nthreads_ - 1) / nthreads_;
   grain = std::max(1, grain);
 
+  Sweep sweep;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     EMBER_REQUIRE(remaining_ == 0, "nested parallel_for on one pool");
     job_ = fn;
     job_begin_ = begin;
@@ -87,12 +103,15 @@ void ThreadPool::parallel_for(int begin, int end, int grain,
     nchunks_ = (n + grain - 1) / grain;
     remaining_ = nthreads_ - 1;
     ++generation_;
+    sweep = current_sweep();
   }
   start_cv_.notify_all();
-  run_chunks(0);
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return remaining_ == 0; });
-  job_ = nullptr;
+  run_chunks(0, sweep);
+  {
+    LockGuard lock(mutex_);
+    while (remaining_ != 0) done_cv_.wait(mutex_);
+    job_ = nullptr;
+  }
 }
 
 }  // namespace ember::parallel

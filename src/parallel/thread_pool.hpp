@@ -17,13 +17,24 @@
 //
 // nthreads == 1 never spawns a thread: parallel_for degenerates to the
 // plain serial loop, preserving the seed code paths exactly.
+//
+// Locking contract (machine-checked on clang, DESIGN.md §14): every
+// member that both sides of the start/done handshake touch is
+// EMBER_GUARDED_BY(mutex_). Workers never read job state outside the
+// lock — each one copies the published Sweep geometry while it still
+// holds mutex_ coming out of the start wait, then runs lock-free on the
+// copy. busy_seconds_ needs no lock: slot tid is written only by worker
+// tid during a sweep, and the done_cv_ handshake orders those writes
+// before any caller's read of last_thread_seconds().
 
-#include <condition_variable>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace ember {
 
@@ -71,6 +82,8 @@ class ThreadPool {
   }
 
   // Busy seconds per worker for the last parallel_for (imbalance stats).
+  // Valid only between sweeps: parallel_for's return is the
+  // happens-before edge that publishes every slot.
   [[nodiscard]] std::span<const double> last_thread_seconds() const {
     return busy_seconds_;
   }
@@ -93,26 +106,43 @@ class ThreadPool {
   }
 
  private:
+  // Immutable per-sweep geometry, copied out of the guarded job state
+  // while the lock is held. `fn` points at job_, which the publishing
+  // thread keeps alive until every worker has decremented remaining_.
+  struct Sweep {
+    const std::function<void(int, int, int)>* fn = nullptr;
+    int begin = 0;
+    int end = 0;
+    int grain = 0;
+    int nchunks = 0;
+  };
+
   void worker_loop(int tid);
-  void run_chunks(int tid);
+  void run_chunks(int tid, const Sweep& sweep);
+  [[nodiscard]] Sweep current_sweep() const EMBER_REQUIRES(mutex_);
 
   int nthreads_ = 1;
   std::vector<std::thread> workers_;
+  // Slot tid is owned by worker tid during a sweep; the done handshake
+  // (remaining_ under mutex_) publishes it to the caller.
   std::vector<double> busy_seconds_;
 
-  // Current job (valid while generation_ is odd... guarded by mutex_).
-  std::function<void(int, int, int)> job_;
-  int job_begin_ = 0;
-  int job_end_ = 0;
-  int job_grain_ = 0;
-  int nchunks_ = 0;
+  Mutex mutex_;
+  CondVar start_cv_;
+  CondVar done_cv_;
 
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;  // bumped per parallel_for
-  int remaining_ = 0;             // workers still running the current job
-  bool shutdown_ = false;
+  // Current job, published under mutex_ by parallel_for and copied out
+  // under mutex_ by each worker (as a Sweep) before running.
+  std::function<void(int, int, int)> job_ EMBER_GUARDED_BY(mutex_);
+  int job_begin_ EMBER_GUARDED_BY(mutex_) = 0;
+  int job_end_ EMBER_GUARDED_BY(mutex_) = 0;
+  int job_grain_ EMBER_GUARDED_BY(mutex_) = 0;
+  int nchunks_ EMBER_GUARDED_BY(mutex_) = 0;
+  // Bumped once per parallel_for; workers wake when it moves.
+  std::uint64_t generation_ EMBER_GUARDED_BY(mutex_) = 0;
+  // Workers still running the current job.
+  int remaining_ EMBER_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ EMBER_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace parallel

@@ -1,0 +1,19 @@
+// ember_analyze self-test fixture: an allow() annotation without a
+// reason must itself be reported. Never compiled.
+
+namespace fixture {
+namespace comm {
+struct Transport {
+  int rank();
+  void barrier();
+};
+}  // namespace comm
+
+void reasonless(comm::Transport& t) {
+  if (t.rank() == 0) {
+    // ember-analyze: allow(collective-symmetry)
+    t.barrier();
+  }
+}
+
+}  // namespace fixture

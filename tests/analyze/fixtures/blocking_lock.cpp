@@ -1,0 +1,76 @@
+// ember_analyze self-test fixture for blocking-under-lock: calls that
+// can block on another thread or the filesystem made while a lock
+// scope is open. Never compiled — the analyzer must report the
+// (rule, line) pairs asserted in test_ember_analyze.py.
+//
+// NOTE: line numbers matter. If you edit this file, update the expected
+// findings table in test_ember_analyze.py.
+
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+struct Writer {
+  void submit(int frame);
+  void drain();
+};
+struct Transport {
+  void send(int dest, int tag);
+  int recv(int source, int tag);
+};
+struct Mutex {
+  void lock();
+  void unlock();
+};
+struct LockGuard {
+  explicit LockGuard(Mutex& mu);
+};
+
+struct Pipeline {
+  std::mutex mu;
+  Mutex emu;
+  Writer writer;
+  Transport comm_;
+  std::thread worker;
+
+  // Line 42: the writer queue can exert backpressure — every other
+  // thread contending for mu stalls behind the disk.
+  void bad_submit(int frame) {
+    std::lock_guard<std::mutex> lock(mu);
+    writer.submit(frame);
+  }
+
+  // Lines 49 and 50: opening a stream and a blocking drain under a
+  // unique_lock.
+  void bad_flush() {
+    std::unique_lock<std::mutex> lock(mu);
+    std::ofstream os("flush.log");
+    writer.drain();
+  }
+
+  // Lines 57 and 58: comm under the annotated ember wrapper — a recv
+  // that waits for a peer while holding a lock is a deadlock recipe.
+  void bad_exchange() {
+    LockGuard lock(emu);
+    comm_.send(0, 7);
+    static_cast<void>(comm_.recv(0, 7));
+  }
+
+  // Line 64: joining a thread while holding the lock it may want.
+  void bad_shutdown() {
+    std::lock_guard<std::mutex> lock(mu);
+    worker.join();
+  }
+
+  // Annotated escape with a reason: not reported.
+  void annotated(int frame) {
+    std::lock_guard<std::mutex> lock(mu);
+    // ember-analyze: allow(blocking-under-lock) -- fixture for the
+    // annotated escape: single-threaded teardown, lock is uncontended.
+    writer.submit(frame);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,129 @@
+// ember_analyze self-test fixture: everything below is legal — the
+// analyzer must report zero findings for this file. Never compiled.
+//
+// Each function is the symmetric / non-blocking / deterministic twin of
+// a shape the firing fixtures flag, so rule tightening that starts
+// reporting any of these is a regression, not a catch.
+
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+namespace comm {
+struct Transport {
+  int rank();
+  int size();
+  void barrier();
+  double allreduce_sum(double v);
+};
+}  // namespace comm
+
+struct Writer {
+  void submit(int frame);
+  void drain();
+};
+
+// Every rank reaches the allreduce: the branch only changes the value
+// contributed, never the collective sequence.
+double symmetric_energy(comm::Transport& t, double local, bool converged) {
+  const double mine = converged ? 0.0 : local;
+  return t.allreduce_sum(mine);
+}
+
+// A rank-conditional early return AFTER the last collective is the
+// root-does-the-output idiom (ParallelSimulation::dump) — legal.
+void root_writes(comm::Transport& t, Writer& w, double local) {
+  const double sum = t.allreduce_sum(local);
+  if (t.rank() != 0) {
+    return;
+  }
+  w.submit(static_cast<int>(sum));
+}
+
+// A rank-conditional block (no return) before a collective: every rank
+// still arrives at the barrier (ParallelSimulation::write_checkpoint).
+void root_then_barrier(comm::Transport& t, Writer& w) {
+  if (t.rank() == 0) {
+    w.submit(0);
+  }
+  t.barrier();
+}
+
+// A uniform (non-rank) condition around a collective is symmetric by
+// construction: every rank computes the same predicate.
+void every_hundredth(comm::Transport& t, long step) {
+  if (step % 100 == 0) {
+    t.barrier();
+  }
+}
+
+struct Pipeline {
+  std::mutex mu;
+  Writer writer;
+  int staged = 0;
+
+  // The blocking call runs after the lock scope closes: stage under the
+  // lock, block outside it.
+  void staged_submit(int frame) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      staged = frame;
+    }
+    writer.submit(staged);
+  }
+
+  // A blocking call inside a lambda *defined* under the lock is
+  // deferred work — it does not run while the lock is held.
+  std::vector<int> pending;
+  void enqueue(int frame) {
+    std::lock_guard<std::mutex> lock(mu);
+    pending.push_back(frame);
+    auto flush = [this] { writer.drain(); };
+    static_cast<void>(flush);
+  }
+};
+
+// Reads may roam hash order freely when nothing is accumulated or
+// emitted (pure lookup).
+bool contains(const std::unordered_map<int, double>& m, int key) {
+  for (const auto& [k, v] : m) {
+    if (k == key) {
+      return v > 0.0;
+    }
+  }
+  return false;
+}
+
+// std::map iterates in key order: deterministic reduction, no finding.
+double ordered_total(const std::map<int, double>& masses) {
+  double sum = 0.0;
+  for (const auto& [id, m] : masses) {
+    sum += m;
+  }
+  return sum;
+}
+
+// The sanctioned rewrite: sort the keys first, then reduce. The key
+// harvest itself is a flagged shape, exempted with a reasoned allow;
+// the reduction below runs over the sorted vector and is clean.
+double sorted_total(const std::unordered_map<int, double>& masses) {
+  std::vector<int> keys;
+  keys.reserve(masses.size());
+  // ember-analyze: allow(unordered-iteration-reduction) -- key harvest
+  // feeding std::sort: the sort erases the hash order before any use.
+  for (const auto& [id, m] : masses) {
+    keys.push_back(id);
+  }
+  std::vector<int> sorted = keys;  // std::sort(sorted) in real code
+  double sum = 0.0;
+  for (const int id : sorted) {
+    sum += masses.at(id);
+  }
+  return sum;
+}
+
+}  // namespace fixture

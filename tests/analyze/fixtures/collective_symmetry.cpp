@@ -1,0 +1,72 @@
+// ember_analyze self-test fixture for collective-symmetry: driver code
+// (it takes a comm::Transport&) whose control flow makes a Transport
+// collective rank-asymmetric. Never compiled — the analyzer must report
+// the (rule, line) pairs asserted in test_ember_analyze.py.
+//
+// NOTE: line numbers matter. If you edit this file, update the expected
+// findings table in test_ember_analyze.py.
+
+namespace fixture {
+namespace comm {
+struct Transport {
+  int rank();
+  int size();
+  void barrier();
+  double allreduce_sum(double v);
+  void broadcast(double* p, int n, int root);
+};
+}  // namespace comm
+
+// --- shape (a), line 24: a conditional early return skips the
+// allreduce at line 27 — the quiet rank never reaches the rendezvous.
+double step_energy(comm::Transport& t, double local, bool converged) {
+  if (converged) {
+    return 0.0;
+  }
+  double kinetic = local * 0.5;
+  return t.allreduce_sum(kinetic);
+}
+
+// --- shape (b), line 34: the barrier only runs on rank 0; every other
+// rank sails past and the mesh deadlocks at rank 0's barrier.
+void checkpoint_root_only(comm::Transport& t) {
+  if (t.rank() == 0) {
+    t.barrier();
+  }
+}
+
+// --- shape (b), line 45: rank-dependent condition spelled through a
+// cached member-style variable (`rank_`).
+struct Stage {
+  int rank_;
+  void flush(comm::Transport& t) {
+    if (rank_ == 0) {
+      double model = 1.0;
+      t.broadcast(&model, 1, 0);
+    }
+  }
+};
+
+// --- shape (a), line 55: the early return hides inside a loop — the
+// rank that bails on step 3 misses every later barrier at line 57.
+void run_steps(comm::Transport& t, bool (*diverged)(long)) {
+  for (long s = 0; s < 100; ++s) {
+    if (diverged(s)) {
+      return;
+    }
+    t.barrier();
+  }
+}
+
+// Annotated escape: a deliberately asymmetric collective behind the
+// suppression syntax must not be reported (the bare-allow fixture
+// covers the missing-reason case).
+void elastic_shutdown(comm::Transport& t) {
+  if (t.rank() == 0) {
+    // ember-analyze: allow(collective-symmetry) -- fixture for the
+    // annotated escape: rank 0 orchestrates the teardown by design.
+    t.barrier();
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,55 @@
+// ember_analyze self-test fixture for unordered-iteration-reduction:
+// hash-ordered iteration feeding accumulations and output. Never
+// compiled — the analyzer must report the (rule, line) pairs asserted
+// in test_ember_analyze.py.
+//
+// NOTE: line numbers matter. If you edit this file, update the expected
+// findings table in test_ember_analyze.py.
+
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+// Line 21: summing over hash order — the float result changes with the
+// container's load factor and seed.
+double total_mass(const std::unordered_map<int, double>& masses) {
+  double sum = 0.0;
+  for (const auto& [id, m] : masses) {
+    sum += m;
+  }
+  return sum;
+}
+
+// Line 29: dumping in hash order — the file differs run to run.
+void dump_ids(const std::unordered_set<long>& ids, std::ostream& os) {
+  for (const long id : ids) {
+    os << id << '\n';
+  }
+}
+
+// Line 38: collecting into a vector in hash order is the same bug one
+// step removed (the vector feeds the dump downstream).
+std::vector<long> collect(const std::unordered_map<long, long>& hits) {
+  std::vector<long> out;
+  for (const auto& kv : hits) {
+    out.push_back(kv.first);
+  }
+  return out;
+}
+
+// Annotated escape with a reason: not reported.
+long count_even(const std::unordered_set<long>& ids) {
+  long n = 0;
+  // ember-analyze: allow(unordered-iteration-reduction) -- fixture for
+  // the annotated escape: parity count is order-independent (integer).
+  for (const long id : ids) {
+    n += (id % 2 == 0) ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace fixture

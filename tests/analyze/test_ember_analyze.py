@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Regression tests for scripts/ember_analyze.py.
+
+Runs the analyzer against fixture files with known violations and
+asserts the exact (line, rule) findings, the clean fixture stays clean,
+the whole src/ tree passes all three rules, and exit codes behave.
+Registered in ctest as EmberAnalyze.SelfTest / EmberAnalyze.SrcClean.
+"""
+
+import re
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+ANALYZE = REPO / "scripts" / "ember_analyze.py"
+FIXTURES = REPO / "tests" / "analyze" / "fixtures"
+
+FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z-]+)\]")
+
+
+def run_analyze(*paths):
+    proc = subprocess.run(
+        [sys.executable, str(ANALYZE), *map(str, paths)],
+        capture_output=True, text=True, cwd=REPO, check=False)
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            findings.append((int(m.group("line")), m.group("rule")))
+    return proc.returncode, findings
+
+
+class EmberAnalyzeSelfTest(unittest.TestCase):
+    def test_collective_symmetry_fixture(self):
+        # Both shapes fire: conditional early returns before a later
+        # collective (lines 24, 55) and rank-gated collectives (34, 45).
+        rc, findings = run_analyze(FIXTURES / "collective_symmetry.cpp")
+        self.assertEqual(rc, 1)
+        self.assertEqual(findings, [
+            (24, "collective-symmetry"),
+            (34, "collective-symmetry"),
+            (45, "collective-symmetry"),
+            (55, "collective-symmetry"),
+        ])
+
+    def test_blocking_under_lock_fixture(self):
+        # submit/ofstream/drain/send/recv/join inside lock scopes; the
+        # reasoned allow() at the end is not reported.
+        rc, findings = run_analyze(FIXTURES / "blocking_lock.cpp")
+        self.assertEqual(rc, 1)
+        self.assertEqual(findings, [
+            (42, "blocking-under-lock"),
+            (49, "blocking-under-lock"),
+            (50, "blocking-under-lock"),
+            (57, "blocking-under-lock"),
+            (58, "blocking-under-lock"),
+            (64, "blocking-under-lock"),
+        ])
+
+    def test_unordered_reduction_fixture(self):
+        rc, findings = run_analyze(FIXTURES / "unordered_reduction.cpp")
+        self.assertEqual(rc, 1)
+        self.assertEqual(findings, [
+            (21, "unordered-iteration-reduction"),
+            (29, "unordered-iteration-reduction"),
+            (38, "unordered-iteration-reduction"),
+        ])
+
+    def test_clean_fixture_is_clean(self):
+        # The symmetric / staged / ordered twins of every flagged shape:
+        # post-collective rank returns, rank blocks without returns,
+        # uniform conditions, staged submits, deferred lambdas, std::map
+        # reductions, sibling-scope name collisions.
+        rc, findings = run_analyze(FIXTURES / "clean.cpp")
+        self.assertEqual((rc, findings), (0, []))
+
+    def test_allow_without_reason_is_reported(self):
+        rc, findings = run_analyze(FIXTURES / "bare_allow.cpp")
+        self.assertEqual(rc, 1)
+        self.assertEqual(findings, [(14, "collective-symmetry")])
+
+    def test_every_rule_has_firing_fixture_coverage(self):
+        _, findings = run_analyze(FIXTURES / "collective_symmetry.cpp",
+                                  FIXTURES / "blocking_lock.cpp",
+                                  FIXTURES / "unordered_reduction.cpp")
+        covered = {rule for _, rule in findings}
+        listed = subprocess.run(
+            [sys.executable, str(ANALYZE), "--list-rules"],
+            capture_output=True, text=True, cwd=REPO, check=True).stdout
+        all_rules = {line.split()[0] for line in listed.splitlines() if line}
+        self.assertEqual(covered, all_rules)
+
+    def test_src_tree_is_clean(self):
+        rc, findings = run_analyze(REPO / "src")
+        self.assertEqual(findings, [])
+        self.assertEqual(rc, 0)
+
+    def test_unknown_path_exits_2(self):
+        rc, _ = run_analyze(REPO / "no" / "such" / "dir")
+        self.assertEqual(rc, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

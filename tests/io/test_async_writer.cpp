@@ -10,11 +10,13 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/error.hpp"
 #include "io/embt1.hpp"
@@ -151,6 +153,54 @@ TEST(AsyncIo, ErrorSurfacesOnLaterSubmit) {
     // must still be waiting at the barrier.
     EXPECT_THROW(w->drain(), Error);
   }
+  std::remove(ok.c_str());
+}
+
+TEST(AsyncIo, SubmitRethrowsPendingErrorAndWriterStaysUsable) {
+  // Deterministic version of the submit-side error contract (the test
+  // above races the worker and falls back to drain): wait for the
+  // worker to hit the failure, then pin that the *next* submit is the
+  // rethrow site, the rethrow names the failed path, the error is
+  // delivered exactly once, and the writer keeps accepting frames —
+  // including a second, independent failure afterwards.
+  const std::string bad = "/tmp/ember_no_such_dir_asyncio/pending.xyz";
+  const std::string ok = "/tmp/ember_asyncio_reuse.xyz";
+  std::remove(ok.c_str());
+  auto w = make_writer(Mode::Async);
+  w->submit(traj_request(bad, 0, /*truncate=*/true));
+  bool thrown = false;
+  for (int i = 0; i < 500 && !thrown; ++i) {
+    // Give the worker time to fail the write and latch the error; the
+    // probe submits are real frames and may land before the latch.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    try {
+      w->submit(traj_request(ok, i + 1, /*truncate=*/false));
+    } catch (const Error& e) {
+      thrown = true;
+      EXPECT_NE(std::string(e.what()).find(bad), std::string::npos)
+          << "submit-side rethrow must name the failed path: " << e.what();
+    }
+  }
+  EXPECT_TRUE(thrown) << "pending worker error never surfaced on submit";
+  // Delivered exactly once: the barrier right after is clean.
+  EXPECT_NO_THROW(w->drain());
+  // Reuse after error: fresh frames flow end to end.
+  w->submit(traj_request(ok, 100, /*truncate=*/true));
+  w->submit(traj_request(ok, 101, /*truncate=*/false));
+  w->drain();
+  EXPECT_EQ(count_xyz_frames(ok), 2);
+  // A second failure is reported just as loudly (no one-shot latch).
+  const std::string bad2 = "/tmp/ember_no_such_dir_asyncio/pending2.xyz";
+  w->submit(traj_request(bad2, 0, /*truncate=*/true));
+  try {
+    w->drain();
+    FAIL() << "second failure was swallowed";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(bad2), std::string::npos);
+  }
+  w->submit(traj_request(ok, 200, /*truncate=*/true));
+  w->drain();
+  EXPECT_EQ(count_xyz_frames(ok), 1);
   std::remove(ok.c_str());
 }
 
